@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"repro/internal/simgraph"
+	"repro/internal/trace"
+	"repro/internal/twoparty"
+)
+
+// Impossibility machinery (Section 7 / Appendix F).
+type (
+	// TwoPartyProtocol is a finite two-party coin-toss protocol tree.
+	TwoPartyProtocol = twoparty.Protocol
+	// TwoPartyVerdict classifies a protocol per Lemma F.2.
+	TwoPartyVerdict = twoparty.Verdict
+	// Party identifies a two-party participant.
+	Party = twoparty.Party
+	// Graph is a simple undirected communication graph.
+	Graph = simgraph.Graph
+	// TreePartition witnesses a k-simulated tree (Definition 7.1).
+	TreePartition = simgraph.Partition
+)
+
+// Two-party participants.
+const (
+	PartyA = twoparty.PartyA
+	PartyB = twoparty.PartyB
+)
+
+// XORCoinToss returns the classic two-party XOR exchange, whose second
+// mover is a dictator.
+func XORCoinToss() *TwoPartyProtocol { return twoparty.XORProtocol() }
+
+// ClassifyTwoParty computes which party assures which outcome.
+func ClassifyTwoParty(p *TwoPartyProtocol) TwoPartyVerdict { return p.Classify() }
+
+// RingGraph returns the n-cycle as an undirected graph.
+func RingGraph(n int) (*Graph, error) { return simgraph.Ring(n) }
+
+// GridGraph returns the rows×cols grid graph.
+func GridGraph(rows, cols int) (*Graph, error) { return simgraph.Grid(rows, cols) }
+
+// HalfSplit decomposes a connected graph into a ⌈n/2⌉-simulated tree
+// (Claim F.5's construction).
+func HalfSplit(g *Graph) (TreePartition, error) { return simgraph.HalfSplit(g) }
+
+// VerifySimulatedTree checks Definition 7.1 and returns the quotient tree.
+func VerifySimulatedTree(g *Graph, p TreePartition, k int) (*Graph, error) {
+	return simgraph.VerifySimulatedTree(g, p, k)
+}
+
+// MinSimulatedTreeK upper-bounds the smallest k for which the graph is a
+// k-simulated tree (exact on trees and rings).
+func MinSimulatedTreeK(g *Graph) (int, TreePartition, error) {
+	return simgraph.MinSimulatedTreeK(g)
+}
+
+// Execution tracing (Appendices D, E.1).
+type (
+	// Recorder captures an execution for happens-before and
+	// synchronization analysis; use it as a Spec's Tracer.
+	Recorder = trace.Recorder
+	// EventGraph is the happens-before or calculation-dependency graph.
+	EventGraph = trace.Graph
+	// SyncProfile is the Sent-counter spread time series of Appendix D.
+	SyncProfile = trace.SyncProfile
+)
+
+// NewRecorder returns a Recorder for a ring of n processors.
+func NewRecorder(n int) *Recorder { return trace.NewRecorder(n) }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-only", "E12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "### E12") {
+		t.Errorf("output missing E12 section:\n%s", got)
+	}
+	if strings.Contains(got, "### E1 —") {
+		t.Error("unselected experiment E1 was run")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Command flesim runs a single fair-leader-election configuration — a
+// protocol, an optional attack, a ring size — and reports the outcome
+// distribution and bias estimate.
+//
+// Usage:
+//
+//	flesim -protocol phaselead -n 400 -attack phase-rushing -target 5 -trials 50
+//
+// Protocols: basiclead, alead, phaselead, sumphase, changroberts, peterson.
+// Attacks: none, basic-single, rushing-equal, rushing-cubic, randomized,
+// half-ring, phase-rushing, phase-chase, sum-phase.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/attacks"
+	"repro/internal/classic"
+	"repro/internal/cointoss"
+	"repro/internal/core"
+	"repro/internal/protocols/alead"
+	"repro/internal/protocols/basiclead"
+	"repro/internal/protocols/phaselead"
+	"repro/internal/protocols/sumphase"
+	"repro/internal/ring"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flesim", flag.ContinueOnError)
+	var (
+		protocolName = fs.String("protocol", "phaselead", "protocol to run")
+		attackName   = fs.String("attack", "none", "adversarial deviation")
+		n            = fs.Int("n", 100, "ring size")
+		k            = fs.Int("k", 0, "coalition size (0 = attack default)")
+		target       = fs.Int64("target", 1, "leader the coalition tries to force")
+		trials       = fs.Int("trials", 100, "number of independent executions")
+		seed         = fs.Int64("seed", 1, "base seed")
+		coin         = fs.Bool("coin", false, "also report the derived coin toss (low bit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	protocol, err := pickProtocol(*protocolName)
+	if err != nil {
+		return err
+	}
+	attack, err := pickAttack(*attackName, *k, protocol)
+	if err != nil {
+		return err
+	}
+
+	var dist *ring.Distribution
+	if attack == nil {
+		dist, err = ring.Trials(ring.Spec{N: *n, Protocol: protocol, Seed: *seed}, *trials)
+	} else {
+		dist, err = ring.AttackTrials(*n, protocol, attack, *target, *seed, *trials)
+	}
+	if err != nil {
+		return err
+	}
+
+	rep := core.Bias(dist)
+	fmt.Fprintf(out, "protocol=%s", protocol.Name())
+	if attack != nil {
+		fmt.Fprintf(out, " attack=%s target=%d", attack.Name(), *target)
+	}
+	fmt.Fprintf(out, " n=%d trials=%d\n", *n, *trials)
+	fmt.Fprintf(out, "  valid outcomes: %d  failures: %d (abort=%d mismatch=%d stall=%d)\n",
+		dist.Trials-dist.Failures(), dist.Failures(),
+		dist.FailCounts[1], dist.FailCounts[2], dist.FailCounts[3])
+	if attack != nil {
+		fmt.Fprintf(out, "  forced rate for target %d: %.4f\n", *target, dist.WinRate(*target))
+	}
+	fmt.Fprintf(out, "  bias: %s\n", rep)
+	if verdict, err := core.Uniformity(dist, 0.01); err == nil {
+		fmt.Fprintf(out, "  uniformity: χ²=%.2f p=%.4f uniform=%v\n",
+			verdict.Statistic, verdict.PValue, verdict.Uniform)
+	}
+	if *coin {
+		s, err := cointoss.Trials(cointoss.ProtocolTosser(*n, protocol, *seed), *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  derived coin: zeros=%d ones=%d fails=%d bias=%.4f\n",
+			s.Zeros, s.Ones, s.Fails, s.Bias())
+	}
+	return nil
+}
+
+func pickProtocol(name string) (ring.Protocol, error) {
+	switch name {
+	case "basiclead":
+		return basiclead.New(), nil
+	case "alead":
+		return alead.New(), nil
+	case "phaselead":
+		return phaselead.NewDefault(), nil
+	case "sumphase":
+		return sumphase.New(), nil
+	case "changroberts":
+		return classic.ChangRoberts{}, nil
+	case "peterson":
+		return classic.Peterson{}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func pickAttack(name string, k int, protocol ring.Protocol) (ring.Attack, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "basic-single":
+		return attacks.BasicSingle{}, nil
+	case "rushing-equal":
+		return attacks.Rushing{Place: attacks.PlaceEqual, K: k}, nil
+	case "rushing-cubic":
+		return attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, nil
+	case "randomized":
+		return attacks.Randomized{}, nil
+	case "half-ring":
+		return attacks.HalfRing{K: k}, nil
+	case "phase-rushing", "phase-chase":
+		phaseProto, ok := protocol.(phaselead.Protocol)
+		if !ok {
+			return nil, fmt.Errorf("%s requires -protocol phaselead", name)
+		}
+		mode := attacks.PhaseSteer
+		if name == "phase-chase" {
+			mode = attacks.PhaseChase
+		}
+		return attacks.PhaseRushing{Protocol: phaseProto, K: k, Mode: mode}, nil
+	case "sum-phase":
+		return attacks.SumPhase{}, nil
+	default:
+		return nil, fmt.Errorf("unknown attack %q", name)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunHonestConfiguration(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-protocol", "alead", "-n", "16", "-trials", "40", "-coin"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"protocol=A-LEADuni", "failures: 0", "derived coin"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunAttackConfiguration(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-protocol", "basiclead", "-attack", "basic-single",
+		"-n", "12", "-target", "3", "-trials", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "forced rate for target 3: 1.0000") {
+		t.Errorf("attack output unexpected:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-protocol", "nonsense"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-attack", "nonsense"}, &out); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	if err := run([]string{"-protocol", "alead", "-attack", "phase-rushing"}, &out); err == nil {
+		t.Error("phase attack against non-phase protocol accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Sync profile: the quantitative heart of the paper, measured.
+//
+// A-LEADuni only keeps processors k²-synchronized — the cubic attack drives
+// the coalition's send counters Θ(k²) apart, which is exactly how it learns
+// distant secrets before committing. PhaseAsyncLead's phase validation
+// pins every deviation to O(k) spread, closing that channel. This example
+// traces both executions and prints the spread profiles side by side as an
+// ASCII chart (the repository's stand-in for the paper's "figure").
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	const n = 512
+	target := int64(1)
+
+	// Cubic attack on A-LEADuni.
+	cubic := repro.NewCubicAttack(0)
+	dev, err := cubic.Plan(n, target, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := len(dev.Coalition)
+	rec := repro.NewRecorder(n)
+	res, err := repro.Run(repro.Spec{N: n, Protocol: repro.NewALead(), Deviation: dev, Seed: 3, Tracer: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aleadProfile := rec.Sync(dev.Coalition)
+	fmt.Printf("A-LEADuni + cubic attack: n=%d k=%d forced leader=%d\n", n, k, res.Output)
+	fmt.Printf("  max coalition send spread: %d (Lemma D.5 bound 2k² = %d)\n", aleadProfile.MaxGap, 2*k*k)
+	chart("  spread over time", aleadProfile.Series, aleadProfile.MaxGap)
+
+	// PhaseAsyncLead under its strongest (steering) attack.
+	phase := repro.NewPhaseAsyncLead()
+	phAttack := repro.NewPhaseRushingAttack(phase, 0)
+	phDev, err := phAttack.Plan(n, target, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kp := len(phDev.Coalition)
+	rec = repro.NewRecorder(n)
+	res, err = repro.Run(repro.Spec{N: n, Protocol: phase, Deviation: phDev, Seed: 3, Tracer: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	phaseProfile := rec.Sync(phDev.Coalition)
+	fmt.Printf("\nPhaseAsyncLead + rushing: n=%d k=%d forced leader=%d\n", n, kp, res.Output)
+	fmt.Printf("  max coalition send spread: %d (phase validation keeps it O(k), k=%d)\n",
+		phaseProfile.MaxGap, kp)
+	chart("  spread over time", phaseProfile.Series, aleadProfile.MaxGap)
+
+	fmt.Printf("\nThe gap ratio %d:%d is the paper's Section 6 story: the phase mechanism removes\n",
+		aleadProfile.MaxGap, phaseProfile.MaxGap)
+	fmt.Println("the k²-desynchronization that the cubic attack feeds on.")
+}
+
+// chart prints a coarse ASCII profile: 60 buckets, each showing the maximal
+// spread within the bucket scaled to the global maximum.
+func chart(title string, series []int, scaleMax int) {
+	if len(series) == 0 || scaleMax == 0 {
+		return
+	}
+	const buckets = 60
+	fmt.Println(title + ":")
+	bucketMax := make([]int, buckets)
+	for i, v := range series {
+		b := i * buckets / len(series)
+		if v > bucketMax[b] {
+			bucketMax[b] = v
+		}
+	}
+	const height = 8
+	for row := height; row >= 1; row-- {
+		var b strings.Builder
+		threshold := scaleMax * row / height
+		for _, v := range bucketMax {
+			if v >= threshold && threshold > 0 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Printf("  %5d |%s\n", threshold, b.String())
+	}
+	fmt.Printf("        +%s→ time\n", strings.Repeat("-", buckets))
+}

@@ -1,0 +1,75 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// BasicSingle is the Claim B.1 attack: a single adversary controls the
+// outcome of Basic-LEAD by withholding its own value until it has received
+// all n−1 honest values, then choosing its value to cancel the sum.
+type BasicSingle struct {
+	// Position is the adversary's ring position; defaults to 2.
+	Position sim.ProcID
+}
+
+var _ ring.Attack = BasicSingle{}
+
+// Name implements ring.Attack.
+func (BasicSingle) Name() string { return "basic-single" }
+
+// Plan implements ring.Attack.
+func (a BasicSingle) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
+	pos := a.Position
+	if pos == 0 {
+		pos = 2
+	}
+	if pos < 1 || int(pos) > n {
+		return nil, fmt.Errorf("attacks: position %d out of range [1,%d]", pos, n)
+	}
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("attacks: target %d out of range [1,%d]", target, n)
+	}
+	return &ring.Deviation{
+		Coalition: []sim.ProcID{pos},
+		Strategies: map[sim.ProcID]sim.Strategy{
+			pos: &basicSingleAdversary{n: n, target: target},
+		},
+	}, nil
+}
+
+// basicSingleAdversary stays silent until it has absorbed every honest
+// value, then injects the cancelling value and replays what it saw so that
+// every honest processor completes its n receives with its own value last.
+type basicSingleAdversary struct {
+	n        int
+	target   int64
+	received []int64
+}
+
+var _ sim.Strategy = (*basicSingleAdversary)(nil)
+
+func (a *basicSingleAdversary) Init(*sim.Context) {}
+
+func (a *basicSingleAdversary) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, a.n)
+	a.received = append(a.received, value)
+	if len(a.received) < a.n-1 {
+		return
+	}
+	var sum int64
+	for _, v := range a.received {
+		sum = ring.Mod(sum+v, a.n)
+	}
+	// The adversary's "secret": whatever makes the total hit the target.
+	ctx.Send(ring.Mod(ring.SumForLeader(a.target, a.n)-sum, a.n))
+	// Replaying the received values in order shifts every honest
+	// processor's stream so that its own value arrives last, passing all
+	// validations.
+	for _, v := range a.received {
+		ctx.Send(v)
+	}
+	ctx.Terminate(a.target)
+}

@@ -1,0 +1,131 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// HalfRing is a consecutive coalition of k ≥ ⌈n/2⌉ processors that controls
+// A-LEADuni. It is the executable face of two results:
+//
+//   - Theorem 7.2 / Abraham et al.: no protocol resists some coalition of
+//     size ⌈n/2⌉ — a ring is a 2-node simulated tree whose parts are the two
+//     arcs, and this attack realizes the dictating arc against A-LEADuni.
+//   - The tightness of Claim D.1, which proves consecutive coalitions of
+//     size k < n/2 gain nothing: at exactly k = ⌈n/2⌉ the block's exit
+//     member absorbs the last honest value precisely at its commitment
+//     point, one round before it would be too late.
+//
+// Mechanics: the block occupies positions 2..k+1; interior members are pure
+// pipes. The exit member drains the honest arc by sending junk: each junk
+// message shifts the honest arc's buffers by one, returning one fresh honest
+// secret (the origin's own secret arrives for free at wake-up). After L = n−k
+// receives it knows the arc's entire sum, injects the cancelling value and
+// replays the honest secrets in arrival order, which is exactly the order
+// that makes every honest processor's own secret arrive as its n-th message.
+type HalfRing struct {
+	// K is the block size; 0 picks ⌈n/2⌉, the minimum feasible.
+	K int
+}
+
+var _ ring.Attack = HalfRing{}
+
+// Name implements ring.Attack.
+func (HalfRing) Name() string { return "half-ring" }
+
+// Plan implements ring.Attack.
+func (a HalfRing) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("attacks: target %d out of range [1,%d]", target, n)
+	}
+	k := a.K
+	if k == 0 {
+		k = (n + 1) / 2
+	}
+	if 2*k < n {
+		return nil, fmt.Errorf("attacks: half-ring needs k ≥ ⌈n/2⌉, got k=%d n=%d (Claim D.1 regime)", k, n)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("attacks: coalition k=%d covers the whole ring n=%d", k, n)
+	}
+	coalition := make([]sim.ProcID, k)
+	dev := &ring.Deviation{Strategies: make(map[sim.ProcID]sim.Strategy, k)}
+	for i := 0; i < k; i++ {
+		pos := sim.ProcID(i + 2) // block 2..k+1; origin stays honest
+		coalition[i] = pos
+		if i < k-1 {
+			dev.Strategies[pos] = &blockPipe{quota: n, target: target}
+		} else {
+			dev.Strategies[pos] = &halfRingExit{
+				n:         n,
+				k:         k,
+				target:    target,
+				targetSum: ring.SumForLeader(target, n),
+			}
+		}
+	}
+	dev.Coalition = coalition
+	return dev, nil
+}
+
+// blockPipe forwards everything and terminates with the coalition's target
+// once its message quota is spent.
+type blockPipe struct {
+	quota  int
+	target int64
+	sent   int
+}
+
+var _ sim.Strategy = (*blockPipe)(nil)
+
+func (b *blockPipe) Init(*sim.Context) {}
+
+func (b *blockPipe) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	ctx.Send(value)
+	b.sent++
+	if b.sent >= b.quota {
+		ctx.Terminate(b.target)
+	}
+}
+
+// halfRingExit is the block's last member, adjacent to the honest arc.
+type halfRingExit struct {
+	n, k      int
+	target    int64
+	targetSum int64
+	received  []int64
+}
+
+var _ sim.Strategy = (*halfRingExit)(nil)
+
+func (e *halfRingExit) Init(*sim.Context) {}
+
+func (e *halfRingExit) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, e.n)
+	e.received = append(e.received, value)
+	arc := e.n - e.k // honest processors: k+2..n and the origin
+	if len(e.received) < arc {
+		// Pump the honest arc: one junk message in, one fresh secret out.
+		ctx.Send(0)
+		return
+	}
+	if len(e.received) > arc {
+		return // late echoes of our own junk; ignore
+	}
+	// All honest secrets known: received = d_1, d_n, d_{n−1}, …, d_{k+2}.
+	var sum int64
+	for _, v := range e.received {
+		sum = ring.Mod(sum+v, e.n)
+	}
+	// Budget: n total sends = (arc−1) junk + pad junk + M + arc replays.
+	for pad := e.n - 2*arc; pad > 0; pad-- {
+		ctx.Send(0)
+	}
+	ctx.Send(ring.Mod(e.targetSum-sum, e.n))
+	for _, v := range e.received {
+		ctx.Send(v)
+	}
+	ctx.Terminate(e.target)
+}

@@ -1,0 +1,161 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/protocols/alead"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Lemma 3.3 characterizes exactly when an adversarial deviation from
+// A-LEADuni succeeds:
+//
+//	(1) every exposed adversary sends n messages,
+//	(2) all exposed adversaries' outgoing sums agree (mod n),
+//	(3) each adversary's last l_i messages are its segment's secrets in
+//	    replay order.
+//
+// The scripted deviations below violate each condition in isolation and
+// confirm the predicted failure mode; the compliant script succeeds.
+
+// scripted buffers like an honest processor but can (a) drop its final
+// sends, (b) corrupt its final message, or (c) shift its outgoing sum by a
+// constant while keeping the replay correct.
+type scripted struct {
+	n           int
+	dropLast    int   // violate (1): send this many fewer messages
+	corruptTail bool  // violate (3): garble the final (replay) message
+	sumShift    int64 // violate (2)/(force): add to the first message
+
+	buffer int64
+	sum    int64
+	recv   int
+	sent   int
+}
+
+var _ sim.Strategy = (*scripted)(nil)
+
+func (s *scripted) Init(ctx *sim.Context) {
+	// Like an honest processor, commit an initial value; shifting it
+	// changes our outgoing sum without touching the replay tail.
+	s.buffer = ring.Mod(7+s.sumShift, s.n)
+}
+
+// output mirrors the honest computation: when the execution is valid, every
+// processor's receive-sum equals the common outgoing sum (Lemma 3.4), so
+// terminating with it keeps the coalition's outputs consistent.
+func (s *scripted) output() int64 { return ring.LeaderFromSum(s.sum, s.n) }
+
+func (s *scripted) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, s.n)
+	s.recv++
+	s.sum = ring.Mod(s.sum+value, s.n)
+	if s.recv > s.n-s.dropLast {
+		if s.recv == s.n {
+			ctx.Terminate(s.output())
+		}
+		return
+	}
+	out := s.buffer
+	if s.corruptTail && s.recv == s.n {
+		out = ring.Mod(out+1, s.n)
+	}
+	ctx.Send(out)
+	s.sent++
+	s.buffer = value
+	if s.recv == s.n {
+		ctx.Terminate(s.output())
+	}
+}
+
+func runScripted(t *testing.T, n int, positions []sim.ProcID, mk func(pos sim.ProcID) *scripted) sim.Result {
+	t.Helper()
+	dev := &ring.Deviation{Coalition: positions, Strategies: map[sim.ProcID]sim.Strategy{}}
+	for _, p := range positions {
+		dev.Strategies[p] = mk(p)
+	}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: alead.New(), Deviation: dev, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLemma33CompliantSucceeds(t *testing.T) {
+	// Honest-equivalent script: all three conditions hold → success.
+	res := runScripted(t, 12, []sim.ProcID{5}, func(sim.ProcID) *scripted {
+		return &scripted{n: 12}
+	})
+	if res.Failed {
+		t.Fatalf("compliant deviation failed: %v", res.Reason)
+	}
+}
+
+func TestLemma33Condition1TooFewMessages(t *testing.T) {
+	// Dropping the final send stalls the ring: outcome FAIL, no election.
+	res := runScripted(t, 12, []sim.ProcID{5}, func(sim.ProcID) *scripted {
+		return &scripted{n: 12, dropLast: 1}
+	})
+	if !res.Failed || res.Reason != sim.FailStall {
+		t.Fatalf("got (%v,%v), want stall failure", res.Failed, res.Reason)
+	}
+}
+
+func TestLemma33Condition3WrongReplay(t *testing.T) {
+	// Corrupting the final replay message makes the successor's own
+	// secret check fail: abort.
+	res := runScripted(t, 12, []sim.ProcID{5}, func(sim.ProcID) *scripted {
+		return &scripted{n: 12, corruptTail: true}
+	})
+	if !res.Failed || res.Reason != sim.FailAbort {
+		t.Fatalf("got (%v,%v), want abort failure", res.Failed, res.Reason)
+	}
+}
+
+func TestLemma33Condition2DivergentSums(t *testing.T) {
+	// Conditions (1) and (3) hold but (2) fails: a rushing coalition
+	// whose members steer towards two different targets. Every replay is
+	// correct, every count is right, yet segments behind different
+	// members compute different sums — outcome mismatch, exactly the
+	// second failure mode of Lemma 3.3. (Merely changing one's own
+	// secret does NOT diverge the sums: all values circulate to every
+	// processor, which the EqualShiftedSums test below confirms.)
+	const n = 16
+	devA, err := Rushing{Place: PlaceEqual}.Plan(n, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, err := Rushing{Place: PlaceEqual}.Plan(n, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice: first half of the coalition aims for 2, second half for 5.
+	mixed := &ring.Deviation{Coalition: devA.Coalition, Strategies: map[sim.ProcID]sim.Strategy{}}
+	for i, pos := range devA.Coalition {
+		if i < len(devA.Coalition)/2 {
+			mixed.Strategies[pos] = devA.Strategies[pos]
+		} else {
+			mixed.Strategies[pos] = devB.Strategies[pos]
+		}
+	}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: alead.New(), Deviation: mixed, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != sim.FailMismatch {
+		t.Fatalf("got (%v,%v), want mismatch failure", res.Failed, res.Reason)
+	}
+}
+
+func TestLemma33EqualShiftedSumsStillSucceed(t *testing.T) {
+	// The same shift applied to both adversaries keeps condition (2):
+	// the election succeeds (on a shifted leader) even though both
+	// deviated — Lemma 3.3 is about consistency, not honesty.
+	res := runScripted(t, 12, []sim.ProcID{4, 9}, func(sim.ProcID) *scripted {
+		return &scripted{n: 12, sumShift: 3}
+	})
+	if res.Failed {
+		t.Fatalf("consistently shifted deviation failed: %v", res.Reason)
+	}
+}

@@ -1,0 +1,147 @@
+package attacks
+
+import (
+	"fmt"
+	"math"
+)
+
+// StaggeredDistances computes honest-segment lengths (l_1..l_k) for the
+// cubic attack (Theorem 4.3). The attack requires
+//
+//	l_k ≤ k−1,  l_i ≤ l_{i+1} + (k−1)  for i < k,  Σ l_i = n−k,
+//
+// and the termination argument of Lemma 4.4 wants l_1 = max_i l_i. The
+// construction caps the paper's maximal staircase l_i = (k+1−i)(k−1) at the
+// smallest plateau height h whose total reaches n−k, then shaves the
+// remainder off the tail of the plateau, keeping the sequence non-increasing
+// up to a single −1 step. All lengths are ≥ 1, so every adversary is exposed.
+func StaggeredDistances(n, k int) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("attacks: rushing needs k ≥ 2, got %d", k)
+	}
+	if n-k < k {
+		return nil, fmt.Errorf("attacks: ring too small for %d exposed adversaries (n=%d)", k, n)
+	}
+	want := n - k
+	natural := func(i int) int { return (k + 1 - i) * (k - 1) } // descending staircase
+	sumAt := func(h int) int {
+		total := 0
+		for i := 1; i <= k; i++ {
+			v := natural(i)
+			if v > h {
+				v = h
+			}
+			if v < 1 {
+				v = 1
+			}
+			total += v
+		}
+		return total
+	}
+	if sumAt(natural(1)) < want {
+		return nil, fmt.Errorf("attacks: n=%d exceeds cubic capacity %d for k=%d (need k ≳ (2n)^{1/3})",
+			n, k+sumAt(natural(1)), k)
+	}
+	// Binary search the minimal plateau height h with sumAt(h) ≥ want.
+	lo, hi := 1, natural(1)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sumAt(mid) >= want {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h := lo
+	dists := make([]int, k)
+	plateau := 0
+	for i := 1; i <= k; i++ {
+		v := natural(i)
+		if v > h {
+			v = h
+		}
+		if v < 1 {
+			v = 1
+		}
+		dists[i-1] = v
+		if v == h {
+			plateau++
+		}
+	}
+	delta := sumAt(h) - want
+	// delta < plateau because h is minimal; shave the tail of the plateau.
+	for i := plateau - 1; delta > 0 && i >= 0; i-- {
+		dists[i]--
+		delta--
+	}
+	if err := validateRushingDistances(dists, n, k); err != nil {
+		return nil, err
+	}
+	return dists, nil
+}
+
+// EqualDistances computes (approximately) equal segment lengths for the
+// Theorem 4.2 attack, sorted so that the first segment is longest (which the
+// Lemma 4.4 termination argument wants). Feasible only when the common
+// length stays at most k−1, i.e. roughly k ≥ √n.
+func EqualDistances(n, k int) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("attacks: rushing needs k ≥ 2, got %d", k)
+	}
+	if n-k < k {
+		return nil, fmt.Errorf("attacks: ring too small for %d exposed adversaries (n=%d)", k, n)
+	}
+	base, extra := (n-k)/k, (n-k)%k
+	dists := make([]int, k)
+	for i := range dists {
+		dists[i] = base
+		if i < extra {
+			dists[i]++ // longer segments first, so l_1 is maximal
+		}
+	}
+	if err := validateRushingDistances(dists, n, k); err != nil {
+		return nil, err
+	}
+	return dists, nil
+}
+
+func validateRushingDistances(dists []int, n, k int) error {
+	if len(dists) != k {
+		return fmt.Errorf("attacks: %d distances for k=%d", len(dists), k)
+	}
+	total := 0
+	for i, d := range dists {
+		if d < 1 {
+			return fmt.Errorf("attacks: segment %d has length %d < 1", i+1, d)
+		}
+		if i+1 < k && d > dists[i+1]+k-1 {
+			return fmt.Errorf("attacks: l_%d=%d exceeds l_%d+k−1=%d (rushing infeasible)",
+				i+1, d, i+2, dists[i+1]+k-1)
+		}
+		total += d
+	}
+	if last := dists[k-1]; last > k-1 {
+		return fmt.Errorf("attacks: l_k=%d exceeds k−1=%d (rushing infeasible)", last, k-1)
+	}
+	if total != n-k {
+		return fmt.Errorf("attacks: distances sum to %d, want %d", total, n-k)
+	}
+	return nil
+}
+
+// MinCubicK returns the smallest coalition size for which the staggered
+// distance plan is feasible on a ring of n processors; it grows as Θ(n^{1/3})
+// (Theorem 4.3 shows k = 2·n^{1/3} always suffices).
+func MinCubicK(n int) int {
+	for k := 2; k <= n/2; k++ {
+		if _, err := StaggeredDistances(n, k); err == nil {
+			return k
+		}
+	}
+	return n / 2
+}
+
+// SqrtK returns ⌈√n⌉, the equally-spaced coalition size of Theorem 4.2.
+func SqrtK(n int) int {
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}

@@ -1,0 +1,133 @@
+package attacks
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Randomized is the Appendix C attack on A-LEADuni by randomly located
+// adversaries (Theorem C.1). Each non-origin processor turns adversarial
+// independently with probability p ≈ √(8·ln n / n), so the expected coalition
+// is Θ(√(n log n)). The adversaries know neither their distances nor their
+// count: each one pipes messages until it detects circularity — its first C
+// received values reappearing — which reveals k, then injects the cancelling
+// value and replays its tail.
+//
+// The attack succeeds with high probability over both the coalition draw and
+// the honest secrets; failed trials (prefix collision, an oversized honest
+// segment) end in outcome FAIL, exactly as the theorem's 1−δ bound allows.
+type Randomized struct {
+	// P is the per-processor adversary probability; 0 picks √(8·ln n/n).
+	P float64
+	// C is the circularity detection prefix length; 0 picks 4.
+	C int
+}
+
+var _ ring.Attack = Randomized{}
+
+// Name implements ring.Attack.
+func (Randomized) Name() string { return "randomized-rushing" }
+
+// DefaultP returns the paper's adversary probability √(8·ln n / n).
+func DefaultP(n int) float64 {
+	return math.Sqrt(8 * math.Log(float64(n)) / float64(n))
+}
+
+// Plan implements ring.Attack: the coalition is drawn from the trial seed.
+func (a Randomized) Plan(n int, target int64, seed int64) (*ring.Deviation, error) {
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("attacks: target %d out of range [1,%d]", target, n)
+	}
+	p := a.P
+	if p == 0 {
+		p = DefaultP(n)
+	}
+	c := a.C
+	if c == 0 {
+		c = 4
+	}
+	coalition := ring.RandomCoalition(n, p, seed)
+	if len(coalition) < 2 {
+		return nil, fmt.Errorf("attacks: drew %d adversaries, need at least 2", len(coalition))
+	}
+	dev := &ring.Deviation{
+		Coalition:  coalition,
+		Strategies: make(map[sim.ProcID]sim.Strategy, len(coalition)),
+	}
+	for _, pos := range coalition {
+		dev.Strategies[pos] = &randomizedAdversary{
+			n:         n,
+			c:         c,
+			target:    target,
+			targetSum: ring.SumForLeader(target, n),
+		}
+	}
+	return dev, nil
+}
+
+// randomizedAdversary is the per-member strategy of the Randomized attack,
+// following the Theorem C.1 pseudo-code. It forwards every message while
+// watching for its first C values to reappear at the stream's tail; the
+// position T of that repetition reveals the coalition size k' = n−T+C, from
+// which it derives how many values to replay.
+type randomizedAdversary struct {
+	n, c      int
+	target    int64
+	targetSum int64
+	received  []int64
+	sum       int64
+}
+
+var _ sim.Strategy = (*randomizedAdversary)(nil)
+
+func (r *randomizedAdversary) Init(*sim.Context) {}
+
+func (r *randomizedAdversary) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, r.n)
+	r.received = append(r.received, value)
+	r.sum = ring.Mod(r.sum+value, r.n)
+	t := len(r.received)
+	if t <= r.c || !r.circular() {
+		ctx.Send(value)
+		if t >= 2*r.n {
+			// No circularity can appear this late; bail out so the
+			// execution fails instead of looping (counts toward δ).
+			ctx.Abort()
+		}
+		return
+	}
+	ctx.Send(value) // the T-th message is still forwarded
+	kEst := r.n - t + r.c
+	replay := kEst - r.c - 1
+	hi := r.n - kEst // receives 1..hi are one full honest cycle
+	lo := hi - replay
+	if replay < 0 || lo < 0 || hi > t {
+		// Estimated k too small for this prefix length: the attack
+		// cannot complete its quota; fail the execution.
+		ctx.Abort()
+		return
+	}
+	var tailSum int64
+	for j := lo; j < hi; j++ {
+		tailSum = ring.Mod(tailSum+r.received[j], r.n)
+	}
+	ctx.Send(ring.Mod(r.targetSum-r.sum-tailSum, r.n))
+	for j := lo; j < hi; j++ {
+		ctx.Send(r.received[j])
+	}
+	ctx.Terminate(r.target)
+}
+
+// circular reports whether the last C received values equal the first C.
+func (r *randomizedAdversary) circular() bool {
+	t := len(r.received)
+	for j := 0; j < r.c; j++ {
+		if r.received[t-r.c+j] != r.received[j] {
+			return false
+		}
+	}
+	return true
+}

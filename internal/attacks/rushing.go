@@ -1,0 +1,154 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Placement selects how the Rushing attack lays its coalition out on the
+// ring.
+type Placement int
+
+// Placements of the rushing coalition.
+const (
+	// PlaceEqual spaces the coalition evenly (Theorem 4.2, needs k ≳ √n).
+	PlaceEqual Placement = iota + 1
+	// PlaceStaggered uses the cubic attack's decreasing distances
+	// (Theorem 4.3, needs k ≳ (2n)^{1/3}).
+	PlaceStaggered
+)
+
+// Rushing is the unified rushing attack of Section 4 against A-LEADuni.
+// Every adversary skips generating a secret of its own and forwards incoming
+// messages without the protocol's one-round buffering delay, so information
+// crosses the coalition k rounds early; the freed message budget ("k spare
+// messages") is spent pushing zeros to keep far segments fed, after which
+// each adversary injects the sum-cancelling value M and replays its
+// segment's secrets so that every validation passes (Lemma 3.3).
+type Rushing struct {
+	// Place selects the coalition layout; defaults to PlaceStaggered.
+	Place Placement
+	// K is the coalition size. Zero picks the canonical size for the
+	// layout: ⌈√n⌉ for PlaceEqual, the minimal feasible (≈(2n)^{1/3})
+	// for PlaceStaggered.
+	K int
+}
+
+var _ ring.Attack = Rushing{}
+
+// Name implements ring.Attack.
+func (a Rushing) Name() string {
+	if a.place() == PlaceEqual {
+		return "rushing-equal"
+	}
+	return "rushing-cubic"
+}
+
+func (a Rushing) place() Placement {
+	if a.Place == 0 {
+		return PlaceStaggered
+	}
+	return a.Place
+}
+
+// Plan implements ring.Attack.
+func (a Rushing) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("attacks: target %d out of range [1,%d]", target, n)
+	}
+	k := a.K
+	var (
+		dists []int
+		err   error
+	)
+	switch a.place() {
+	case PlaceEqual:
+		if k == 0 {
+			k = SqrtK(n)
+		}
+		dists, err = EqualDistances(n, k)
+	case PlaceStaggered:
+		if k == 0 {
+			k = MinCubicK(n)
+		}
+		dists, err = StaggeredDistances(n, k)
+	default:
+		return nil, fmt.Errorf("attacks: unknown placement %d", a.Place)
+	}
+	if err != nil {
+		return nil, err
+	}
+	coalition, err := ring.FromDistances(dists, n, 2)
+	if err != nil {
+		return nil, err
+	}
+	// FromDistances sorts positions; recover each position's own forward
+	// segment length so each adversary knows its replay obligation.
+	actual := ring.Distances(coalition, n)
+	dev := &ring.Deviation{
+		Coalition:  coalition,
+		Strategies: make(map[sim.ProcID]sim.Strategy, k),
+	}
+	for i, pos := range coalition {
+		dev.Strategies[pos] = &rushAdversary{
+			n:         n,
+			k:         k,
+			segment:   actual[i],
+			target:    target,
+			targetSum: ring.SumForLeader(target, n),
+		}
+	}
+	return dev, nil
+}
+
+// rushAdversary executes the CubicAttack pseudo-code of Appendix C for one
+// coalition member with forward honest segment of the given length:
+//
+//  1. forward the first n−k−l incoming messages immediately;
+//  2. then push k−1 zeros (the freed budget that keeps far segments moving);
+//  3. absorb l more messages without sending, completing n−k receives —
+//     by Lemma 4.5 these end with the segment's secrets in replay order;
+//  4. send M = targetSum − Σ(first n−k receives), making the outgoing sum
+//     hit the target regardless of the honest secrets;
+//  5. replay the segment's secrets so every honest processor's own value
+//     arrives as its n-th message (Lemma 3.5).
+type rushAdversary struct {
+	n, k      int
+	segment   int // l_i: length of the forward honest segment
+	target    int64
+	targetSum int64
+	received  []int64
+	sum       int64 // running sum of all receives (mod n)
+}
+
+var _ sim.Strategy = (*rushAdversary)(nil)
+
+func (r *rushAdversary) Init(*sim.Context) {}
+
+func (r *rushAdversary) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, r.n)
+	r.received = append(r.received, value)
+	r.sum = ring.Mod(r.sum+value, r.n)
+	c := len(r.received)
+	pipeEnd := r.n - r.k - r.segment
+	absorbEnd := r.n - r.k
+	switch {
+	case c < pipeEnd:
+		ctx.Send(value)
+	case c == pipeEnd:
+		ctx.Send(value)
+		for j := 0; j < r.k-1; j++ {
+			ctx.Send(0)
+		}
+	case c < absorbEnd:
+		// Absorb silently: these are the segment's secrets arriving.
+	case c == absorbEnd:
+		ctx.Send(ring.Mod(r.targetSum-r.sum, r.n))
+		for j := pipeEnd; j < absorbEnd; j++ {
+			ctx.Send(r.received[j])
+		}
+		ctx.Terminate(r.target)
+	}
+}

@@ -1,0 +1,263 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// SumPhase is the Appendix E.4 attack: four colluders control the
+// sum-output phase protocol (sumphase.Protocol) by abusing validation rounds
+// whose validator is a coalition member as a fast side channel for partial
+// sums of the honest secrets.
+//
+// Coalition layout: {2, x, y, n}, origin honest. The layout matters: an
+// exposed adversary whose forward segment wraps past the origin would learn
+// the total sum S half a round after its last free send — the informal
+// schedule sketched in E.4 with four equal segments runs exactly one round
+// short for its last member. Placing the last adversary at position n gives
+// it the singleton segment {origin}, whose one missing summand d_1 reaches
+// it (with the coalition's 4-round rushing gain) just before its spare
+// slots. The headline claim — k = 4 breaks the sum-output protocol — is
+// preserved.
+//
+// Timeline (segments I_2=(2,x), I_x=(x,y), I_y=(y,n), I_n={1}):
+//
+//	round x (x's validator round, the relay): x seeds ΣI_2; y adds ΣI_x;
+//	        n adds ΣI_y and stores the partial; 2 adds d_1, completing
+//	        S = Σ honest, and thus knows S; x reads S on return.
+//	round n−4 (data): n hears d_1 and completes S from its relay partial.
+//	round y (y's validator round, the broadcast): 2 and x, who know S,
+//	        replace the circulating value with S; y reads it on return.
+//	spares: each member spends its 4 freed data sends on zeros and
+//	        M = targetSum − S, placed after its S-pickup round; its last
+//	        l_i sends replay its segment's secrets just-in-time.
+//
+// Every honest segment then sums its adversary's outgoing data to
+// targetSum, all phase validations pass, and the target is elected
+// deterministically. Against PhaseAsyncLead (sum replaced by the random
+// function f) the identical deviation is powerless — partial sums reveal
+// nothing about f — which is exactly why the paper introduces f.
+type SumPhase struct{}
+
+var _ ring.Attack = SumPhase{}
+
+// Name implements ring.Attack.
+func (SumPhase) Name() string { return "sum-phase-k4" }
+
+// sumPhaseK is the paper's headline coalition size for this attack.
+const sumPhaseK = 4
+
+// Plan implements ring.Attack.
+func (SumPhase) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("attacks: target %d out of range [1,%d]", target, n)
+	}
+	if n < 24 {
+		return nil, fmt.Errorf("attacks: sum-phase attack needs n ≥ 24, got %d", n)
+	}
+	// Honest processors: position 1 plus n−4−1 spread over the three
+	// inner segments. The first segment is kept maximal so that the relay
+	// round x = 2+l2+1 comes after every member knows its behind-sum.
+	inner := n - 5 // honest processors strictly between 2 and n
+	l2 := (inner + 2) / 3
+	lx := (inner - l2 + 1) / 2
+	ly := inner - l2 - lx
+	x := 2 + l2 + 1
+	y := x + lx + 1
+	coalition := []sim.ProcID{2, sim.ProcID(x), sim.ProcID(y), sim.ProcID(n)}
+
+	plan := &sumPhasePlan{
+		n: n, relayRound: x, broadcastRound: y,
+		target:    target,
+		targetSum: ring.SumForLeader(target, n),
+	}
+	members := []struct {
+		pos       int
+		li        int // forward honest segment length
+		behindLen int // behind honest segment length
+		role      sumRole
+	}{
+		{2, l2, 1, sumRole{relayCompletes: true}},
+		{x, lx, l2, sumRole{relaySeeder: true}},
+		{y, ly, lx, sumRole{pickupOnBroadcast: true}},
+		{n, 1, ly, sumRole{completeOnForward: true}},
+	}
+	dev := &ring.Deviation{
+		Coalition:  coalition,
+		Strategies: make(map[sim.ProcID]sim.Strategy, sumPhaseK),
+	}
+	for _, m := range members {
+		dev.Strategies[sim.ProcID(m.pos)] = &sumPhaseAdversary{
+			plan:      plan,
+			pos:       m.pos,
+			li:        m.li,
+			behindLen: m.behindLen,
+			role:      m.role,
+			backward:  backwardHonest(m.pos, n, coalition),
+		}
+	}
+	return dev, nil
+}
+
+// sumPhasePlan is the read-only layout shared by the four strategies.
+type sumPhasePlan struct {
+	n              int
+	relayRound     int
+	broadcastRound int
+	target         int64
+	targetSum      int64
+}
+
+// sumRole describes how a member participates in the S-recovery choreography.
+type sumRole struct {
+	// relaySeeder opens the relay with its behind-sum (member x).
+	relaySeeder bool
+	// relayCompletes marks the member whose relay addition yields the
+	// full S (member 2, the initiator's predecessor-adversary).
+	relayCompletes bool
+	// pickupOnBroadcast reads S from its own returning validation in the
+	// broadcast round (member y).
+	pickupOnBroadcast bool
+	// completeOnForward stores the relay partial and completes S once
+	// its forward segment's secrets (here: the origin's d_1) arrive
+	// (member n).
+	completeOnForward bool
+}
+
+// sumPhaseAdversary is one member of the SumPhase coalition.
+type sumPhaseAdversary struct {
+	plan      *sumPhasePlan
+	pos       int
+	li        int
+	behindLen int
+	role      sumRole
+	backward  []int
+
+	round     int
+	received  int
+	behindSum int64
+	knowS     bool
+	s         int64
+	partial   int64 // relay partial, for completeOnForward
+	hasPart   bool
+	forwSum   int64 // accumulated forward-segment secrets
+	forwSeen  int
+	valueOf   map[int]int64
+	spareSum  int64 // spare values emitted so far (mod n)
+}
+
+var _ sim.Strategy = (*sumPhaseAdversary)(nil)
+
+func (a *sumPhaseAdversary) Init(*sim.Context) {
+	a.valueOf = make(map[int]int64, len(a.backward))
+}
+
+func (a *sumPhaseAdversary) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	a.received++
+	if a.received%2 == 1 {
+		a.dataStep(ctx, value)
+	} else {
+		a.validationStep(ctx, value)
+	}
+}
+
+// mSlot is the spare round carrying M: always the last of the four spares,
+// which every member reaches only after its S pickup.
+func (a *sumPhaseAdversary) mSlot() int { return a.plan.n - a.li }
+
+func (a *sumPhaseAdversary) dataStep(ctx *sim.Context, value int64) {
+	n := a.plan.n
+	a.round++
+	r := a.round
+	if r <= n-sumPhaseK {
+		v := ring.Mod(value, n)
+		pos := a.backward[r-1]
+		a.valueOf[pos] = v
+		if r <= a.behindLen {
+			a.behindSum = ring.Mod(a.behindSum+v, n)
+		}
+		if a.role.completeOnForward && a.isForward(pos) {
+			a.forwSum = ring.Mod(a.forwSum+v, n)
+			a.forwSeen++
+			if a.forwSeen == a.li && a.hasPart {
+				a.knowS, a.s = true, ring.Mod(a.partial+a.forwSum, n)
+			}
+		}
+	}
+	pipeEnd := n - sumPhaseK - a.li
+	switch {
+	case r <= pipeEnd:
+		ctx.Send(ring.Mod(value, n))
+	case r <= n-a.li: // spare slot
+		out := int64(0)
+		if r == a.mSlot() && a.knowS {
+			out = ring.Mod(a.plan.targetSum-a.s-a.spareSum, n)
+		}
+		a.spareSum = ring.Mod(a.spareSum+out, n)
+		ctx.Send(out)
+	default: // replay: the segment's secrets, farthest first
+		ctx.Send(a.valueOf[label(a.pos+1-r, n)])
+	}
+	if r == a.pos {
+		// Our validator round: seed the relay, or junk otherwise.
+		seed := int64(0)
+		if a.role.relaySeeder { // our round IS the relay round
+			seed = a.behindSum
+		}
+		ctx.Send(seed)
+	}
+}
+
+// isForward reports whether pos lies in this member's forward segment.
+func (a *sumPhaseAdversary) isForward(pos int) bool {
+	for j := 1; j <= a.li; j++ {
+		if label(a.pos+j, a.plan.n) == pos {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *sumPhaseAdversary) validationStep(ctx *sim.Context, value int64) {
+	n := a.plan.n
+	r := a.round
+	switch {
+	case r == a.pos:
+		// Our own validation value returned; never abort. At our relay
+		// or broadcast round, the returned value is S.
+		if (a.role.relaySeeder && r == a.plan.relayRound) ||
+			(a.role.pickupOnBroadcast && r == a.plan.broadcastRound) {
+			a.knowS, a.s = true, ring.Mod(value, n)
+		}
+	case r == a.plan.relayRound:
+		sum := ring.Mod(value+a.behindSum, n)
+		switch {
+		case a.role.relayCompletes:
+			a.knowS, a.s = true, sum
+		case a.role.completeOnForward:
+			a.partial, a.hasPart = sum, true
+			if a.forwSeen == a.li {
+				a.knowS, a.s = true, ring.Mod(a.partial+a.forwSum, n)
+			}
+		}
+		ctx.Send(sum)
+	case r == a.plan.broadcastRound && a.knowS:
+		ctx.Send(a.s)
+	default:
+		ctx.Send(value)
+	}
+	if r == n {
+		ctx.Terminate(a.plan.target)
+	}
+}
+
+// label normalizes a 1-based ring position.
+func label(p, n int) int {
+	p %= n
+	if p <= 0 {
+		p += n
+	}
+	return p
+}

@@ -1,0 +1,56 @@
+package attacks
+
+import (
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/wakeup"
+)
+
+// WakeupRushing is the rushing attack lifted to the wake-up extension of
+// A-LEADuni (Appendix H): the adversaries participate honestly in the id
+// exchange and attack the election phase exactly as in Section 4 —
+// demonstrating the paper's remark that "our attacks still hold for the
+// original protocol".
+//
+// The plan pins ids to ring positions so that the minimal id (and hence the
+// origin role) lands on the honest processor 1, matching the placement
+// assumptions of the inner attack; the paper's attacks make the same
+// without-loss-of-generality choice.
+type WakeupRushing struct {
+	// Inner is the election-phase attack; its zero value is the cubic
+	// attack with minimal feasible k.
+	Inner Rushing
+}
+
+var _ ring.Attack = WakeupRushing{}
+
+// Name implements ring.Attack.
+func (a WakeupRushing) Name() string { return "wakeup+" + a.Inner.Name() }
+
+// Protocol returns the combined protocol this attack targets: ids pinned to
+// positions (so position 1 holds the minimal id and becomes the origin).
+func (WakeupRushing) Protocol(n int) ring.Protocol {
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+	}
+	return wakeup.NewWithIDs(ids)
+}
+
+// Plan implements ring.Attack: the inner deviation's strategies are wrapped
+// to first play the wake-up phase honestly. The attack targets ring
+// positions, which the combined protocol also elects.
+func (a WakeupRushing) Plan(n int, target int64, seed int64) (*ring.Deviation, error) {
+	inner, err := a.Inner.Plan(n, target, seed)
+	if err != nil {
+		return nil, err
+	}
+	dev := &ring.Deviation{
+		Coalition:  inner.Coalition,
+		Strategies: make(map[sim.ProcID]sim.Strategy, len(inner.Coalition)),
+	}
+	for pos, strategy := range inner.Strategies {
+		dev.Strategies[pos] = &wakeup.PhaseShift{N: n, ID: int64(pos), Inner: strategy}
+	}
+	return dev, nil
+}

@@ -1,0 +1,202 @@
+// Package classic implements the classical, non-fault-tolerant leader
+// election algorithms the paper situates itself against (Section 1.1):
+// Chang–Roberts [12] and Peterson's O(n log n) unidirectional algorithm
+// [24]. Both elect the maximal id, so they are neither fair nor resilient —
+// a single rational agent simply lies about its id — but they calibrate the
+// price of fairness: A-LEADuni and PhaseAsyncLead pay Θ(n²) messages where
+// the classical algorithms pay Θ(n log n).
+//
+// Outputs: every processor terminates with the winning id value, so the
+// usual outcome semantics apply (all-equal valid outputs). Ids are either
+// the ring positions in ascending/descending arrangement (best/worst cases
+// for Chang–Roberts) or uniform 62-bit values drawn at wake-up (the random
+// arrangement of the average-case analysis; collisions are negligible and
+// would surface as FAIL).
+package classic
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Arrangement selects how ids relate to ring positions.
+type Arrangement int
+
+// Id arrangements.
+const (
+	// ArrangeRandom draws uniform ids: Chang–Roberts' Θ(n log n)
+	// average case.
+	ArrangeRandom Arrangement = iota + 1
+	// ArrangeAscending sets id = position: Chang–Roberts' best case.
+	ArrangeAscending
+	// ArrangeDescending sets id = n−position+1: Chang–Roberts' Θ(n²)
+	// worst case.
+	ArrangeDescending
+)
+
+func assignID(ctx *sim.Context, arrange Arrangement, n int) int64 {
+	switch arrange {
+	case ArrangeAscending:
+		return int64(ctx.Self())
+	case ArrangeDescending:
+		return int64(n) - int64(ctx.Self()) + 1
+	default:
+		return ctx.Rand().Int63() >> 1 & (1<<62 - 1)
+	}
+}
+
+// ChangRoberts is the Chang–Roberts extrema-finding protocol.
+type ChangRoberts struct {
+	// Arrange defaults to ArrangeRandom.
+	Arrange Arrangement
+}
+
+var _ ring.Protocol = ChangRoberts{}
+
+// Name implements ring.Protocol.
+func (ChangRoberts) Name() string { return "Chang-Roberts" }
+
+// Strategies implements ring.Protocol.
+func (c ChangRoberts) Strategies(n int) ([]sim.Strategy, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("classic: need n ≥ 2, got %d", n)
+	}
+	arrange := c.Arrange
+	if arrange == 0 {
+		arrange = ArrangeRandom
+	}
+	out := make([]sim.Strategy, n)
+	for i := range out {
+		out[i] = &crProcessor{n: n, arrange: arrange}
+	}
+	return out, nil
+}
+
+// crProcessor: forward larger candidate ids, swallow smaller ones; the
+// processor whose own id returns is the leader and starts the announcement
+// wave (encoded as the negated id).
+type crProcessor struct {
+	n       int
+	arrange Arrangement
+	id      int64
+}
+
+var _ sim.Strategy = (*crProcessor)(nil)
+
+func (p *crProcessor) Init(ctx *sim.Context) {
+	p.id = assignID(ctx, p.arrange, p.n) + 1 // keep ids strictly positive
+	ctx.Send(p.id)
+}
+
+func (p *crProcessor) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	switch {
+	case value < 0: // announcement carrying the winner id
+		winner := -value
+		if winner == p.id {
+			ctx.Terminate(winner) // own announcement returned
+			return
+		}
+		ctx.Send(value)
+		ctx.Terminate(winner)
+	case value > p.id:
+		ctx.Send(value)
+	case value == p.id:
+		ctx.Send(-p.id) // our id survived the full circle: we lead
+	default:
+		// Smaller candidate: swallowed.
+	}
+}
+
+// Peterson is Peterson's O(n log n) unidirectional algorithm: actives
+// compare their value with the two nearest upstream actives' values and
+// survive exactly when the nearer one is a local maximum; relays forward.
+type Peterson struct {
+	// Arrange defaults to ArrangeRandom.
+	Arrange Arrangement
+}
+
+var _ ring.Protocol = Peterson{}
+
+// Name implements ring.Protocol.
+func (Peterson) Name() string { return "Peterson" }
+
+// Strategies implements ring.Protocol.
+func (p Peterson) Strategies(n int) ([]sim.Strategy, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("classic: need n ≥ 2, got %d", n)
+	}
+	arrange := p.Arrange
+	if arrange == 0 {
+		arrange = ArrangeRandom
+	}
+	out := make([]sim.Strategy, n)
+	for i := range out {
+		out[i] = &petersonProcessor{n: n, arrange: arrange}
+	}
+	return out, nil
+}
+
+type petersonPhase int
+
+const (
+	wantFirst petersonPhase = iota + 1
+	wantSecond
+)
+
+type petersonProcessor struct {
+	n       int
+	arrange Arrangement
+	relay   bool
+	done    bool
+	tid     int64
+	first   int64
+	phase   petersonPhase
+}
+
+var _ sim.Strategy = (*petersonProcessor)(nil)
+
+func (p *petersonProcessor) Init(ctx *sim.Context) {
+	p.tid = assignID(ctx, p.arrange, p.n) + 1
+	p.phase = wantFirst
+	ctx.Send(p.tid)
+}
+
+func (p *petersonProcessor) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	if value < 0 { // announcement wave
+		winner := -value
+		if p.done {
+			ctx.Terminate(winner) // leader's announcement returned
+			return
+		}
+		ctx.Send(value)
+		ctx.Terminate(winner)
+		return
+	}
+	if p.relay {
+		ctx.Send(value)
+		return
+	}
+	switch p.phase {
+	case wantFirst:
+		if value == p.tid {
+			// Our value circled the ring past every other active:
+			// it is the maximum; declare leadership.
+			p.done = true
+			ctx.Send(-p.tid)
+			return
+		}
+		p.first = value
+		p.phase = wantSecond
+		ctx.Send(value)
+	case wantSecond:
+		if p.first > p.tid && p.first > value {
+			p.tid = p.first // survive with the local maximum
+			p.phase = wantFirst
+			ctx.Send(p.tid)
+		} else {
+			p.relay = true
+		}
+	}
+}

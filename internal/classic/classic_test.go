@@ -1,0 +1,117 @@
+package classic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func runOnce(t *testing.T, proto ring.Protocol, n int, seed int64) sim.Result {
+	t.Helper()
+	res, err := ring.Run(ring.Spec{N: n, Protocol: proto, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestChangRobertsElectsMaxID(t *testing.T) {
+	for _, arrange := range []Arrangement{ArrangeRandom, ArrangeAscending, ArrangeDescending} {
+		for _, n := range []int{2, 5, 16, 64} {
+			for seed := int64(0); seed < 3; seed++ {
+				res := runOnce(t, ChangRoberts{Arrange: arrange}, n, seed)
+				if res.Failed {
+					t.Fatalf("arrange=%d n=%d: failed: %v", arrange, n, res.Reason)
+				}
+				if arrange != ArrangeRandom && res.Output != int64(n)+1 {
+					t.Fatalf("arrange=%d n=%d: winner %d, want max id %d",
+						arrange, n, res.Output, n+1)
+				}
+			}
+		}
+	}
+}
+
+func TestPetersonElectsMaxID(t *testing.T) {
+	for _, arrange := range []Arrangement{ArrangeRandom, ArrangeAscending, ArrangeDescending} {
+		for _, n := range []int{2, 5, 16, 64, 127} {
+			for seed := int64(0); seed < 3; seed++ {
+				res := runOnce(t, Peterson{Arrange: arrange}, n, seed)
+				if res.Failed {
+					t.Fatalf("arrange=%d n=%d seed=%d: failed: %v", arrange, n, seed, res.Reason)
+				}
+				if arrange != ArrangeRandom && res.Output != int64(n)+1 {
+					t.Fatalf("arrange=%d n=%d: winner %d, want max id %d",
+						arrange, n, res.Output, n+1)
+				}
+			}
+		}
+	}
+}
+
+func TestAgreementOnRandomIDs(t *testing.T) {
+	// With random ids both algorithms agree with each other on the same
+	// seed (both elect the maximum).
+	for seed := int64(0); seed < 5; seed++ {
+		cr := runOnce(t, ChangRoberts{}, 32, seed)
+		pt := runOnce(t, Peterson{}, 32, seed)
+		if cr.Failed || pt.Failed {
+			t.Fatalf("seed=%d: cr failed=%v pt failed=%v", seed, cr.Failed, pt.Failed)
+		}
+		if cr.Output != pt.Output {
+			t.Fatalf("seed=%d: Chang-Roberts winner %d, Peterson winner %d",
+				seed, cr.Output, pt.Output)
+		}
+	}
+}
+
+func TestChangRobertsComplexity(t *testing.T) {
+	const n = 256
+	// Worst case (descending ids): Θ(n²)/2 election messages.
+	worst := runOnce(t, ChangRoberts{Arrange: ArrangeDescending}, n, 1)
+	if worst.Delivered < n*n/4 {
+		t.Errorf("descending arrangement delivered %d messages; want Θ(n²) ≈ %d", worst.Delivered, n*n/2)
+	}
+	// Best case (ascending): Θ(n).
+	best := runOnce(t, ChangRoberts{Arrange: ArrangeAscending}, n, 1)
+	if best.Delivered > 4*n {
+		t.Errorf("ascending arrangement delivered %d messages; want Θ(n)", best.Delivered)
+	}
+	// Average case: Θ(n log n); allow generous constants.
+	var total float64
+	const reps = 10
+	for seed := int64(0); seed < reps; seed++ {
+		res := runOnce(t, ChangRoberts{}, n, seed)
+		total += float64(res.Delivered)
+	}
+	avg := total / reps
+	nlogn := float64(n) * math.Log(float64(n))
+	if avg > 3*nlogn || avg < float64(n) {
+		t.Errorf("average %v messages; want ≈ n·H_n ≈ %v", avg, nlogn)
+	}
+}
+
+func TestPetersonComplexityWorstCase(t *testing.T) {
+	// Peterson is O(n log n) for every arrangement.
+	const n = 256
+	bound := 6 * float64(n) * math.Log2(float64(n))
+	for _, arrange := range []Arrangement{ArrangeRandom, ArrangeAscending, ArrangeDescending} {
+		res := runOnce(t, Peterson{Arrange: arrange}, n, 2)
+		if float64(res.Delivered) > bound {
+			t.Errorf("arrange=%d: %d messages exceed the O(n log n) bound %v",
+				arrange, res.Delivered, bound)
+		}
+	}
+}
+
+func TestFairProtocolsPayQuadratic(t *testing.T) {
+	// The calibration point: fairness costs Θ(n²) messages; the classical
+	// algorithms stay well below for moderate n.
+	const n = 128
+	pt := runOnce(t, Peterson{}, n, 3)
+	if pt.Delivered >= n*n {
+		t.Errorf("Peterson used %d ≥ n² messages", pt.Delivered)
+	}
+}

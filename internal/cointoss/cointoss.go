@@ -1,0 +1,174 @@
+// Package cointoss implements the Section 8 equivalence between Fair Leader
+// Election and Fair Coin Toss:
+//
+//   - FLE → coin: elect a leader, output its low bit. An ε-unbiased
+//     election over an even number of processors yields a (½n·ε)-unbiased
+//     coin (Theorem 8.1, first direction).
+//   - coin → FLE: run log₂(n) independent coin tosses and elect the
+//     processor indexed by the concatenated bits. With ε-unbiased coins the
+//     resulting election is (½+ε)^{log₂ n}-unbiased (second direction).
+//
+// The coin→FLE direction inherits the paper's explicit assumption that
+// independent coin-toss instances can be run; the harness realizes
+// independence by running instances with independently derived seeds.
+package cointoss
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Coin outcomes.
+const (
+	// TossFail marks a failed instance (the underlying election FAILed).
+	TossFail = -1
+)
+
+// Toss runs one coin-toss instance: elect with the given spec, output the
+// leader's low bit (leaders 1..n map to 0,1,0,1,…). Returns TossFail if the
+// election fails.
+func Toss(spec ring.Spec) (int, error) {
+	res, err := ring.Run(spec)
+	if err != nil {
+		return TossFail, err
+	}
+	if res.Failed {
+		return TossFail, nil
+	}
+	return int((res.Output - 1) & 1), nil
+}
+
+// Tosser produces the b-th independent coin toss of a composite run.
+type Tosser func(instance int) (int, error)
+
+// ProtocolTosser builds independent coin instances from a ring protocol:
+// instance i runs on its own ring with an independently mixed seed.
+func ProtocolTosser(n int, protocol ring.Protocol, baseSeed int64) Tosser {
+	return func(instance int) (int, error) {
+		seed := int64(sim.Mix64(uint64(baseSeed), uint64(instance)+0xc01f))
+		return Toss(ring.Spec{N: n, Protocol: protocol, Seed: seed})
+	}
+}
+
+// Elect implements the coin→FLE reduction: log₂(n) independent tosses,
+// concatenated MSB-first, elect leader index+1. n must be a power of two
+// (the paper's simplifying assumption). A failed toss fails the election
+// (leader 0, ok=false).
+func Elect(n int, toss Tosser) (leader int64, ok bool, err error) {
+	bits, err := log2(n)
+	if err != nil {
+		return 0, false, err
+	}
+	idx := int64(0)
+	for b := 0; b < bits; b++ {
+		bit, err := toss(b)
+		if err != nil {
+			return 0, false, err
+		}
+		if bit == TossFail {
+			return 0, false, nil
+		}
+		if bit != 0 && bit != 1 {
+			return 0, false, fmt.Errorf("cointoss: toss %d returned %d", b, bit)
+		}
+		idx = idx<<1 | int64(bit)
+	}
+	return idx + 1, true, nil
+}
+
+func log2(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("cointoss: n=%d is not a power of two ≥ 2", n)
+	}
+	bits := 0
+	for v := n; v > 1; v >>= 1 {
+		bits++
+	}
+	return bits, nil
+}
+
+// CoinStats aggregates coin-toss outcomes.
+type CoinStats struct {
+	Zeros, Ones, Fails int
+}
+
+// Trials runs the tosser repeatedly (fresh instance index per trial per
+// call) and aggregates.
+func Trials(toss Tosser, trials int) (CoinStats, error) {
+	var s CoinStats
+	for t := 0; t < trials; t++ {
+		bit, err := toss(t)
+		if err != nil {
+			return s, err
+		}
+		switch bit {
+		case 0:
+			s.Zeros++
+		case 1:
+			s.Ones++
+		default:
+			s.Fails++
+		}
+	}
+	return s, nil
+}
+
+// Bias returns max(Pr[0], Pr[1]) − ½, the ε of the unbias definition.
+func (s CoinStats) Bias() float64 {
+	total := s.Zeros + s.Ones + s.Fails
+	if total == 0 {
+		return 0
+	}
+	p0 := float64(s.Zeros) / float64(total)
+	p1 := float64(s.Ones) / float64(total)
+	m := p0
+	if p1 > m {
+		m = p1
+	}
+	return m - 0.5
+}
+
+// CoinBiasBound is Theorem 8.1's first direction: an ε-unbiased election
+// over n processors yields a coin with bias at most ½·n·ε.
+func CoinBiasBound(n int, electionEpsilon float64) float64 {
+	return 0.5 * float64(n) * electionEpsilon
+}
+
+// ElectionBiasBound is Theorem 8.1's second direction: log₂(n) independent
+// ε-unbiased coins yield an election where no leader's probability exceeds
+// (½+ε)^{log₂ n}.
+func ElectionBiasBound(n int, coinEpsilon float64) (float64, error) {
+	bits, err := log2(n)
+	if err != nil {
+		return 0, err
+	}
+	p := 1.0
+	for i := 0; i < bits; i++ {
+		p *= 0.5 + coinEpsilon
+	}
+	return p, nil
+}
+
+// ElectTrials runs the composite election repeatedly with per-trial derived
+// tossers and aggregates a leader distribution.
+func ElectTrials(n int, mkTosser func(trial int) Tosser, trials int) (*ring.Distribution, error) {
+	if mkTosser == nil {
+		return nil, errors.New("cointoss: nil tosser factory")
+	}
+	dist := ring.NewDistribution(n)
+	for t := 0; t < trials; t++ {
+		leader, ok, err := Elect(n, mkTosser(t))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			dist.Add(sim.Result{Failed: true, Reason: sim.FailAbort})
+			continue
+		}
+		dist.Add(sim.Result{Output: leader})
+	}
+	return dist, nil
+}

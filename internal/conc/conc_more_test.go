@@ -1,0 +1,138 @@
+package conc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/protocols/phaselead"
+	"repro/internal/protocols/sumphase"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func TestBackendCountersAndSendTo(t *testing.T) {
+	// ringSendTo uses SendTo(successor) instead of Send; both must work
+	// on the concurrent backend, and Sent/Received must advance.
+	const n = 6
+	spec := ring.Spec{N: n, Protocol: probeProto{}, Seed: 1}
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("failed: %v", res.Reason)
+	}
+	if res.Output != int64(n) {
+		t.Fatalf("output = %d, want %d (hop count)", res.Output, n)
+	}
+}
+
+// probeProto passes a token once around via SendTo and checks counters.
+type probeProto struct{}
+
+func (probeProto) Name() string { return "probe" }
+
+func (probeProto) Strategies(n int) ([]sim.Strategy, error) {
+	out := make([]sim.Strategy, n)
+	for i := range out {
+		out[i] = &probeStrategy{n: n, isFirst: i == 0}
+	}
+	return out, nil
+}
+
+type probeStrategy struct {
+	n       int
+	isFirst bool
+}
+
+func (p *probeStrategy) Init(ctx *sim.Context) {
+	if p.isFirst {
+		succ := sim.ProcID(int(ctx.Self())%p.n + 1)
+		ctx.SendTo(succ, 1)
+		if ctx.Sent() != 1 {
+			ctx.Abort()
+		}
+		// Off-ring destinations vanish silently.
+		ctx.SendTo(ctx.Self(), 42)
+	}
+}
+
+func (p *probeStrategy) Receive(ctx *sim.Context, _ sim.ProcID, v int64) {
+	if ctx.Received() != 1 || ctx.N() != p.n {
+		ctx.Abort()
+		return
+	}
+	if v < int64(p.n) {
+		succ := sim.ProcID(int(ctx.Self())%p.n + 1)
+		ctx.SendTo(succ, v+1)
+	}
+	ctx.Terminate(int64(p.n))
+}
+
+func TestConcurrentPhaseProtocols(t *testing.T) {
+	// The phase protocols interleave two message kinds; they must behave
+	// identically on the concurrent runtime.
+	for _, proto := range []ring.Protocol{phaselead.NewDefault(), sumphase.New()} {
+		spec := ring.Spec{N: 30, Protocol: proto, Seed: 9}
+		want, err := ring.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Failed != want.Failed || got.Output != want.Output {
+			t.Fatalf("%s: concurrent (failed=%v out=%d) vs simulator (failed=%v out=%d)",
+				proto.Name(), got.Failed, got.Output, want.Failed, want.Output)
+		}
+	}
+}
+
+func TestLinkOverflowFailsCleanly(t *testing.T) {
+	// A runaway sender with a tiny link capacity must terminate the run
+	// (as a failure), not deadlock it.
+	spec := ring.Spec{N: 4, Protocol: floodProto{}, Seed: 0}
+	done := make(chan struct{})
+	var res sim.Result
+	var err error
+	go func() {
+		res, err = Run(spec, Options{LinkCapacity: 8, StallTimeout: 50 * time.Millisecond})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("overflow run did not finish")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("flooding not reported as failure")
+	}
+}
+
+type floodProto struct{}
+
+func (floodProto) Name() string { return "flood" }
+
+func (floodProto) Strategies(n int) ([]sim.Strategy, error) {
+	out := make([]sim.Strategy, n)
+	for i := range out {
+		out[i] = flooder{}
+	}
+	return out, nil
+}
+
+type flooder struct{}
+
+func (flooder) Init(ctx *sim.Context) {
+	for i := 0; i < 1000; i++ {
+		ctx.Send(int64(i))
+	}
+}
+
+func (flooder) Receive(ctx *sim.Context, _ sim.ProcID, _ int64) {
+	ctx.Send(0)
+}

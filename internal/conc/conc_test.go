@@ -1,0 +1,93 @@
+package conc
+
+import (
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/protocols/alead"
+	"repro/internal/protocols/basiclead"
+	"repro/internal/protocols/phaselead"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func TestCrossValidationWithEventSimulator(t *testing.T) {
+	// On a unidirectional ring all oblivious schedules are equivalent, so
+	// the Go scheduler must reproduce the event-driven simulator's
+	// outcome for every seed.
+	protocols := []ring.Protocol{basiclead.New(), alead.New(), phaselead.NewDefault()}
+	for _, proto := range protocols {
+		for seed := int64(0); seed < 10; seed++ {
+			spec := ring.Spec{N: 24, Protocol: proto, Seed: seed}
+			want, err := ring.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(spec, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Failed != want.Failed || got.Output != want.Output {
+				t.Fatalf("%s seed=%d: concurrent (failed=%v out=%d) vs event-driven (failed=%v out=%d)",
+					proto.Name(), seed, got.Failed, got.Output, want.Failed, want.Output)
+			}
+		}
+	}
+}
+
+func TestConcurrentAttackMatchesSimulator(t *testing.T) {
+	// Adversarial deviations are strategies like any other: the cubic
+	// attack must force its target on the concurrent runtime too.
+	const n = 64
+	attack := attacks.Rushing{Place: attacks.PlaceStaggered}
+	for seed := int64(0); seed < 5; seed++ {
+		dev, err := attack.Plan(n, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(ring.Spec{N: n, Protocol: alead.New(), Deviation: dev, Seed: seed}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed || res.Output != 3 {
+			t.Fatalf("seed=%d: cubic attack on concurrent runtime: failed=%v output=%d",
+				seed, res.Failed, res.Output)
+		}
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	// A deviation that goes silent must be reported as a stall, not hang
+	// the runtime.
+	const n = 8
+	spec := ring.Spec{N: n, Protocol: alead.New(), Seed: 0, Deviation: silentDeviation(4)}
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("silent adversary not detected")
+	}
+}
+
+// silentDeviation plants a mute adversary at the given position.
+func silentDeviation(pos sim.ProcID) *ring.Deviation {
+	return &ring.Deviation{
+		Coalition:  []sim.ProcID{pos},
+		Strategies: map[sim.ProcID]sim.Strategy{pos: mute{}},
+	}
+}
+
+type mute struct{}
+
+func (mute) Init(*sim.Context)                       {}
+func (mute) Receive(*sim.Context, sim.ProcID, int64) {}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(ring.Spec{N: 1, Protocol: alead.New()}, Options{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Run(ring.Spec{N: 4}, Options{}); err == nil {
+		t.Error("nil protocol accepted")
+	}
+}

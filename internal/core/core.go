@@ -1,0 +1,143 @@
+// Package core implements the game-theoretic layer of the paper's model
+// (Section 2): rational utilities, expected utility under an outcome
+// distribution, and the empirical counterparts of ε-k-unbias and
+// ε-k-resilience, including the Lemma 2.4 translation between them.
+//
+// The simulation packages measure outcome distributions; this package turns
+// them into the quantities the theorems speak about. A protocol is
+// ε-k-unbiased if no coalition of size k can push any single outcome's
+// probability above 1/n + ε; by Lemma 2.4 that bounds every rational
+// coalition's utility gain by n·ε, and conversely ε-resilience implies
+// ε-unbias.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/stats"
+)
+
+// Fail is the outcome index used for FAIL in utility functions.
+const Fail = 0
+
+// Utility is a rational utility (Definition 2.1): a function from outcomes
+// [1..n] ∪ {Fail} to [0,1] with u(Fail) = 0.
+type Utility []float64
+
+// NewSelfishUtility returns the utility of a processor that only values its
+// own election: u(j) = 1 iff j = self.
+func NewSelfishUtility(n int, self int64) Utility {
+	u := make(Utility, n+1)
+	if self >= 1 && self <= int64(n) {
+		u[self] = 1
+	}
+	return u
+}
+
+// Validate checks the Definition 2.1 constraints.
+func (u Utility) Validate() error {
+	if len(u) < 2 {
+		return errors.New("core: utility needs at least one valid outcome")
+	}
+	if u[Fail] != 0 {
+		return fmt.Errorf("core: u(FAIL) = %v, must be 0 (solution preference)", u[Fail])
+	}
+	for j, v := range u {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("core: u(%d) = %v outside [0,1]", j, v)
+		}
+	}
+	return nil
+}
+
+// ExpectedUtility computes E[u] under the empirical outcome distribution:
+// failures contribute u(Fail) = 0.
+func ExpectedUtility(dist *ring.Distribution, u Utility) (float64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	if len(u) != dist.N+1 {
+		return 0, fmt.Errorf("core: utility over %d outcomes, distribution over %d", len(u)-1, dist.N)
+	}
+	if dist.Trials == 0 {
+		return 0, errors.New("core: empty distribution")
+	}
+	var total float64
+	for j := 1; j <= dist.N; j++ {
+		total += float64(dist.Counts[j]) * u[j]
+	}
+	return total / float64(dist.Trials), nil
+}
+
+// BiasReport is the empirical ε of Definition 2.3's unbias condition, with a
+// confidence interval.
+type BiasReport struct {
+	// N is the ring size; the honest win probability is 1/N.
+	N int
+	// Trials is the sample size.
+	Trials int
+	// Leader is the most-elected leader.
+	Leader int64
+	// Epsilon is the point estimate max_j Pr[outcome=j] − 1/n (≥ −1/n).
+	Epsilon float64
+	// EpsilonHi is a 97.5% upper confidence bound on ε via Wilson.
+	EpsilonHi float64
+	// FailureRate is the fraction of FAIL outcomes.
+	FailureRate float64
+	// TotalVariation is the TV distance of the valid-outcome histogram
+	// from uniform (failures excluded).
+	TotalVariation float64
+}
+
+// String renders the report compactly.
+func (r BiasReport) String() string {
+	return fmt.Sprintf("n=%d trials=%d maxwin=%d ε=%.4f (≤%.4f) fail=%.3f tv=%.3f",
+		r.N, r.Trials, r.Leader, r.Epsilon, r.EpsilonHi, r.FailureRate, r.TotalVariation)
+}
+
+// Bias summarizes an outcome distribution as a Definition 2.3 bias report.
+func Bias(dist *ring.Distribution) BiasReport {
+	leader, rate := dist.MaxWin()
+	_, hi := stats.WilsonInterval(dist.Counts[leader], dist.Trials, 1.96)
+	return BiasReport{
+		N:              dist.N,
+		Trials:         dist.Trials,
+		Leader:         leader,
+		Epsilon:        rate - 1/float64(dist.N),
+		EpsilonHi:      hi - 1/float64(dist.N),
+		FailureRate:    dist.FailureRate(),
+		TotalVariation: stats.TotalVariationFromUniform(dist.Counts[1:]),
+	}
+}
+
+// ResilienceFromUnbias is Lemma 2.4's second direction: an ε-k-unbiased FLE
+// protocol is (n·ε)-k-resilient.
+func ResilienceFromUnbias(n int, epsilon float64) float64 {
+	return float64(n) * epsilon
+}
+
+// UnbiasFromResilience is Lemma 2.4's first direction: an ε-k-resilient FLE
+// protocol is ε-k-unbiased.
+func UnbiasFromResilience(epsilon float64) float64 {
+	return epsilon
+}
+
+// UniformityVerdict runs a chi-square uniformity test over the valid
+// outcomes of a distribution.
+type UniformityVerdict struct {
+	Statistic float64
+	PValue    float64
+	Uniform   bool // p ≥ alpha
+}
+
+// Uniformity tests the valid outcomes against the uniform distribution at
+// significance level alpha.
+func Uniformity(dist *ring.Distribution, alpha float64) (UniformityVerdict, error) {
+	stat, p, err := stats.ChiSquareUniform(dist.Counts[1:])
+	if err != nil {
+		return UniformityVerdict{}, err
+	}
+	return UniformityVerdict{Statistic: stat, PValue: p, Uniform: p >= alpha}, nil
+}

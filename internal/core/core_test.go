@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/protocols/alead"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func mkDist(n int, counts map[int64]int, fails int) *ring.Distribution {
+	d := ring.NewDistribution(n)
+	for j, c := range counts {
+		for i := 0; i < c; i++ {
+			d.Add(sim.Result{Output: j})
+		}
+	}
+	for i := 0; i < fails; i++ {
+		d.Add(sim.Result{Failed: true, Reason: sim.FailAbort})
+	}
+	return d
+}
+
+func TestUtilityValidate(t *testing.T) {
+	if err := NewSelfishUtility(4, 2).Validate(); err != nil {
+		t.Errorf("selfish utility invalid: %v", err)
+	}
+	bad := Utility{0.5, 0, 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("u(FAIL) != 0 accepted: solution preference violated")
+	}
+	bad2 := Utility{0, 2, 0}
+	if err := bad2.Validate(); err == nil {
+		t.Error("u > 1 accepted")
+	}
+}
+
+func TestExpectedUtility(t *testing.T) {
+	dist := mkDist(4, map[int64]int{1: 10, 2: 30, 3: 10, 4: 10}, 40)
+	u := NewSelfishUtility(4, 2)
+	got, err := ExpectedUtility(dist, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("E[u] = %v, want 0.3 (failures contribute zero)", got)
+	}
+}
+
+func TestBiasReport(t *testing.T) {
+	dist := mkDist(4, map[int64]int{1: 25, 2: 25, 3: 25, 4: 25}, 0)
+	rep := Bias(dist)
+	if math.Abs(rep.Epsilon) > 1e-12 {
+		t.Errorf("uniform ε = %v, want 0", rep.Epsilon)
+	}
+	skew := mkDist(4, map[int64]int{1: 100}, 0)
+	rep = Bias(skew)
+	if rep.Leader != 1 || math.Abs(rep.Epsilon-0.75) > 1e-12 {
+		t.Errorf("forced ε = %v (leader %d), want 0.75 on leader 1", rep.Epsilon, rep.Leader)
+	}
+	if rep.EpsilonHi < rep.Epsilon-1e-9 {
+		t.Error("confidence bound below point estimate")
+	}
+}
+
+func TestLemma24Translations(t *testing.T) {
+	// ε-k-unbiased ⇒ (nε)-k-resilient; ε-k-resilient ⇒ ε-k-unbiased.
+	const n, eps = 32, 0.01
+	if got := ResilienceFromUnbias(n, eps); got != float64(n)*eps {
+		t.Errorf("resilience bound %v", got)
+	}
+	if got := UnbiasFromResilience(eps); got != eps {
+		t.Errorf("unbias bound %v", got)
+	}
+}
+
+func TestUniformityOnHonestProtocol(t *testing.T) {
+	// End-to-end: honest A-LEADuni passes the chi-square uniformity test.
+	dist, err := ring.Trials(ring.Spec{N: 16, Protocol: alead.New(), Seed: 5}, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, err := Uniformity(dist, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Uniform {
+		t.Errorf("honest A-LEADuni rejected as non-uniform: χ²=%v p=%v",
+			verdict.Statistic, verdict.PValue)
+	}
+}
+
+func TestSolutionPreferenceMakesFailWorst(t *testing.T) {
+	// The defining property: for any rational utility, a distribution
+	// that fails more cannot be better (holding valid-outcome counts).
+	base := mkDist(4, map[int64]int{2: 30}, 0)
+	worse := mkDist(4, map[int64]int{2: 30}, 30)
+	u := NewSelfishUtility(4, 2)
+	eBase, err := ExpectedUtility(base, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eWorse, err := ExpectedUtility(worse, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eWorse >= eBase {
+		t.Errorf("failures did not hurt: %v ≥ %v", eWorse, eBase)
+	}
+}

@@ -1,0 +1,280 @@
+// Package fullnet implements fair leader election on an asynchronous fully
+// connected network via Shamir secret sharing — the paper's Section 1.1
+// reference scenario, where the straightforward construction is resilient to
+// coalitions of size k = ⌈n/2⌉−1 and provably no further.
+//
+// Protocol. Every processor draws a secret d_i ∈ [n], splits it with
+// threshold t = ⌈n/2⌉ and sends share x to processor x. A processor reveals
+// the shares it holds (one per owner, broadcast to everyone) only once it
+// has received a share from every owner — so every owner is committed to a
+// unique reconstructible secret before anyone's reveal discloses anything.
+// When all n² reveals are in, each processor checks every owner's n shares
+// lie on one degree-(t−1) polynomial (cheater detection), reconstructs,
+// verifies its own secret survived, and elects leader Σd_i mod n + 1.
+//
+// Resilience shape. A coalition of k < t processors holds fewer than t
+// shares of any honest secret when it must commit its own, so the election
+// stays uniform. At k ≥ t the coalition pools its phase-1 shares, privately
+// reconstructs every honest secret before distributing the last member's
+// shares, and picks that member's secret to force any target — matching the
+// paper's impossibility threshold of ⌈n/2⌉ exactly (Theorem 7.2: a complete
+// graph is a 2-node simulated tree with parts of size ⌈n/2⌉).
+package fullnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/shamir"
+	"repro/internal/sim"
+)
+
+// Message type tags, packed into int64 payloads as
+// [type:2][owner:12][value:31].
+const (
+	msgShare  int64 = 1 // phase 1: owner → holder (holder's x = recipient)
+	msgReveal int64 = 2 // phase 2: holder broadcasts its share of owner
+	msgRelay  int64 = 3 // coalition-internal: drone forwards a held share
+)
+
+func pack(kind, owner, value int64) int64 {
+	return kind | owner<<2 | value<<14
+}
+
+func unpack(m int64) (kind, owner, value int64) {
+	return m & 3, (m >> 2) & 0xfff, m >> 14
+}
+
+// Election configures fair leader election on the complete graph K_n.
+type Election struct {
+	n int
+	t int
+}
+
+// New builds an election for n processors; threshold 0 picks ⌈n/2⌉.
+func New(n, threshold int) (*Election, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("fullnet: need n ≥ 3, got %d", n)
+	}
+	if n > 0xfff {
+		return nil, fmt.Errorf("fullnet: n=%d exceeds the payload owner field", n)
+	}
+	if threshold == 0 {
+		threshold = (n + 1) / 2
+	}
+	if threshold < 2 || threshold > n {
+		return nil, fmt.Errorf("fullnet: threshold %d out of range [2,%d]", threshold, n)
+	}
+	return &Election{n: n, t: threshold}, nil
+}
+
+// Threshold returns the reconstruction threshold t.
+func (e *Election) Threshold() int { return e.t }
+
+func (e *Election) edges() []sim.Edge {
+	edges := make([]sim.Edge, 0, e.n*(e.n-1))
+	for i := 1; i <= e.n; i++ {
+		for j := 1; j <= e.n; j++ {
+			if i != j {
+				edges = append(edges, sim.Edge{From: sim.ProcID(i), To: sim.ProcID(j)})
+			}
+		}
+	}
+	return edges
+}
+
+// Run executes one honest election.
+func (e *Election) Run(seed int64, sched sim.Scheduler) (sim.Result, error) {
+	strategies := make([]sim.Strategy, e.n)
+	for i := 1; i <= e.n; i++ {
+		strategies[i-1] = &participant{n: e.n, t: e.t, id: i}
+	}
+	return e.execute(strategies, seed, sched)
+}
+
+// RunAttack executes an election with a coalition of size k (occupying the
+// last k positions) trying to force target. Planning fails for k below the
+// threshold: the coalition cannot reconstruct any honest secret before its
+// last member commits, which is the resilience certificate.
+func (e *Election) RunAttack(k int, target int64, seed int64, sched sim.Scheduler) (sim.Result, error) {
+	if target < 1 || target > int64(e.n) {
+		return sim.Result{}, fmt.Errorf("fullnet: target %d out of range [1,%d]", target, e.n)
+	}
+	if k < e.t {
+		return sim.Result{}, fmt.Errorf(
+			"fullnet: coalition of %d holds fewer than t=%d shares per honest secret; early reconstruction impossible (resilient regime)",
+			k, e.t)
+	}
+	if k >= e.n {
+		return sim.Result{}, errors.New("fullnet: coalition covers the whole network")
+	}
+	closer := e.n // the last member commits last
+	strategies := make([]sim.Strategy, e.n)
+	for i := 1; i <= e.n-k; i++ {
+		strategies[i-1] = &participant{n: e.n, t: e.t, id: i}
+	}
+	for i := e.n - k + 1; i <= e.n; i++ {
+		if i == closer {
+			strategies[i-1] = &closerAdversary{
+				participant: participant{n: e.n, t: e.t, id: i},
+				honestCount: e.n - k,
+				targetSum:   ring.SumForLeader(target, e.n),
+			}
+		} else {
+			strategies[i-1] = &droneAdversary{
+				participant: participant{n: e.n, t: e.t, id: i},
+				closer:      sim.ProcID(closer),
+			}
+		}
+	}
+	return e.execute(strategies, seed, sched)
+}
+
+func (e *Election) execute(strategies []sim.Strategy, seed int64, sched sim.Scheduler) (sim.Result, error) {
+	net, err := sim.New(sim.Config{
+		Strategies: strategies,
+		Edges:      e.edges(),
+		Seed:       seed,
+		Scheduler:  sched,
+		StepLimit:  8*e.n*e.n*e.n + 4096,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return net.Run(), nil
+}
+
+// participant is the honest strategy.
+type participant struct {
+	n, t, id int
+
+	secret    int64
+	myShares  []int64 // by owner: the share this processor holds
+	haveShare []bool
+	shareCnt  int
+	revealed  bool
+	reveals   [][]int64 // [owner][holder]
+	revealCnt int
+	done      bool
+}
+
+var _ sim.Strategy = (*participant)(nil)
+
+func (p *participant) Init(ctx *sim.Context) {
+	p.myShares = make([]int64, p.n+1)
+	p.haveShare = make([]bool, p.n+1)
+	p.reveals = make([][]int64, p.n+1)
+	for o := 1; o <= p.n; o++ {
+		p.reveals[o] = make([]int64, p.n+1)
+		for h := range p.reveals[o] {
+			p.reveals[o][h] = -1
+		}
+	}
+	p.secret = ctx.Rand().Int63n(int64(p.n))
+	p.distribute(ctx, p.secret)
+}
+
+// distribute splits and sends the secret's shares (own share kept locally).
+func (p *participant) distribute(ctx *sim.Context, secret int64) {
+	shares, err := shamir.Split(secret, p.t, p.n, ctx.Rand())
+	if err != nil {
+		ctx.Abort()
+		return
+	}
+	for _, s := range shares {
+		if int(s.X) == p.id {
+			p.acceptShare(ctx, int64(p.id), s.Value)
+			continue
+		}
+		ctx.SendTo(sim.ProcID(s.X), pack(msgShare, int64(p.id), s.Value))
+	}
+}
+
+func (p *participant) acceptShare(ctx *sim.Context, owner, value int64) {
+	if owner < 1 || owner > int64(p.n) || value < 0 || value >= shamir.P {
+		ctx.Abort()
+		return
+	}
+	if p.haveShare[owner] {
+		ctx.Abort() // duplicate distribution is a visible deviation
+		return
+	}
+	p.haveShare[owner] = true
+	p.myShares[owner] = value
+	p.shareCnt++
+	if p.shareCnt == p.n && !p.revealed {
+		p.revealed = true
+		// Every owner is now committed; disclose our row.
+		for o := 1; o <= p.n; o++ {
+			p.acceptReveal(ctx, o, p.id, p.myShares[int64(o)])
+			for dst := 1; dst <= p.n; dst++ {
+				if dst != p.id {
+					ctx.SendTo(sim.ProcID(dst), pack(msgReveal, int64(o), p.myShares[o]))
+				}
+			}
+		}
+	}
+}
+
+func (p *participant) acceptReveal(ctx *sim.Context, owner, holder int, value int64) {
+	if owner < 1 || owner > p.n || value < 0 || value >= shamir.P {
+		ctx.Abort()
+		return
+	}
+	if p.reveals[owner][holder] >= 0 {
+		ctx.Abort() // duplicate reveal
+		return
+	}
+	p.reveals[owner][holder] = value
+	p.revealCnt++
+	if p.revealCnt == p.n*p.n {
+		p.finish(ctx)
+	}
+}
+
+func (p *participant) finish(ctx *sim.Context) {
+	if p.done {
+		return
+	}
+	p.done = true
+	var sum int64
+	for o := 1; o <= p.n; o++ {
+		shares := make([]shamir.Share, p.n)
+		for h := 1; h <= p.n; h++ {
+			shares[h-1] = shamir.Share{X: int64(h), Value: p.reveals[o][h]}
+		}
+		ok, err := shamir.Consistent(shares, p.t)
+		if err != nil || !ok {
+			ctx.Abort() // owner o distributed an invalid sharing
+			return
+		}
+		secret, err := shamir.Reconstruct(shares[:p.t])
+		if err != nil {
+			ctx.Abort()
+			return
+		}
+		if o == p.id && secret != p.secret {
+			ctx.Abort() // our own secret was corrupted in flight
+			return
+		}
+		sum = ring.Mod(sum+secret, p.n)
+	}
+	ctx.Terminate(ring.LeaderFromSum(sum, p.n))
+}
+
+func (p *participant) Receive(ctx *sim.Context, from sim.ProcID, m int64) {
+	kind, owner, value := unpack(m)
+	switch kind {
+	case msgShare:
+		if owner != int64(from) {
+			ctx.Abort() // shares must come from their owner
+			return
+		}
+		p.acceptShare(ctx, owner, value)
+	case msgReveal:
+		p.acceptReveal(ctx, int(owner), int(from), value)
+	default:
+		ctx.Abort() // unknown message type
+	}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 20180516}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			table, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if table.ID != exp.ID {
+				t.Errorf("table ID %q, registry ID %q", table.ID, exp.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Errorf("%s produced no rows", exp.ID)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Headers) {
+					t.Errorf("%s: row width %d, header width %d", exp.ID, len(row), len(table.Headers))
+				}
+			}
+			md := table.Markdown()
+			if !strings.Contains(md, "|") || !strings.Contains(md, exp.ID) {
+				t.Errorf("%s: markdown rendering looks broken:\n%s", exp.ID, md)
+			}
+		})
+	}
+}
+
+func TestRegistryOrderAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	last := 0
+	for _, exp := range All() {
+		if seen[exp.ID] {
+			t.Errorf("duplicate experiment ID %s", exp.ID)
+		}
+		seen[exp.ID] = true
+		if n := numeric(exp.ID); n <= last {
+			t.Errorf("registry out of order at %s", exp.ID)
+		} else {
+			last = n
+		}
+		if exp.Run == nil {
+			t.Errorf("%s has no Run function", exp.ID)
+		}
+	}
+	if len(seen) != 15 {
+		t.Errorf("registry has %d experiments, want 15", len(seen))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	table := &Table{
+		ID: "EX", Title: "demo", Claim: "none",
+		Headers: []string{"a", "b"},
+		Notes:   []string{"note"},
+	}
+	table.AddRow("1", "2")
+	md := table.Markdown()
+	for _, want := range []string{"### EX", "| a | b |", "| 1 | 2 |", "> note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

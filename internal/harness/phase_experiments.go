@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/protocols/phaselead"
+	"repro/internal/protocols/sumphase"
+	"repro/internal/ring"
+)
+
+// phaseDeviation bundles a planned PhaseRushing deviation with its protocol.
+type phaseDeviation struct {
+	proto ring.Protocol
+	dev   *ring.Deviation
+	err   error
+}
+
+// phaseRushingDeviation plans the default √n+3 rushing attack against
+// PhaseAsyncLead on a ring of n (used by E6's sync measurements too).
+func phaseRushingDeviation(n int, seed int64) phaseDeviation {
+	proto := phaselead.NewDefault()
+	dev, err := attacks.PhaseRushing{Protocol: proto}.Plan(n, 1, seed)
+	return phaseDeviation{proto: proto, dev: dev, err: err}
+}
+
+// RunE7PhaseResilience measures Theorem 6.1's regime.
+func RunE7PhaseResilience(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "PhaseAsyncLead below threshold: the strongest deviations gain nothing",
+		Claim: "Theorem 6.1: PhaseAsyncLead is ε-k-unbiased for k ≤ √n/10 (w.h.p. over f). Below " +
+			"threshold, steering cannot be scheduled; rushing without steering breaks validity instead of bias; " +
+			"and the best valid deviation (chasing the long segment) leaves the outcome uniform.",
+		Headers: []string{"deviation", "n", "k", "valid rate", "target rate", "ε estimate"},
+	}
+	n := 400
+	trials := 300
+	if cfg.Quick {
+		n = 121
+		trials = 150
+	}
+	proto := phaselead.NewDefault()
+	target := int64(5)
+
+	honest, err := ring.Trials(ring.Spec{N: n, Protocol: proto, Seed: cfg.Seed}, trials)
+	if err != nil {
+		return nil, err
+	}
+	hb := core.Bias(honest)
+	t.AddRow("honest", itoa(n), "0", f3(1-honest.FailureRate()), f3(honest.WinRate(target)), f4(hb.Epsilon))
+
+	// Steering cannot be scheduled at small k.
+	for _, k := range []int{2, attacks.SqrtK(n) / 2} {
+		if k < 2 {
+			continue
+		}
+		_, errPlan := attacks.PhaseRushing{Protocol: proto, K: k}.Plan(n, target, cfg.Seed)
+		feasibility := "plan infeasible (certified)"
+		if errPlan == nil {
+			feasibility = "UNEXPECTEDLY FEASIBLE"
+		}
+		t.AddRow(fmt.Sprintf("steer (k=%d)", k), itoa(n), itoa(k), "—", "—", feasibility)
+	}
+
+	// Rushing without steering: validity collapses, no bias.
+	k := 4
+	noSteer := attacks.PhaseRushing{Protocol: proto, K: k, Mode: attacks.PhaseNoSteer}
+	dist, err := ring.AttackTrials(n, proto, noSteer, target, cfg.Seed, trials/3)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("rush, no steer", itoa(n), itoa(k), f3(1-dist.FailureRate()),
+		f3(dist.WinRate(target)), f4(core.Bias(dist).Epsilon))
+
+	// Chase mode: validity saved, bias provably lost.
+	kChase := 8
+	chase := attacks.PhaseRushing{Protocol: proto, K: kChase, Mode: attacks.PhaseChase}
+	dist, err = ring.AttackTrials(n, proto, chase, target, cfg.Seed, trials)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("rush + chase", itoa(n), itoa(kChase), f3(1-dist.FailureRate()),
+		f3(dist.WinRate(target)), f4(core.Bias(dist).Epsilon))
+	t.Notes = append(t.Notes,
+		"Chase mode steers every short segment to the long segment's output — a value the coalition "+
+			"cannot influence — which is exactly the commitment mechanism of Theorem 6.1's proof.")
+	return t, nil
+}
+
+// RunE8PhaseAttack measures the Section 6 tightness remark.
+func RunE8PhaseAttack(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Rushing with k = √n+3 controls PhaseAsyncLead",
+		Claim: "Section 6 (tightness): with high probability over f, PhaseAsyncLead is not ε-k-resilient " +
+			"for k = √n+3 — every segment is shorter than k, so every adversary owns informed free " +
+			"coordinates of f and steers its segment to the target.",
+		Headers: []string{"n", "k", "l", "trials", "forced rate", "fail rate"},
+	}
+	sizes := []int{100, 400, 1024}
+	trials := 15
+	if cfg.Quick {
+		sizes = []int{100, 400}
+		trials = 8
+	}
+	for _, n := range sizes {
+		proto := phaselead.NewDefault()
+		pcfg, err := proto.Config(n)
+		if err != nil {
+			return nil, err
+		}
+		k := attacks.SqrtK(n) + 3
+		dist, err := ring.AttackTrials(n, proto, attacks.PhaseRushing{Protocol: proto}, 9, cfg.Seed, trials)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(n), itoa(k), itoa(pcfg.L), itoa(trials),
+			f3(dist.WinRate(9)), f3(dist.FailureRate()))
+	}
+	return t, nil
+}
+
+// RunE9SumPhase measures Appendix E.4.
+func RunE9SumPhase(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Phase validation with a sum output falls to four colluders",
+		Claim: "Appendix E.4: without the random function, adversary-validated rounds become a side " +
+			"channel for partial sums; k = 4 controls the outcome. The same deviation against " +
+			"PhaseAsyncLead (with f) is powerless — the motivation for f.",
+		Headers: []string{"protocol", "n", "k", "trials", "forced rate", "fail rate"},
+	}
+	sizes := []int{121, 400}
+	trials := 40
+	if cfg.Quick {
+		sizes = []int{60}
+		trials = 20
+	}
+	for _, n := range sizes {
+		dist, err := ring.AttackTrials(n, sumphase.New(), attacks.SumPhase{}, 4, cfg.Seed, trials)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("SumPhaseLead", itoa(n), "4", itoa(trials), f3(dist.WinRate(4)), f3(dist.FailureRate()))
+
+		proto := phaselead.NewDefault()
+		dist, err = ring.AttackTrials(n, proto, attacks.SumPhase{}, 4, cfg.Seed, trials)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("PhaseAsyncLead (control)", itoa(n), "4", itoa(trials),
+			f3(dist.WinRate(4)), f3(dist.FailureRate()))
+	}
+	return t, nil
+}
+
+// RunE14PhaseTransition sweeps k across the steerability threshold.
+func RunE14PhaseTransition(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "Steerability transition for PhaseAsyncLead rushing",
+		Claim: "Theorem 6.1 vs the tightness remark: equal spacing gives segments ≈ n/k, steerable iff " +
+			"n/k < min(k, l). The forced rate jumps from 1/n to 1 near k ≈ √n.",
+		Headers: []string{"n", "k", "segments ≈", "steer feasible", "forced rate"},
+	}
+	n := 256
+	trials := 10
+	if cfg.Quick {
+		n = 144
+		trials = 5
+	}
+	proto := phaselead.NewDefault()
+	sqrt := attacks.SqrtK(n)
+	for _, k := range []int{sqrt / 4, sqrt / 2, sqrt - 2, sqrt, sqrt + 3, 2 * sqrt} {
+		if k < 2 {
+			continue
+		}
+		attack := attacks.PhaseRushing{Protocol: proto, K: k}
+		_, errPlan := attack.Plan(n, 6, cfg.Seed)
+		feasible := errPlan == nil
+		forced := "0 (infeasible)"
+		if feasible {
+			dist, err := ring.AttackTrials(n, proto, attack, 6, cfg.Seed, trials)
+			if err != nil {
+				return nil, err
+			}
+			forced = f3(dist.WinRate(6))
+		}
+		t.AddRow(itoa(n), itoa(k), itoa((n-k)/k), yes(feasible), forced)
+	}
+	return t, nil
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/fullnet"
+	"repro/internal/sim"
+	"repro/internal/syncnet"
+)
+
+// RunE15ScenarioLandscape reproduces the paper's Section 1.1 scenario table:
+// how the achievable resilience of fair leader election collapses from n−1
+// (synchronous) through ⌈n/2⌉−1 (asynchronous complete graph, Shamir) down
+// to Θ(√n) (the asynchronous ring, the paper's subject, measured in E2–E8).
+func RunE15ScenarioLandscape(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E15",
+		Title: "The resilience landscape across network models",
+		Claim: "Section 1.1: synchronous networks admit (n−1)-resilient fair election (nothing to rush); " +
+			"the asynchronous complete graph admits exactly ⌈n/2⌉−1 via Shamir sharing; the asynchronous " +
+			"ring — this paper's subject — drops to Θ(√n) (PhaseAsyncLead, E7/E8).",
+		Headers: []string{"scenario", "n", "coalition", "trials", "outcome"},
+	}
+	n := 12
+	trials := 400
+	if cfg.Quick {
+		n = 8
+		trials = 150
+	}
+
+	// Synchronous complete graph: n−1 blind colluders, still uniform.
+	counts := make([]int, n+1)
+	fails := 0
+	for s := int64(0); s < int64(trials); s++ {
+		procs, err := syncnet.NewCompleteElection(n, n-1, cfg.Seed+s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := syncnet.Run(procs, n+4)
+		if err != nil {
+			return nil, err
+		}
+		if res.Failed {
+			fails++
+			continue
+		}
+		counts[res.Output]++
+	}
+	maxWin := 0
+	for j := 1; j <= n; j++ {
+		if counts[j] > maxWin {
+			maxWin = counts[j]
+		}
+	}
+	t.AddRow("synchronous complete", itoa(n), fmt.Sprintf("k=n−1=%d (blind constants)", n-1),
+		itoa(trials), fmt.Sprintf("valid %s, max-win %s (uniform: nothing to rush)",
+			f3(1-float64(fails)/float64(trials)), f3(float64(maxWin)/float64(trials))))
+
+	// Synchronous ring with a tampering member: destruction, not bias.
+	tamperFails := 0
+	for s := int64(0); s < 20; s++ {
+		procs := make([]syncnet.Processor, n)
+		for i := 1; i <= n; i++ {
+			p := syncnet.NewRingSyncLead(n, sim.ProcID(i), cfg.Seed+s)
+			if i == 3 {
+				p.Tamper = 1
+			}
+			procs[i-1] = p
+		}
+		res, err := syncnet.Run(procs, n+2)
+		if err != nil {
+			return nil, err
+		}
+		if res.Failed {
+			tamperFails++
+		}
+	}
+	t.AddRow("synchronous ring", itoa(n), "k=1 (tampering forwarder)", "20",
+		fmt.Sprintf("FAIL in %d/20 — tampering destroys, never steers", tamperFails))
+
+	// Asynchronous complete graph with Shamir sharing.
+	e, err := fullnet.New(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	threshold := e.Threshold()
+	if _, err := e.RunAttack(threshold-1, 2, cfg.Seed, nil); err != nil {
+		t.AddRow("async complete + Shamir", itoa(n),
+			fmt.Sprintf("k=⌈n/2⌉−1=%d", threshold-1), "—",
+			"attack refused: below the sharing threshold (resilient, paper-optimal)")
+	} else {
+		t.AddRow("async complete + Shamir", itoa(n),
+			fmt.Sprintf("k=%d", threshold-1), "—", "UNEXPECTEDLY FEASIBLE")
+	}
+	forced := 0
+	atkTrials := 25
+	for s := int64(0); s < int64(atkTrials); s++ {
+		res, err := e.RunAttack(threshold, 2, cfg.Seed+s, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Failed && res.Output == 2 {
+			forced++
+		}
+	}
+	t.AddRow("async complete + Shamir", itoa(n),
+		fmt.Sprintf("k=⌈n/2⌉=%d", threshold), itoa(atkTrials),
+		fmt.Sprintf("forced rate %s — pooled shares reconstruct early", f3(float64(forced)/float64(atkTrials))))
+
+	t.AddRow("async ring (this paper)", "—", "Θ(√n) threshold", "—",
+		"see E7 (resilient ≤ √n/10) and E8 (controlled at √n+3)")
+	t.Notes = append(t.Notes,
+		"The asynchronous ring is the hard case precisely because information flow is serial: "+
+			"buffering (A-LEADuni) buys n^{1/4}, phase validation + a random function (PhaseAsyncLead) buys √n, "+
+			"and Theorem 7.2 caps every topology at ⌈n/2⌉.")
+	return t, nil
+}

@@ -1,0 +1,118 @@
+package alead
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// sendCounter counts sends per processor.
+type sendCounter struct {
+	sent []int
+}
+
+func newSendCounter(n int) *sendCounter { return &sendCounter{sent: make([]int, n+1)} }
+
+func (c *sendCounter) OnSend(from sim.ProcID, _ int, _ sim.ProcID, _ int64) { c.sent[from]++ }
+func (c *sendCounter) OnDeliver(sim.ProcID, int, sim.ProcID, int64)         {}
+func (c *sendCounter) OnTerminate(sim.ProcID, int64, bool)                  {}
+
+// honestSecrets reproduces the secrets the processors draw for a given seed:
+// each draws one Int63n(n) from its derived PRNG at Init.
+func honestSecrets(n int, seed int64) []int64 {
+	secrets := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		secrets[i] = sim.DeriveRand(seed, sim.ProcID(i)).Int63n(int64(n))
+	}
+	return secrets
+}
+
+func TestHonestElectsSumLeader(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16, 64} {
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: honest run failed: %v", n, seed, res.Reason)
+			}
+			secrets := honestSecrets(n, seed)
+			var sum int64
+			for i := 1; i <= n; i++ {
+				sum += secrets[i]
+			}
+			want := ring.LeaderFromSum(sum, n)
+			if res.Output != want {
+				t.Fatalf("n=%d seed=%d: leader = %d, want %d", n, seed, res.Output, want)
+			}
+		}
+	}
+}
+
+func TestHonestMessageCounts(t *testing.T) {
+	const n = 17
+	counter := newSendCounter(n)
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: 7, Tracer: counter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	for i := 1; i <= n; i++ {
+		if counter.sent[i] != n {
+			t.Errorf("processor %d sent %d messages, want n=%d", i, counter.sent[i], n)
+		}
+	}
+	if res.Delivered != n*n {
+		t.Errorf("delivered %d messages, want n² = %d", res.Delivered, n*n)
+	}
+}
+
+func TestScheduleIndependence(t *testing.T) {
+	// On a unidirectional ring all oblivious schedules yield the same
+	// outcome (Section 2): each processor has a single incoming FIFO link.
+	const n = 12
+	scheds := []sim.Scheduler{sim.FIFOScheduler{}, sim.LIFOScheduler{}, sim.NewRandomScheduler(99)}
+	var outputs []int64
+	for _, s := range scheds {
+		res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: 5, Scheduler: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("failed under %T: %v", s, res.Reason)
+		}
+		outputs = append(outputs, res.Output)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("outputs differ across schedules: %v", outputs)
+		}
+	}
+}
+
+func TestHonestUniformity(t *testing.T) {
+	// Coarse uniformity check; the statistically rigorous test lives in
+	// the stats package tests.
+	const (
+		n      = 8
+		trials = 4000
+	)
+	dist, err := ring.Trials(ring.Spec{N: n, Protocol: New(), Seed: 321}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Failures() != 0 {
+		t.Fatalf("%d honest trials failed", dist.Failures())
+	}
+	want := float64(trials) / float64(n)
+	for j := 1; j <= n; j++ {
+		got := float64(dist.Counts[j])
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("leader %d elected %v times, want about %v", j, got, want)
+		}
+	}
+}

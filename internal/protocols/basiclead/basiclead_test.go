@@ -1,0 +1,82 @@
+package basiclead
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func TestHonestElectsSumLeader(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 31} {
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: honest run failed: %v", n, seed, res.Reason)
+			}
+			var sum int64
+			for i := 1; i <= n; i++ {
+				sum += sim.DeriveRand(seed, sim.ProcID(i)).Int63n(int64(n))
+			}
+			if want := ring.LeaderFromSum(sum, n); res.Output != want {
+				t.Fatalf("n=%d seed=%d: leader %d, want %d", n, seed, res.Output, want)
+			}
+		}
+	}
+}
+
+func TestMessageComplexityIsNSquared(t *testing.T) {
+	const n = 23
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	if res.Delivered != n*n {
+		t.Errorf("delivered %d, want n²=%d", res.Delivered, n*n)
+	}
+}
+
+func TestHonestUniformity(t *testing.T) {
+	const (
+		n      = 8
+		trials = 4000
+	)
+	dist, err := ring.Trials(ring.Spec{N: n, Protocol: New(), Seed: 17}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Failures() != 0 {
+		t.Fatalf("%d honest trials failed", dist.Failures())
+	}
+	want := float64(trials) / n
+	for j := 1; j <= n; j++ {
+		if got := float64(dist.Counts[j]); got < want*0.7 || got > want*1.3 {
+			t.Errorf("leader %d elected %v times, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestScheduleIndependence(t *testing.T) {
+	const n = 9
+	var first int64
+	for i, s := range []sim.Scheduler{sim.FIFOScheduler{}, sim.LIFOScheduler{}, sim.NewRandomScheduler(2)} {
+		res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: 4, Scheduler: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("failed under %T: %v", s, res.Reason)
+		}
+		if i == 0 {
+			first = res.Output
+		} else if res.Output != first {
+			t.Fatalf("outputs differ across schedules")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package phaselead
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// counter tracks per-processor sends and deliveries.
+type counter struct {
+	sent, recv []int
+}
+
+func newCounter(n int) *counter {
+	return &counter{sent: make([]int, n+1), recv: make([]int, n+1)}
+}
+
+func (c *counter) OnSend(from sim.ProcID, _ int, _ sim.ProcID, _ int64) { c.sent[from]++ }
+func (c *counter) OnDeliver(to sim.ProcID, _ int, _ sim.ProcID, _ int64) {
+	c.recv[to]++
+}
+func (c *counter) OnTerminate(sim.ProcID, int64, bool) {}
+
+func TestHonestRunSucceeds(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 16, 50, 121} {
+		for seed := int64(0); seed < 3; seed++ {
+			res, err := ring.Run(ring.Spec{N: n, Protocol: NewDefault(), Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: honest run failed: %v", n, seed, res.Reason)
+			}
+			if res.Output < 1 || res.Output > int64(n) {
+				t.Fatalf("n=%d seed=%d: output %d out of range", n, seed, res.Output)
+			}
+		}
+	}
+}
+
+func TestHonestMessageCounts(t *testing.T) {
+	const n = 13
+	c := newCounter(n)
+	res, err := ring.Run(ring.Spec{N: n, Protocol: NewDefault(), Seed: 3, Tracer: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	for i := 1; i <= n; i++ {
+		if c.sent[i] != 2*n {
+			t.Errorf("processor %d sent %d, want 2n=%d", i, c.sent[i], 2*n)
+		}
+		if c.recv[i] != 2*n {
+			t.Errorf("processor %d received %d, want 2n=%d", i, c.recv[i], 2*n)
+		}
+	}
+	if res.Delivered != 2*n*n {
+		t.Errorf("delivered %d, want 2n²=%d", res.Delivered, 2*n*n)
+	}
+}
+
+func TestOutputMatchesFunction(t *testing.T) {
+	// The common output must equal f applied to the true data values and
+	// the true first n−l validation values, reconstructed from the seeds.
+	const n = 19
+	proto := New(Params{L: 5, FuncSeed: 77})
+	cfg, err := proto.Config(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := ring.Run(ring.Spec{N: n, Protocol: proto, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("seed=%d: failed: %v", seed, res.Reason)
+		}
+		data := make([]int64, n+1)
+		vals := make([]int64, n+1)
+		for i := 1; i <= n; i++ {
+			rng := sim.DeriveRand(seed, sim.ProcID(i))
+			data[i] = rng.Int63n(int64(n))
+			vals[i] = rng.Int63n(cfg.M)
+		}
+		if want := cfg.Output(data, vals); res.Output != want {
+			t.Fatalf("seed=%d: output %d, want f(...)=%d", seed, res.Output, want)
+		}
+	}
+}
+
+func TestScheduleIndependence(t *testing.T) {
+	const n = 11
+	var first int64
+	for i, s := range []sim.Scheduler{sim.FIFOScheduler{}, sim.LIFOScheduler{}, sim.NewRandomScheduler(4)} {
+		res, err := ring.Run(ring.Spec{N: n, Protocol: NewDefault(), Seed: 8, Scheduler: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("failed under %T: %v", s, res.Reason)
+		}
+		if i == 0 {
+			first = res.Output
+		} else if res.Output != first {
+			t.Fatalf("outputs differ across schedules: %d vs %d", res.Output, first)
+		}
+	}
+}
+
+func TestHonestUniformity(t *testing.T) {
+	const (
+		n      = 8
+		trials = 4000
+	)
+	dist, err := ring.Trials(ring.Spec{N: n, Protocol: NewDefault(), Seed: 99}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Failures() != 0 {
+		t.Fatalf("%d honest trials failed", dist.Failures())
+	}
+	want := float64(trials) / float64(n)
+	for j := 1; j <= n; j++ {
+		got := float64(dist.Counts[j])
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("leader %d elected %v times, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Params{L: -1}).Config(10); err == nil {
+		t.Error("negative L accepted")
+	}
+	if _, err := New(Params{L: 11}).Config(10); err == nil {
+		t.Error("L > n accepted")
+	}
+	if _, err := New(Params{M: 5}).Config(10); err == nil {
+		t.Error("M < n accepted")
+	}
+	if _, err := NewDefault().Config(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestDefaultL(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{4, 4},     // clamped to n
+		{100, 100}, // 10√100 = 100 = n
+		{400, 200}, // 10·20
+		{10000, 1000},
+	}
+	for _, tt := range tests {
+		if got := DefaultL(tt.n); got != tt.want {
+			t.Errorf("DefaultL(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestMalformedMessageAborts(t *testing.T) {
+	// A single deviator sending an out-of-range data value must be caught:
+	// its honest successor aborts and the outcome is FAIL.
+	const n = 9
+	dev := &ring.Deviation{
+		Coalition:  []sim.ProcID{4},
+		Strategies: map[sim.ProcID]sim.Strategy{4: &garbageSender{}},
+	}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: NewDefault(), Deviation: dev, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("garbage sender not caught")
+	}
+}
+
+// garbageSender emits an out-of-range value on first contact and then stalls.
+type garbageSender struct{ fired bool }
+
+func (g *garbageSender) Init(*sim.Context) {}
+func (g *garbageSender) Receive(ctx *sim.Context, _ sim.ProcID, _ int64) {
+	if !g.fired {
+		g.fired = true
+		ctx.Send(1 << 40)
+	}
+}

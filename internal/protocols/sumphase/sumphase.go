@@ -1,0 +1,187 @@
+// Package sumphase implements the protocol variant that motivates
+// PhaseAsyncLead's random function (Appendix E.4): A-LEADuni's
+// sum-of-secrets output combined with the phase-validation mechanism, but
+// WITHOUT the random function f. The phase mechanism keeps everyone
+// k-synchronized, yet the sum output is fatally compressible: adversaries can
+// piggyback partial sums of the honest secrets on validation rounds whose
+// validator is a coalition member, learn the total long before their
+// commitment points, and control the outcome with just k = 4 colluders — see
+// attacks.SumPhase. The package exists purely as the experimental control
+// demonstrating why f is necessary.
+package sumphase
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Protocol is the sum-output phase protocol. The zero value is ready to use.
+type Protocol struct {
+	// M is the validation alphabet size; 0 picks 2n².
+	M int64
+}
+
+var _ ring.Protocol = Protocol{}
+
+// New returns the sum-output phase protocol with default parameters.
+func New() Protocol { return Protocol{} }
+
+// Name implements ring.Protocol.
+func (Protocol) Name() string { return "SumPhaseLead" }
+
+// ValidationAlphabet resolves the validation alphabet size for ring size n.
+func (p Protocol) ValidationAlphabet(n int) int64 {
+	if p.M != 0 {
+		return p.M
+	}
+	return 2 * int64(n) * int64(n)
+}
+
+// Strategies implements ring.Protocol.
+func (p Protocol) Strategies(n int) ([]sim.Strategy, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sumphase: need n ≥ 2, got %d", n)
+	}
+	m := p.ValidationAlphabet(n)
+	if m < int64(n) {
+		return nil, fmt.Errorf("sumphase: M=%d must be at least n=%d", m, n)
+	}
+	strategies := make([]sim.Strategy, n)
+	strategies[0] = &origin{n: n, m: m}
+	for i := 1; i < n; i++ {
+		strategies[i] = &normal{n: n, m: m, id: i + 1}
+	}
+	return strategies, nil
+}
+
+// normal is a non-origin processor: identical phase mechanics to
+// PhaseAsyncLead, but the final output is the sum of the data values.
+type normal struct {
+	n        int
+	m        int64
+	id       int
+	d, v     int64
+	buffer   int64
+	sum      int64
+	round    int
+	received int
+}
+
+var _ sim.Strategy = (*normal)(nil)
+
+func (p *normal) Init(ctx *sim.Context) {
+	p.d = ctx.Rand().Int63n(int64(p.n))
+	p.v = ctx.Rand().Int63n(p.m)
+	p.buffer = p.d
+}
+
+func (p *normal) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	p.received++
+	if p.received%2 == 1 {
+		p.dataStep(ctx, value)
+	} else {
+		p.validationStep(ctx, value)
+	}
+}
+
+func (p *normal) dataStep(ctx *sim.Context, value int64) {
+	if value < 0 || value >= int64(p.n) {
+		ctx.Abort()
+		return
+	}
+	ctx.Send(p.buffer)
+	p.round++
+	p.buffer = value
+	p.sum = ring.Mod(p.sum+value, p.n)
+	if p.round == p.id {
+		ctx.Send(p.v)
+	}
+	if p.round == p.n && value != p.d {
+		ctx.Abort()
+	}
+}
+
+func (p *normal) validationStep(ctx *sim.Context, value int64) {
+	if value < 0 || value >= p.m {
+		ctx.Abort()
+		return
+	}
+	if p.round == p.id {
+		if value != p.v {
+			ctx.Abort()
+			return
+		}
+	} else {
+		ctx.Send(value)
+	}
+	if p.round == p.n {
+		ctx.Terminate(ring.LeaderFromSum(p.sum, p.n))
+	}
+}
+
+// origin is processor 1, pacing the rounds exactly as in PhaseAsyncLead.
+type origin struct {
+	n        int
+	m        int64
+	d, v     int64
+	buffer   int64
+	sum      int64
+	round    int
+	received int
+}
+
+var _ sim.Strategy = (*origin)(nil)
+
+func (o *origin) Init(ctx *sim.Context) {
+	o.d = ctx.Rand().Int63n(int64(o.n))
+	o.v = ctx.Rand().Int63n(o.m)
+	o.round = 1
+	ctx.Send(o.d)
+	ctx.Send(o.v)
+}
+
+func (o *origin) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	o.received++
+	if o.received%2 == 1 {
+		o.dataStep(ctx, value)
+	} else {
+		o.validationStep(ctx, value)
+	}
+}
+
+func (o *origin) dataStep(ctx *sim.Context, value int64) {
+	if value < 0 || value >= int64(o.n) {
+		ctx.Abort()
+		return
+	}
+	o.buffer = value
+	o.sum = ring.Mod(o.sum+value, o.n)
+	if o.round == o.n && value != o.d {
+		ctx.Abort()
+	}
+}
+
+func (o *origin) validationStep(ctx *sim.Context, value int64) {
+	if value < 0 || value >= o.m {
+		ctx.Abort()
+		return
+	}
+	if o.round == 1 {
+		if value != o.v {
+			ctx.Abort()
+			return
+		}
+	} else {
+		ctx.Send(value)
+	}
+	if o.round == o.n {
+		// The round-n data receive (the origin's own value, verified in
+		// dataStep) preceded this message, so the sum is complete.
+		ctx.Terminate(ring.LeaderFromSum(o.sum, o.n))
+		return
+	}
+	ctx.Send(o.buffer)
+	o.round++
+}

@@ -1,0 +1,166 @@
+package sumphase
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func TestHonestElectsSumLeader(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 24, 64} {
+		for seed := int64(0); seed < 4; seed++ {
+			res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: honest run failed: %v", n, seed, res.Reason)
+			}
+			var sum int64
+			for i := 1; i <= n; i++ {
+				// Each processor draws d then v; the data value is
+				// the first draw.
+				sum += sim.DeriveRand(seed, sim.ProcID(i)).Int63n(int64(n))
+			}
+			if want := ring.LeaderFromSum(sum, n); res.Output != want {
+				t.Fatalf("n=%d seed=%d: leader %d, want %d", n, seed, res.Output, want)
+			}
+		}
+	}
+}
+
+func TestMessageComplexityIsTwoNSquared(t *testing.T) {
+	const n = 15
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	if res.Delivered != 2*n*n {
+		t.Errorf("delivered %d, want 2n²=%d", res.Delivered, 2*n*n)
+	}
+}
+
+func TestHonestUniformity(t *testing.T) {
+	const (
+		n      = 8
+		trials = 3000
+	)
+	dist, err := ring.Trials(ring.Spec{N: n, Protocol: New(), Seed: 23}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Failures() != 0 {
+		t.Fatalf("%d honest trials failed", dist.Failures())
+	}
+	want := float64(trials) / n
+	for j := 1; j <= n; j++ {
+		if got := float64(dist.Counts[j]); got < want*0.7 || got > want*1.3 {
+			t.Errorf("leader %d elected %v times, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestMalformedValidationAborts(t *testing.T) {
+	const n = 12
+	dev := &ring.Deviation{
+		Coalition:  []sim.ProcID{5},
+		Strategies: map[sim.ProcID]sim.Strategy{5: &badValidator{}},
+	}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Deviation: dev, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("out-of-range validation value not caught")
+	}
+}
+
+// badValidator behaves as a data pipe but emits an enormous validation value.
+type badValidator struct{ received int }
+
+func (b *badValidator) Init(*sim.Context) {}
+func (b *badValidator) Receive(ctx *sim.Context, _ sim.ProcID, v int64) {
+	b.received++
+	if b.received%2 == 1 {
+		ctx.Send(v)
+		return
+	}
+	ctx.Send(1 << 50)
+}
+
+func TestMalformedDataToOriginAborts(t *testing.T) {
+	// Position n feeds the origin directly; an out-of-range data value
+	// must abort the origin.
+	const n = 10
+	dev := &ring.Deviation{
+		Coalition:  []sim.ProcID{n},
+		Strategies: map[sim.ProcID]sim.Strategy{n: &badDataFeeder{}},
+	}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Deviation: dev, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("origin accepted malformed data")
+	}
+}
+
+// badDataFeeder sends one huge data value and then stays a pipe.
+type badDataFeeder struct{ received int }
+
+func (b *badDataFeeder) Init(*sim.Context) {}
+func (b *badDataFeeder) Receive(ctx *sim.Context, _ sim.ProcID, v int64) {
+	b.received++
+	if b.received == 1 {
+		ctx.Send(1 << 40)
+		return
+	}
+	ctx.Send(v)
+}
+
+func TestWrongOwnValueReturnAborts(t *testing.T) {
+	// A deviator that swaps two data values breaks the own-value return
+	// of some honest processor: the execution must fail.
+	const n = 12
+	dev := &ring.Deviation{
+		Coalition:  []sim.ProcID{6},
+		Strategies: map[sim.ProcID]sim.Strategy{6: &swapper{}},
+	}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Deviation: dev, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("value swap not caught")
+	}
+}
+
+// swapper behaves like an honest phase processor but swaps its first two
+// buffered data values.
+type swapper struct {
+	received int
+	held     []int64
+}
+
+func (s *swapper) Init(*sim.Context) {}
+func (s *swapper) Receive(ctx *sim.Context, _ sim.ProcID, v int64) {
+	s.received++
+	if s.received%2 == 0 { // validation: forward
+		ctx.Send(v)
+		return
+	}
+	s.held = append(s.held, v)
+	switch len(s.held) {
+	case 1:
+		ctx.Send(0) // our "own" data value
+	case 2:
+		// hold back the first value one extra round
+		ctx.Send(s.held[1])
+	default:
+		ctx.Send(s.held[len(s.held)-2])
+	}
+}

@@ -1,0 +1,24 @@
+package ring
+
+// Mod reduces v into the canonical residue range [0, n) even for negative v.
+// All secret values and message payloads of the ring protocols live in this
+// residue alphabet (the paper's [n] = {1..n}, shifted to {0..n−1} for clean
+// modular arithmetic; the bijection is fixed by LeaderFromSum).
+func Mod(v int64, n int) int64 {
+	m := v % int64(n)
+	if m < 0 {
+		m += int64(n)
+	}
+	return m
+}
+
+// LeaderFromSum maps a residue sum to the elected leader id in [1..n].
+func LeaderFromSum(sum int64, n int) int64 {
+	return Mod(sum, n) + 1
+}
+
+// SumForLeader is the inverse of LeaderFromSum: the residue an attacker must
+// force the total sum to, so that the given leader is elected.
+func SumForLeader(leader int64, n int) int64 {
+	return Mod(leader-1, n)
+}

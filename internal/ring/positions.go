@@ -1,0 +1,122 @@
+package ring
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Distances returns the honest-segment lengths (l_1..l_k) of a coalition on
+// a ring of size n (Definition 3.1): Distances(i) is the number of
+// consecutive honest processors between coalition member i and the next
+// coalition member clockwise. The coalition must be strictly increasing.
+func Distances(coalition []sim.ProcID, n int) []int {
+	k := len(coalition)
+	dists := make([]int, k)
+	for i := 0; i < k; i++ {
+		next := coalition[(i+1)%k]
+		cur := coalition[i]
+		gap := int(next) - int(cur)
+		if gap <= 0 {
+			gap += n
+		}
+		dists[i] = gap - 1
+	}
+	return dists
+}
+
+// Segment returns the honest segment I_i following coalition member i: the
+// ring positions strictly between coalition[i] and the next coalition member.
+func Segment(coalition []sim.ProcID, i, n int) []sim.ProcID {
+	dists := Distances(coalition, n)
+	seg := make([]sim.ProcID, 0, dists[i])
+	for j := 1; j <= dists[i]; j++ {
+		pos := (int(coalition[i])-1+j)%n + 1
+		seg = append(seg, sim.ProcID(pos))
+	}
+	return seg
+}
+
+// EqualSpaced places k coalition members at (approximately) equal distances
+// on a ring of size n, starting after the origin so that the origin stays
+// honest (as the attacks in Section 4 assume). Segment lengths differ by at
+// most one.
+func EqualSpaced(n, k int) ([]sim.ProcID, error) {
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("ring: cannot place %d adversaries on a ring of %d", k, n)
+	}
+	coalition := make([]sim.ProcID, k)
+	for i := 0; i < k; i++ {
+		// Positions 2..n spread evenly; position 1 (origin) stays honest.
+		pos := 2 + (i*(n-1))/k
+		coalition[i] = sim.ProcID(pos)
+	}
+	for i := 1; i < k; i++ {
+		if coalition[i] <= coalition[i-1] {
+			return nil, fmt.Errorf("ring: %d adversaries collide on a ring of %d", k, n)
+		}
+	}
+	return coalition, nil
+}
+
+// FromDistances places a coalition realizing the given honest-segment
+// lengths (l_1..l_k), starting at the given first position. The sum of
+// distances must equal n−k. The origin (position 1) must stay honest, so
+// first must be ≥ 2 and the layout must not wrap onto position 1.
+func FromDistances(dists []int, n int, first sim.ProcID) ([]sim.ProcID, error) {
+	k := len(dists)
+	total := 0
+	for _, d := range dists {
+		if d < 0 {
+			return nil, fmt.Errorf("ring: negative distance %d", d)
+		}
+		total += d
+	}
+	if total != n-k {
+		return nil, fmt.Errorf("ring: distances sum to %d, want n−k = %d", total, n-k)
+	}
+	coalition := make([]sim.ProcID, k)
+	pos := int(first)
+	for i := 0; i < k; i++ {
+		coalition[i] = sim.ProcID((pos-1)%n + 1)
+		pos += dists[i] + 1
+	}
+	sort.Slice(coalition, func(i, j int) bool { return coalition[i] < coalition[j] })
+	for i := 1; i < k; i++ {
+		if coalition[i] == coalition[i-1] {
+			return nil, fmt.Errorf("ring: coalition positions collide")
+		}
+	}
+	for _, p := range coalition {
+		if p == 1 {
+			return nil, fmt.Errorf("ring: layout covers the origin")
+		}
+	}
+	return coalition, nil
+}
+
+// RandomCoalition selects each non-origin processor independently with
+// probability p, the randomized model of Appendix C. It returns the sorted
+// coalition (possibly empty).
+func RandomCoalition(n int, p float64, seed int64) []sim.ProcID {
+	rng := sim.DeriveRand(seed, sim.ProcID(n)+7)
+	var coalition []sim.ProcID
+	for i := 2; i <= n; i++ {
+		if rng.Float64() < p {
+			coalition = append(coalition, sim.ProcID(i))
+		}
+	}
+	return coalition
+}
+
+// MaxDistance returns the longest honest segment induced by the coalition.
+func MaxDistance(coalition []sim.ProcID, n int) int {
+	maxD := 0
+	for _, d := range Distances(coalition, n) {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}

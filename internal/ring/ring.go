@@ -1,0 +1,126 @@
+// Package ring runs fair-leader-election protocols and adversarial
+// deviations on the asynchronous unidirectional ring, the central topology of
+// the paper. It provides the protocol and attack abstractions shared by all
+// protocol packages, coalition-placement helpers, and a trial harness that
+// estimates outcome distributions.
+package ring
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Protocol is a symmetric ring protocol: it assigns a strategy to every
+// position of a ring of size n. Position 1 is the origin, the only processor
+// that wakes up spontaneously.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Strategies returns the honest strategy vector for a ring of size n.
+	Strategies(n int) ([]sim.Strategy, error)
+}
+
+// Deviation is an adversarial deviation (Definition 2.2): a coalition of
+// processors and the arbitrary strategies they run instead of the protocol.
+// All other processors execute the protocol honestly.
+type Deviation struct {
+	// Coalition lists the adversaries' positions, strictly increasing.
+	Coalition []sim.ProcID
+	// Strategies maps each coalition member to its deviating strategy.
+	Strategies map[sim.ProcID]sim.Strategy
+}
+
+// Validate checks internal consistency against a ring of size n.
+func (d *Deviation) Validate(n int) error {
+	if d == nil {
+		return nil
+	}
+	if len(d.Coalition) == 0 {
+		return errors.New("ring: empty coalition")
+	}
+	prev := sim.ProcID(0)
+	for _, p := range d.Coalition {
+		if p < 1 || int(p) > n {
+			return fmt.Errorf("ring: coalition member %d out of range [1,%d]", p, n)
+		}
+		if p <= prev {
+			return errors.New("ring: coalition not strictly increasing")
+		}
+		prev = p
+		if d.Strategies[p] == nil {
+			return fmt.Errorf("ring: no strategy for coalition member %d", p)
+		}
+	}
+	return nil
+}
+
+// Attack plans an adversarial deviation against a protocol on a ring of size
+// n, trying to force the election of target.
+type Attack interface {
+	// Name identifies the attack in reports.
+	Name() string
+	// Plan returns the deviation for one trial, or an error when no
+	// placement of the attack's coalition is feasible for this n (e.g.
+	// the cubic attack's distance inequalities have no solution). seed
+	// lets attacks with randomized placement (Appendix C) draw their
+	// coalition reproducibly; deterministic attacks ignore it.
+	Plan(n int, target int64, seed int64) (*Deviation, error)
+}
+
+// Spec describes one execution.
+type Spec struct {
+	// N is the ring size.
+	N int
+	// Protocol provides the honest strategies.
+	Protocol Protocol
+	// Deviation, if non-nil, overrides coalition positions.
+	Deviation *Deviation
+	// Seed drives all processor randomness.
+	Seed int64
+	// Scheduler defaults to FIFO (equivalent to any other on a ring).
+	Scheduler sim.Scheduler
+	// Tracer, if non-nil, observes the execution.
+	Tracer sim.Tracer
+	// StepLimit overrides the simulator's default delivery budget.
+	StepLimit int
+}
+
+// Run executes one ring election and returns its result.
+func Run(spec Spec) (sim.Result, error) {
+	if spec.N < 2 {
+		return sim.Result{}, fmt.Errorf("ring: need n ≥ 2, got %d", spec.N)
+	}
+	if spec.Protocol == nil {
+		return sim.Result{}, errors.New("ring: nil protocol")
+	}
+	strategies, err := spec.Protocol.Strategies(spec.N)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("ring: %s strategies: %w", spec.Protocol.Name(), err)
+	}
+	if len(strategies) != spec.N {
+		return sim.Result{}, fmt.Errorf("ring: protocol %s returned %d strategies for n=%d",
+			spec.Protocol.Name(), len(strategies), spec.N)
+	}
+	if err := spec.Deviation.Validate(spec.N); err != nil {
+		return sim.Result{}, err
+	}
+	if spec.Deviation != nil {
+		for p, s := range spec.Deviation.Strategies {
+			strategies[p-1] = s
+		}
+	}
+	net, err := sim.New(sim.Config{
+		Strategies: strategies,
+		Edges:      sim.RingEdges(spec.N),
+		Seed:       spec.Seed,
+		Scheduler:  spec.Scheduler,
+		Tracer:     spec.Tracer,
+		StepLimit:  spec.StepLimit,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return net.Run(), nil
+}

@@ -1,0 +1,234 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestModAndLeaderRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	err := quick.Check(func(v int64, nRaw uint8) bool {
+		n := int(nRaw%63) + 2
+		m := Mod(v, n)
+		if m < 0 || m >= int64(n) {
+			return false
+		}
+		leader := LeaderFromSum(v, n)
+		if leader < 1 || leader > int64(n) {
+			return false
+		}
+		return Mod(SumForLeader(leader, n), n) == m
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistancesSumToNMinusK(t *testing.T) {
+	cases := []struct {
+		n         int
+		coalition []sim.ProcID
+	}{
+		{10, []sim.ProcID{2, 5, 9}},
+		{10, []sim.ProcID{1, 2, 3}},
+		{7, []sim.ProcID{4}},
+		{12, []sim.ProcID{2, 3, 7, 11, 12}},
+	}
+	for _, tc := range cases {
+		dists := Distances(tc.coalition, tc.n)
+		total := 0
+		for _, d := range dists {
+			total += d
+		}
+		if want := tc.n - len(tc.coalition); total != want {
+			t.Errorf("n=%d coalition=%v: distances %v sum to %d, want %d",
+				tc.n, tc.coalition, dists, total, want)
+		}
+	}
+}
+
+func TestSegmentMembers(t *testing.T) {
+	coalition := []sim.ProcID{2, 5, 9}
+	seg := Segment(coalition, 0, 10) // between 2 and 5
+	want := []sim.ProcID{3, 4}
+	if len(seg) != len(want) {
+		t.Fatalf("segment = %v, want %v", seg, want)
+	}
+	for i := range want {
+		if seg[i] != want[i] {
+			t.Fatalf("segment = %v, want %v", seg, want)
+		}
+	}
+	wrap := Segment(coalition, 2, 10) // between 9 and 2, through origin
+	wantWrap := []sim.ProcID{10, 1}
+	for i := range wantWrap {
+		if wrap[i] != wantWrap[i] {
+			t.Fatalf("wrap segment = %v, want %v", wrap, wantWrap)
+		}
+	}
+}
+
+func TestEqualSpacedProperties(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{16, 4}, {100, 10}, {101, 7}, {50, 24}} {
+		coalition, err := EqualSpaced(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if len(coalition) != tc.k {
+			t.Fatalf("n=%d k=%d: got %d members", tc.n, tc.k, len(coalition))
+		}
+		for _, p := range coalition {
+			if p == 1 {
+				t.Errorf("n=%d k=%d: origin in coalition", tc.n, tc.k)
+			}
+		}
+		dists := Distances(coalition, tc.n)
+		minD, maxD := tc.n, 0
+		for _, d := range dists {
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		if maxD-minD > 2 {
+			t.Errorf("n=%d k=%d: uneven spacing %v", tc.n, tc.k, dists)
+		}
+	}
+	if _, err := EqualSpaced(10, 10); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := EqualSpaced(10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestFromDistancesRoundTrip(t *testing.T) {
+	dists := []int{3, 2, 1}
+	coalition, err := FromDistances(dists, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Distances(coalition, 9)
+	for i := range dists {
+		if got[i] != dists[i] {
+			t.Fatalf("distances %v round-tripped to %v", dists, got)
+		}
+	}
+	if _, err := FromDistances([]int{5, 5}, 9, 2); err == nil {
+		t.Error("wrong total accepted")
+	}
+	if _, err := FromDistances([]int{-1, 8}, 9, 2); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestRandomCoalitionReproducible(t *testing.T) {
+	a := RandomCoalition(100, 0.2, 5)
+	b := RandomCoalition(100, 0.2, 5)
+	c := RandomCoalition(100, 0.2, 6)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different coalitions")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different coalitions")
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds, identical coalitions (suspicious)")
+	}
+	for _, p := range a {
+		if p == 1 {
+			t.Error("origin drawn into random coalition")
+		}
+	}
+}
+
+func TestDeviationValidate(t *testing.T) {
+	good := &Deviation{
+		Coalition:  []sim.ProcID{2, 5},
+		Strategies: map[sim.ProcID]sim.Strategy{2: noop{}, 5: noop{}},
+	}
+	if err := good.Validate(8); err != nil {
+		t.Errorf("valid deviation rejected: %v", err)
+	}
+	var nilDev *Deviation
+	if err := nilDev.Validate(8); err != nil {
+		t.Errorf("nil deviation rejected: %v", err)
+	}
+	bad := &Deviation{Coalition: []sim.ProcID{5, 2},
+		Strategies: map[sim.ProcID]sim.Strategy{2: noop{}, 5: noop{}}}
+	if err := bad.Validate(8); err == nil {
+		t.Error("unsorted coalition accepted")
+	}
+	missing := &Deviation{Coalition: []sim.ProcID{2}}
+	if err := missing.Validate(8); err == nil {
+		t.Error("missing strategy accepted")
+	}
+}
+
+type noop struct{}
+
+func (noop) Init(*sim.Context)                       {}
+func (noop) Receive(*sim.Context, sim.ProcID, int64) {}
+
+func TestTrialsReproducible(t *testing.T) {
+	spec := Spec{N: 8, Protocol: testProto{}, Seed: 99}
+	d1, err := Trials(spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Trials(spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 8; j++ {
+		if d1.Counts[j] != d2.Counts[j] {
+			t.Fatalf("trials not reproducible: %v vs %v", d1.Counts, d2.Counts)
+		}
+	}
+}
+
+// testProto elects the processor indexed by the origin's first random draw.
+type testProto struct{}
+
+func (testProto) Name() string { return "test" }
+
+func (testProto) Strategies(n int) ([]sim.Strategy, error) {
+	ss := make([]sim.Strategy, n)
+	for i := range ss {
+		ss[i] = &testStrategy{n: n, isOrigin: i == 0}
+	}
+	return ss, nil
+}
+
+type testStrategy struct {
+	n        int
+	isOrigin bool
+}
+
+func (s *testStrategy) Init(ctx *sim.Context) {
+	if s.isOrigin {
+		leader := ctx.Rand().Int63n(int64(s.n)) + 1
+		ctx.Send(leader)
+		ctx.Terminate(leader)
+	}
+}
+
+func (s *testStrategy) Receive(ctx *sim.Context, _ sim.ProcID, v int64) {
+	ctx.Send(v)
+	ctx.Terminate(v)
+}

@@ -1,0 +1,125 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Distribution aggregates outcomes over many independent trials of one
+// configuration. It is the raw material for every bias estimate in the
+// experiment suite.
+type Distribution struct {
+	// N is the ring size.
+	N int
+	// Trials is the number of executions aggregated.
+	Trials int
+	// Counts[j] is the number of trials electing leader j (index 0 unused).
+	Counts []int
+	// FailCounts[r] is the number of trials failing with reason r.
+	FailCounts [5]int
+	// Messages is the total number of delivered messages over all trials.
+	Messages int
+}
+
+// NewDistribution returns an empty distribution for ring size n.
+func NewDistribution(n int) *Distribution {
+	return &Distribution{N: n, Counts: make([]int, n+1)}
+}
+
+// Add records one execution result.
+func (d *Distribution) Add(res sim.Result) {
+	d.Trials++
+	d.Messages += res.Delivered
+	if res.Failed {
+		d.FailCounts[res.Reason]++
+		return
+	}
+	if res.Output >= 1 && res.Output <= int64(d.N) {
+		d.Counts[res.Output]++
+	} else {
+		// A valid-but-out-of-range output counts as a mismatchy failure;
+		// honest protocols never produce it.
+		d.FailCounts[sim.FailMismatch]++
+	}
+}
+
+// Failures returns the total number of failed trials.
+func (d *Distribution) Failures() int {
+	total := 0
+	for _, c := range d.FailCounts {
+		total += c
+	}
+	return total
+}
+
+// WinRate returns the fraction of trials electing the given leader.
+func (d *Distribution) WinRate(leader int64) float64 {
+	if d.Trials == 0 {
+		return 0
+	}
+	return float64(d.Counts[leader]) / float64(d.Trials)
+}
+
+// FailureRate returns the fraction of trials with outcome FAIL.
+func (d *Distribution) FailureRate() float64 {
+	if d.Trials == 0 {
+		return 0
+	}
+	return float64(d.Failures()) / float64(d.Trials)
+}
+
+// MaxWin returns the most frequently elected leader and its win rate.
+func (d *Distribution) MaxWin() (leader int64, rate float64) {
+	best, bestCount := int64(0), -1
+	for j := 1; j <= d.N; j++ {
+		if d.Counts[j] > bestCount {
+			best, bestCount = int64(j), d.Counts[j]
+		}
+	}
+	return best, d.WinRate(best)
+}
+
+// String summarizes the distribution.
+func (d *Distribution) String() string {
+	leader, rate := d.MaxWin()
+	return fmt.Sprintf("n=%d trials=%d fail=%.3f maxwin=%d@%.3f",
+		d.N, d.Trials, d.FailureRate(), leader, rate)
+}
+
+// Trials runs the given spec repeatedly with derived seeds and aggregates
+// the outcomes. The spec's Seed field acts as the base seed; trial t runs
+// with an independently mixed seed, so trials are decorrelated but the whole
+// batch is reproducible.
+func Trials(spec Spec, trials int) (*Distribution, error) {
+	dist := NewDistribution(spec.N)
+	for t := 0; t < trials; t++ {
+		trialSpec := spec
+		trialSpec.Seed = int64(sim.Mix64(uint64(spec.Seed), uint64(t)+0x1234))
+		res, err := Run(trialSpec)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+		dist.Add(res)
+	}
+	return dist, nil
+}
+
+// AttackTrials plans the attack once per trial (attacks may randomize
+// placement from the trial seed) and aggregates outcomes.
+func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int) (*Distribution, error) {
+	dist := NewDistribution(n)
+	for t := 0; t < trials; t++ {
+		seed := int64(sim.Mix64(uint64(baseSeed), uint64(t)+0x9e37))
+		dev, err := attack.Plan(n, target, seed)
+		if err != nil {
+			return nil, fmt.Errorf("plan %s (n=%d): %w", attack.Name(), n, err)
+		}
+		res, err := Run(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+		dist.Add(res)
+	}
+	return dist, nil
+}

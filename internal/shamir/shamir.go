@@ -1,0 +1,177 @@
+// Package shamir implements Shamir's secret sharing over the prime field
+// GF(2³¹−1), the substrate behind the paper's asynchronous fully-connected
+// scenario (Section 1.1): "for an asynchronous fully connected network, they
+// apply Shamir's secret sharing scheme in a straightforward manner and get
+// an optimal resilience result of k = n/2−1".
+//
+// A secret s is embedded as the constant term of a uniformly random degree
+// t−1 polynomial; share x (x = 1..n) is the polynomial's value at x. Any t
+// shares reconstruct s by Lagrange interpolation at 0; any t−1 shares are
+// consistent with every candidate secret and therefore reveal nothing —
+// both facts have property tests.
+//
+// The modulus 2³¹−1 is a Mersenne prime: field elements fit in 31 bits, so
+// products fit in int64 without overflow and shares embed directly into the
+// simulator's int64 message payloads.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// P is the field modulus, the Mersenne prime 2³¹−1.
+const P int64 = 1<<31 - 1
+
+// mod reduces into [0, P).
+func mod(v int64) int64 {
+	v %= P
+	if v < 0 {
+		v += P
+	}
+	return v
+}
+
+// mulmod multiplies in the field (operands already reduced; the product of
+// two 31-bit values fits in 62 bits).
+func mulmod(a, b int64) int64 { return a * b % P }
+
+// powmod computes a^e in the field.
+func powmod(a, e int64) int64 {
+	result := int64(1)
+	a = mod(a)
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulmod(result, a)
+		}
+		a = mulmod(a, a)
+		e >>= 1
+	}
+	return result
+}
+
+// invmod computes the multiplicative inverse via Fermat's little theorem.
+func invmod(a int64) (int64, error) {
+	if mod(a) == 0 {
+		return 0, errors.New("shamir: zero has no inverse")
+	}
+	return powmod(a, P-2), nil
+}
+
+// Share is one point of a sharing: the polynomial evaluated at X.
+type Share struct {
+	X     int64 // evaluation point, 1..n
+	Value int64 // field element
+}
+
+// Split shares the secret among n parties with reconstruction threshold t:
+// any t shares determine the secret, any fewer are independent of it.
+func Split(secret int64, t, n int, rng *rand.Rand) ([]Share, error) {
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("shamir: threshold %d out of range [1,%d]", t, n)
+	}
+	if int64(n) >= P {
+		return nil, fmt.Errorf("shamir: too many parties (%d)", n)
+	}
+	if secret < 0 || secret >= P {
+		return nil, fmt.Errorf("shamir: secret %d outside GF(%d)", secret, P)
+	}
+	coeffs := make([]int64, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		coeffs[i] = rng.Int63n(P)
+	}
+	shares := make([]Share, n)
+	for x := 1; x <= n; x++ {
+		shares[x-1] = Share{X: int64(x), Value: eval(coeffs, int64(x))}
+	}
+	return shares, nil
+}
+
+// eval computes the polynomial at x by Horner's rule.
+func eval(coeffs []int64, x int64) int64 {
+	var acc int64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = mod(mulmod(acc, x) + coeffs[i])
+	}
+	return acc
+}
+
+// Reconstruct recovers the secret from at least one share per distinct
+// evaluation point, using Lagrange interpolation at 0 over the first
+// len(shares) points supplied.
+func Reconstruct(shares []Share) (int64, error) {
+	if len(shares) == 0 {
+		return 0, errors.New("shamir: no shares")
+	}
+	seen := make(map[int64]bool, len(shares))
+	for _, s := range shares {
+		if s.X <= 0 || s.X >= P {
+			return 0, fmt.Errorf("shamir: invalid evaluation point %d", s.X)
+		}
+		if seen[s.X] {
+			return 0, fmt.Errorf("shamir: duplicate evaluation point %d", s.X)
+		}
+		seen[s.X] = true
+	}
+	var secret int64
+	for i, si := range shares {
+		num, den := int64(1), int64(1)
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			num = mulmod(num, mod(-sj.X))
+			den = mulmod(den, mod(si.X-sj.X))
+		}
+		inv, err := invmod(den)
+		if err != nil {
+			return 0, err
+		}
+		secret = mod(secret + mulmod(si.Value, mulmod(num, inv)))
+	}
+	return secret, nil
+}
+
+// Consistent reports whether all shares lie on one polynomial of degree
+// < t: the receiver-side cheater detection used by the fully-connected
+// election. It interpolates from the first t shares and checks the rest.
+func Consistent(shares []Share, t int) (bool, error) {
+	if len(shares) < t {
+		return false, fmt.Errorf("shamir: %d shares below threshold %d", len(shares), t)
+	}
+	base := shares[:t]
+	for _, probe := range shares[t:] {
+		v, err := interpolateAt(base, probe.X)
+		if err != nil {
+			return false, err
+		}
+		if v != probe.Value {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// interpolateAt evaluates the unique degree-(len(base)−1) polynomial
+// through base at x.
+func interpolateAt(base []Share, x int64) (int64, error) {
+	var result int64
+	for i, si := range base {
+		num, den := int64(1), int64(1)
+		for j, sj := range base {
+			if i == j {
+				continue
+			}
+			num = mulmod(num, mod(x-sj.X))
+			den = mulmod(den, mod(si.X-sj.X))
+		}
+		inv, err := invmod(den)
+		if err != nil {
+			return 0, err
+		}
+		result = mod(result + mulmod(si.Value, mulmod(num, inv)))
+	}
+	return result, nil
+}

@@ -1,0 +1,132 @@
+package shamir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(raw int64, tRaw, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		threshold := int(tRaw)%n + 1
+		secret := mod(raw)
+		shares, err := Split(secret, threshold, n, rng)
+		if err != nil {
+			return false
+		}
+		// Any t-subset reconstructs.
+		perm := rng.Perm(n)[:threshold]
+		subset := make([]Share, threshold)
+		for i, idx := range perm {
+			subset[i] = shares[idx]
+		}
+		got, err := Reconstruct(subset)
+		return err == nil && got == secret
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBelowThresholdRevealsNothing(t *testing.T) {
+	// Information-theoretic hiding: t−1 shares are consistent with EVERY
+	// candidate secret — there is a degree-(t−1) polynomial through the
+	// t−1 points and (0, candidate) for any candidate.
+	rng := rand.New(rand.NewSource(2))
+	const (
+		threshold = 4
+		n         = 9
+	)
+	shares, err := Split(12345, threshold, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := shares[:threshold-1]
+	const fresh = int64(100) // an evaluation point outside the partial set
+	for _, candidate := range []int64{0, 1, 999999, P - 1} {
+		// The unique degree-(t−1) polynomial through the t−1 partial
+		// shares and (0, candidate) exists for every candidate; extend
+		// the partial view with its value at a fresh point and confirm
+		// the extended set reconstructs to the candidate — i.e. the
+		// adversary's view rules nothing out.
+		base := append(append([]Share{}, partial...), Share{X: 0, Value: candidate})
+		v, err := interpolateAt(base, fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extended := append(append([]Share{}, partial...), Share{X: fresh, Value: v})
+		got, err := Reconstruct(extended)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != candidate {
+			t.Fatalf("t−1 shares + crafted point reconstructed %d, want candidate %d", got, candidate)
+		}
+	}
+}
+
+func TestConsistentDetectsTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shares, err := Split(777, 5, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Consistent(shares, 5)
+	if err != nil || !ok {
+		t.Fatalf("honest sharing flagged inconsistent: ok=%v err=%v", ok, err)
+	}
+	shares[9].Value = mod(shares[9].Value + 1)
+	ok, err = Consistent(shares, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tampered share not detected")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	if _, err := Reconstruct(nil); err == nil {
+		t.Error("empty share set accepted")
+	}
+	if _, err := Reconstruct([]Share{{X: 1, Value: 5}, {X: 1, Value: 6}}); err == nil {
+		t.Error("duplicate evaluation points accepted")
+	}
+	if _, err := Reconstruct([]Share{{X: 0, Value: 5}}); err == nil {
+		t.Error("evaluation point 0 accepted (would leak the secret slot)")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Split(1, 0, 5, rng); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := Split(1, 6, 5, rng); err == nil {
+		t.Error("threshold above n accepted")
+	}
+	if _, err := Split(P, 2, 5, rng); err == nil {
+		t.Error("out-of-field secret accepted")
+	}
+}
+
+func TestFieldOps(t *testing.T) {
+	for _, a := range []int64{1, 2, 12345, P - 1} {
+		inv, err := invmod(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mulmod(a, inv); got != 1 {
+			t.Errorf("a·a⁻¹ = %d for a=%d", got, a)
+		}
+	}
+	if _, err := invmod(0); err == nil {
+		t.Error("inverse of zero accepted")
+	}
+	if got := powmod(3, P-1); got != 1 {
+		t.Errorf("Fermat check failed: 3^(P−1) = %d", got)
+	}
+}

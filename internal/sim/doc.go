@@ -1,0 +1,25 @@
+// Package sim implements the asynchronous message-passing model of
+// Yifrach & Mansour, "Fair Leader Election for Rational Agents in
+// Asynchronous Rings and Networks" (PODC 2018), Section 2.
+//
+// Processors are nodes of a directed communication graph. They exchange
+// messages of unlimited size along FIFO links. A processor may perform
+// computation and send messages only upon wake-up (Init) or upon receiving a
+// message (Receive). Each processor has access to local randomness (an
+// infinite random string, modelled by a per-processor deterministic PRNG
+// derived from the trial seed). Messages are delivered uncorrupted, in FIFO
+// order per link, according to an oblivious schedule: the scheduler chooses
+// which pending message is delivered next without inspecting payloads.
+//
+// An execution ends when the network quiesces (no message in flight), when
+// every processor has terminated, or when a configurable step limit is
+// exceeded (modelling executions that run forever). The outcome of an
+// execution follows Definition 2 of the paper: it is the common output o of
+// all processors if every processor terminated with the same valid output,
+// and FAIL otherwise (some processor aborted with ⊥, two outputs disagree, or
+// some processor never terminates).
+//
+// The simulator is deterministic: the same configuration, seed and scheduler
+// always produce the same execution, which makes attacks and resilience
+// experiments exactly reproducible.
+package sim

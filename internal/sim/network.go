@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the lifecycle state of a processor.
+type Status int
+
+// Processor lifecycle states.
+const (
+	// StatusRunning means the processor has not yet produced an output.
+	StatusRunning Status = iota + 1
+	// StatusTerminated means the processor terminated with a valid output.
+	StatusTerminated
+	// StatusAborted means the processor terminated with output ⊥.
+	StatusAborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusTerminated:
+		return "terminated"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Edge is a directed FIFO link of the communication graph.
+type Edge struct {
+	From ProcID
+	To   ProcID
+}
+
+// Config describes one execution of a protocol (or adversarial deviation).
+type Config struct {
+	// Strategies[i] drives processor i+1. Its length determines n.
+	Strategies []Strategy
+
+	// Edges are the directed FIFO links. Use RingEdges for the
+	// unidirectional ring topology.
+	Edges []Edge
+
+	// Seed determines all processor-local randomness for the execution.
+	Seed int64
+
+	// Scheduler picks the delivery order among pending messages. It must
+	// be oblivious (payload-independent). Defaults to FIFO order, which on
+	// a unidirectional ring is equivalent to every other schedule.
+	Scheduler Scheduler
+
+	// Tracer, if non-nil, observes every send, delivery and termination.
+	Tracer Tracer
+
+	// StepLimit bounds the number of deliveries; executions exceeding it
+	// are classified as running forever (outcome FAIL). Defaults to
+	// 64·n² + 4096, far above any protocol in this repository.
+	StepLimit int
+}
+
+type link struct {
+	from  ProcID
+	to    ProcID
+	queue []int64
+	head  int
+}
+
+func (l *link) push(v int64) { l.queue = append(l.queue, v) }
+
+func (l *link) pop() int64 {
+	v := l.queue[l.head]
+	l.head++
+	if l.head > 1024 && l.head*2 > len(l.queue) {
+		l.queue = append(l.queue[:0], l.queue[l.head:]...)
+		l.head = 0
+	}
+	return v
+}
+
+type procState struct {
+	strategy Strategy
+	ctx      Context
+	status   Status
+	output   int64
+	sent     int
+	received int
+}
+
+// Network is a single-use executor for one configuration. Build with New,
+// run with Run.
+type Network struct {
+	n        int
+	procs    []procState // index by ProcID; slot 0 unused
+	links    []link
+	outLinks [][]int // per ProcID, indices into links
+
+	// pending is a deque of link indices, one entry per undelivered
+	// message, in global send order.
+	pending  []int
+	pendHead int
+
+	sched      Scheduler
+	tracer     Tracer
+	stepLimit  int
+	steps      int
+	delivered  int
+	dropped    int
+	terminated int
+	ran        bool
+}
+
+// RingEdges returns the edge set of the unidirectional ring 1→2→…→n→1.
+func RingEdges(n int) []Edge {
+	edges := make([]Edge, n)
+	for i := 1; i <= n; i++ {
+		to := ProcID(i%n + 1)
+		edges[i-1] = Edge{From: ProcID(i), To: to}
+	}
+	return edges
+}
+
+// New validates the configuration and builds an executable network.
+func New(cfg Config) (*Network, error) {
+	n := len(cfg.Strategies)
+	if n == 0 {
+		return nil, errors.New("sim: no strategies")
+	}
+	for i, s := range cfg.Strategies {
+		if s == nil {
+			return nil, fmt.Errorf("sim: nil strategy for processor %d", i+1)
+		}
+	}
+	net := &Network{
+		n:        n,
+		procs:    make([]procState, n+1),
+		links:    make([]link, 0, len(cfg.Edges)),
+		outLinks: make([][]int, n+1),
+		sched:    cfg.Scheduler,
+		tracer:   cfg.Tracer,
+	}
+	if net.sched == nil {
+		net.sched = FIFOScheduler{}
+	}
+	net.stepLimit = cfg.StepLimit
+	if net.stepLimit <= 0 {
+		net.stepLimit = 64*n*n + 4096
+	}
+	seen := make(map[Edge]bool, len(cfg.Edges))
+	for _, e := range cfg.Edges {
+		if e.From < 1 || int(e.From) > n || e.To < 1 || int(e.To) > n {
+			return nil, fmt.Errorf("sim: edge %d→%d out of range [1,%d]", e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("sim: self-loop on processor %d", e.From)
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("sim: duplicate edge %d→%d", e.From, e.To)
+		}
+		seen[e] = true
+		net.links = append(net.links, link{from: e.From, to: e.To})
+		net.outLinks[e.From] = append(net.outLinks[e.From], len(net.links)-1)
+	}
+	for i := 1; i <= n; i++ {
+		p := &net.procs[i]
+		p.strategy = cfg.Strategies[i-1]
+		p.status = StatusRunning
+		p.ctx = NewContext(net, ProcID(i), cfg.Seed)
+	}
+	return net, nil
+}
+
+var _ Backend = (*Network)(nil)
+
+// Size implements Backend.
+func (net *Network) Size() int { return net.n }
+
+// Send implements Backend: enqueue on the processor's first outgoing link.
+func (net *Network) Send(from ProcID, value int64) {
+	links := net.outLinks[from]
+	if len(links) == 0 {
+		return
+	}
+	net.sendOnLink(from, links[0], value)
+}
+
+// SendTo implements Backend: enqueue towards a specific neighbour.
+func (net *Network) SendTo(from, to ProcID, value int64) {
+	for _, l := range net.outLinks[from] {
+		if net.links[l].to == to {
+			net.sendOnLink(from, l, value)
+			return
+		}
+	}
+}
+
+func (net *Network) sendOnLink(from ProcID, linkIdx int, value int64) {
+	p := &net.procs[from]
+	if p.status != StatusRunning {
+		return
+	}
+	p.sent++
+	net.links[linkIdx].push(value)
+	net.pending = append(net.pending, linkIdx)
+	if net.tracer != nil {
+		net.tracer.OnSend(from, p.sent, net.links[linkIdx].to, value)
+	}
+}
+
+// Terminate implements Backend.
+func (net *Network) Terminate(id ProcID, output int64, aborted bool) {
+	p := &net.procs[id]
+	if p.status != StatusRunning {
+		return
+	}
+	if aborted {
+		p.status = StatusAborted
+	} else {
+		p.status = StatusTerminated
+		p.output = output
+	}
+	net.terminated++
+	if net.tracer != nil {
+		net.tracer.OnTerminate(id, output, aborted)
+	}
+}
+
+func (net *Network) pendingCount() int { return len(net.pending) - net.pendHead }
+
+// popPending removes and returns the pending entry at the given offset from
+// the front. Offset 0 preserves exact FIFO order; other offsets are used by
+// randomized schedulers, which do not rely on the residual order.
+func (net *Network) popPending(offset int) int {
+	idx := net.pendHead + offset
+	l := net.pending[idx]
+	if offset != 0 {
+		net.pending[idx] = net.pending[net.pendHead]
+	}
+	net.pendHead++
+	if net.pendHead > 4096 && net.pendHead*2 > len(net.pending) {
+		net.pending = append(net.pending[:0], net.pending[net.pendHead:]...)
+		net.pendHead = 0
+	}
+	return l
+}
+
+// Run executes the configuration to completion and reports the outcome.
+// A Network is single-use; calling Run twice returns the first result.
+func (net *Network) Run() Result {
+	if net.ran {
+		return net.result()
+	}
+	net.ran = true
+
+	for i := 1; i <= net.n; i++ {
+		p := &net.procs[i]
+		p.strategy.Init(&p.ctx)
+	}
+
+	for net.pendingCount() > 0 && net.terminated < net.n && net.steps < net.stepLimit {
+		net.steps++
+		offset := 0
+		if k := net.pendingCount(); k > 1 {
+			offset = net.sched.Pick(k)
+			if offset < 0 || offset >= k {
+				offset = 0
+			}
+		}
+		linkIdx := net.popPending(offset)
+		l := &net.links[linkIdx]
+		value := l.pop()
+		target := &net.procs[l.to]
+		if target.status != StatusRunning {
+			net.dropped++
+			continue
+		}
+		net.delivered++
+		target.received++
+		if net.tracer != nil {
+			net.tracer.OnDeliver(l.to, target.received, l.from, value)
+		}
+		target.strategy.Receive(&target.ctx, l.from, value)
+	}
+	return net.result()
+}
+
+// Sent returns how many messages processor id has sent so far. It is used by
+// analyses that inspect the network mid-run via a Tracer.
+func (net *Network) Sent(id ProcID) int { return net.procs[id].sent }
+
+// Received returns how many messages processor id has processed so far.
+func (net *Network) Received(id ProcID) int { return net.procs[id].received }

@@ -1,0 +1,146 @@
+package sim
+
+import "testing"
+
+// star broadcasts from a hub and collects acknowledgements, exercising
+// SendTo on a multi-link topology.
+type hub struct {
+	leaves int
+	acks   int
+}
+
+func (h *hub) Init(ctx *Context) {
+	for leaf := 2; leaf <= h.leaves+1; leaf++ {
+		ctx.SendTo(ProcID(leaf), int64(leaf))
+	}
+	// A send to a non-neighbour (or self route) must vanish silently.
+	ctx.SendTo(ProcID(h.leaves+99), 1)
+}
+
+func (h *hub) Receive(ctx *Context, from ProcID, v int64) {
+	h.acks++
+	if h.acks == h.leaves {
+		ctx.Terminate(1)
+	}
+}
+
+type leaf struct{}
+
+func (leaf) Init(*Context) {}
+func (leaf) Receive(ctx *Context, _ ProcID, v int64) {
+	ctx.SendTo(1, v) // ack back to the hub
+	ctx.Terminate(1)
+}
+
+func TestStarTopologySendTo(t *testing.T) {
+	const leaves = 5
+	strategies := make([]Strategy, leaves+1)
+	strategies[0] = &hub{leaves: leaves}
+	for i := 1; i <= leaves; i++ {
+		strategies[i] = leaf{}
+	}
+	var edges []Edge
+	for i := 2; i <= leaves+1; i++ {
+		edges = append(edges, Edge{From: 1, To: ProcID(i)}, Edge{From: ProcID(i), To: 1})
+	}
+	net, err := New(Config{Strategies: strategies, Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if res.Failed {
+		t.Fatalf("star broadcast failed: %v", res.Reason)
+	}
+	if res.Output != 1 {
+		t.Fatalf("output = %d", res.Output)
+	}
+}
+
+// sentProbe checks the Sent/Received counters mid-run via the Context.
+type sentProbe struct {
+	t       *testing.T
+	hops    int
+	starter bool
+}
+
+func (p *sentProbe) Init(ctx *Context) {
+	if ctx.N() != 2 {
+		p.t.Errorf("N() = %d, want 2", ctx.N())
+	}
+	if p.starter {
+		ctx.Send(0)
+		if ctx.Sent() != 1 {
+			p.t.Errorf("Sent() = %d after one send", ctx.Sent())
+		}
+	}
+}
+
+func (p *sentProbe) Receive(ctx *Context, _ ProcID, v int64) {
+	if ctx.Received() < 1 {
+		p.t.Error("Received() = 0 inside Receive")
+	}
+	p.hops--
+	ctx.Send(v) // keep the token alive for the peer
+	if p.hops <= 0 {
+		ctx.Terminate(7)
+		// Post-termination sends must be ignored silently.
+		ctx.Send(99)
+	}
+}
+
+func TestContextCountersAndPostTerminationSend(t *testing.T) {
+	strategies := []Strategy{
+		&sentProbe{t: t, hops: 1, starter: true},
+		&sentProbe{t: t, hops: 1},
+	}
+	net, err := New(Config{Strategies: strategies, Edges: RingEdges(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if res.Failed {
+		t.Fatalf("failed: %v", res.Reason)
+	}
+	if net.Sent(1) == 0 || net.Received(1) == 0 {
+		t.Error("network-level counters empty")
+	}
+}
+
+func TestStatusAndReasonStrings(t *testing.T) {
+	for _, s := range []Status{StatusRunning, StatusTerminated, StatusAborted, Status(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for status %d", int(s))
+		}
+	}
+	for _, r := range []FailReason{FailNone, FailAbort, FailMismatch, FailStall, FailStepLimit, FailReason(99)} {
+		if r.String() == "" {
+			t.Errorf("empty string for reason %d", int(r))
+		}
+	}
+}
+
+func TestLongRunCompactsQueues(t *testing.T) {
+	// Push enough messages through a tiny ring to trigger the link and
+	// pending-queue compaction paths.
+	strategies := newEchoRing(2, 6000, 3)
+	net, err := New(Config{Strategies: strategies, Edges: RingEdges(2), StepLimit: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if res.Failed {
+		t.Fatalf("long echo failed: %v", res.Reason)
+	}
+}
+
+func TestRunTwiceReturnsSameResult(t *testing.T) {
+	net, err := New(Config{Strategies: newEchoRing(3, 2, 5), Edges: RingEdges(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := net.Run()
+	second := net.Run()
+	if first.Output != second.Output || first.Failed != second.Failed {
+		t.Error("second Run() differed from the first")
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// FailReason classifies why an execution's outcome is FAIL.
+type FailReason int
+
+// Failure classifications, per the outcome definition in Section 2.
+const (
+	// FailNone means the execution did not fail.
+	FailNone FailReason = iota
+	// FailAbort means some processor terminated with output ⊥.
+	FailAbort
+	// FailMismatch means two processors terminated with different outputs.
+	FailMismatch
+	// FailStall means some processor never terminates: the network
+	// quiesced while a processor was still waiting for a message.
+	FailStall
+	// FailStepLimit means the execution exceeded the delivery budget,
+	// which models an execution that runs forever.
+	FailStepLimit
+)
+
+// String implements fmt.Stringer.
+func (r FailReason) String() string {
+	switch r {
+	case FailNone:
+		return "none"
+	case FailAbort:
+		return "abort"
+	case FailMismatch:
+		return "mismatch"
+	case FailStall:
+		return "stall"
+	case FailStepLimit:
+		return "step-limit"
+	default:
+		return fmt.Sprintf("FailReason(%d)", int(r))
+	}
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Failed reports outcome == FAIL.
+	Failed bool
+	// Reason classifies the failure; FailNone when Failed is false.
+	Reason FailReason
+	// Output is the common output of all processors when Failed is false.
+	Output int64
+	// Outputs[i] is processor i's output (meaningful where Statuses[i] is
+	// StatusTerminated). Index 0 is unused.
+	Outputs []int64
+	// Statuses[i] is processor i's final lifecycle state. Index 0 unused.
+	Statuses []Status
+	// Delivered counts messages processed by running processors.
+	Delivered int
+	// Dropped counts messages that arrived at already-terminated
+	// processors.
+	Dropped int
+	// Steps counts scheduler steps (delivered + dropped).
+	Steps int
+}
+
+func (net *Network) result() Result {
+	res := Result{
+		Outputs:   make([]int64, net.n+1),
+		Statuses:  make([]Status, net.n+1),
+		Delivered: net.delivered,
+		Dropped:   net.dropped,
+		Steps:     net.steps,
+	}
+	if net.steps >= net.stepLimit && net.pendingCount() > 0 && net.terminated < net.n {
+		res.Failed = true
+		res.Reason = FailStepLimit
+	}
+	first := true
+	var common int64
+	agree := true
+	anyAbort, anyRunning := false, false
+	for i := 1; i <= net.n; i++ {
+		p := &net.procs[i]
+		res.Statuses[i] = p.status
+		res.Outputs[i] = p.output
+		switch p.status {
+		case StatusAborted:
+			anyAbort = true
+		case StatusRunning:
+			anyRunning = true
+		case StatusTerminated:
+			if first {
+				common, first = p.output, false
+			} else if p.output != common {
+				agree = false
+			}
+		}
+	}
+	if res.Failed {
+		return res
+	}
+	switch {
+	case anyAbort:
+		res.Failed, res.Reason = true, FailAbort
+	case anyRunning:
+		res.Failed, res.Reason = true, FailStall
+	case !agree:
+		res.Failed, res.Reason = true, FailMismatch
+	default:
+		res.Output = common
+	}
+	return res
+}

@@ -1,0 +1,28 @@
+package sim
+
+import "math/rand"
+
+// splitMix64 is the SplitMix64 finalizer, a high-quality 64-bit mixing
+// function. It is used to derive independent per-processor PRNG seeds from a
+// single trial seed so that executions are reproducible and processor
+// randomness is decorrelated.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix64 combines two 64-bit values into one with strong avalanche. It is the
+// seed-derivation primitive shared by the simulator and the random-function
+// substrate.
+func Mix64(a, b uint64) uint64 {
+	return splitMix64(splitMix64(a) ^ (b + 0x632be59bd9b4e019))
+}
+
+// DeriveRand returns a deterministic PRNG for the given processor in the
+// given trial. Distinct (seed, id) pairs yield decorrelated streams.
+func DeriveRand(seed int64, id ProcID) *rand.Rand {
+	derived := Mix64(uint64(seed), uint64(id))
+	return rand.New(rand.NewSource(int64(derived)))
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "math/rand"
+
+// Scheduler selects the delivery order among pending messages. It is the
+// oblivious message schedule of the model: Pick is told only how many
+// messages are pending, never their contents, sources or destinations, so no
+// scheduler can depend on the processors' inputs or randomization.
+//
+// On a unidirectional ring every processor has a single incoming FIFO link,
+// so all schedules produce identical local computations (Section 2); the
+// scheduler matters only on general graphs.
+type Scheduler interface {
+	// Pick returns the index, in arrival order, of the next message to
+	// deliver among k ≥ 1 pending messages. Results outside [0,k) are
+	// treated as 0.
+	Pick(k int) int
+}
+
+// FIFOScheduler delivers messages in global send order. It is the default.
+type FIFOScheduler struct{}
+
+// Pick implements Scheduler.
+func (FIFOScheduler) Pick(int) int { return 0 }
+
+// LIFOScheduler delivers the most recently sent pending message first. It is
+// an adversarially skewed but still oblivious schedule, useful for
+// schedule-independence tests.
+type LIFOScheduler struct{}
+
+// Pick implements Scheduler.
+func (LIFOScheduler) Pick(k int) int { return k - 1 }
+
+// RandomScheduler delivers a uniformly random pending message, modelling an
+// arbitrary asynchronous interleaving. The choice sequence is a deterministic
+// function of the seed and of the pending counts only, hence oblivious.
+type RandomScheduler struct {
+	rng *rand.Rand
+}
+
+// NewRandomScheduler returns a RandomScheduler with the given seed.
+func NewRandomScheduler(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: rand.New(rand.NewSource(int64(Mix64(uint64(seed), 0x5c4ed))))}
+}
+
+// Pick implements Scheduler.
+func (s *RandomScheduler) Pick(k int) int { return s.rng.Intn(k) }

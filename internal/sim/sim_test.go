@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+)
+
+// echo terminates after bouncing a token a fixed number of times.
+type echo struct {
+	n       int
+	hops    int
+	starter bool
+	output  int64
+}
+
+func (e *echo) Init(ctx *Context) {
+	if e.starter {
+		ctx.Send(1)
+	}
+}
+
+func (e *echo) Receive(ctx *Context, _ ProcID, value int64) {
+	e.hops--
+	ctx.Send(value + 1)
+	if e.hops <= 0 {
+		ctx.Terminate(e.output)
+	}
+}
+
+func newEchoRing(n, hops int, output int64) []Strategy {
+	strategies := make([]Strategy, n)
+	for i := 0; i < n; i++ {
+		strategies[i] = &echo{n: n, hops: hops, starter: i == 0, output: output}
+	}
+	return strategies
+}
+
+func TestRingEdges(t *testing.T) {
+	edges := RingEdges(3)
+	want := []Edge{{1, 2}, {2, 3}, {3, 1}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Errorf("edge %d: got %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestCommonOutput(t *testing.T) {
+	net, err := New(Config{Strategies: newEchoRing(4, 3, 7), Edges: RingEdges(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if res.Failed {
+		t.Fatalf("unexpected failure: %v", res.Reason)
+	}
+	if res.Output != 7 {
+		t.Fatalf("output = %d, want 7", res.Output)
+	}
+}
+
+func TestMismatchOutcome(t *testing.T) {
+	strategies := newEchoRing(4, 3, 7)
+	strategies[2] = &echo{n: 4, hops: 3, output: 9}
+	net, err := New(Config{Strategies: strategies, Edges: RingEdges(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Failed || res.Reason != FailMismatch {
+		t.Fatalf("got (%v,%v), want mismatch failure", res.Failed, res.Reason)
+	}
+}
+
+// aborter aborts on first contact.
+type aborter struct{}
+
+func (aborter) Init(*Context)                           {}
+func (aborter) Receive(ctx *Context, _ ProcID, _ int64) { ctx.Abort() }
+
+func TestAbortOutcome(t *testing.T) {
+	strategies := newEchoRing(4, 3, 7)
+	strategies[1] = aborter{}
+	net, err := New(Config{Strategies: strategies, Edges: RingEdges(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Failed || res.Reason != FailAbort {
+		t.Fatalf("got (%v,%v), want abort failure", res.Failed, res.Reason)
+	}
+	if res.Statuses[2] != StatusAborted {
+		t.Fatalf("processor 2 status = %v, want aborted", res.Statuses[2])
+	}
+}
+
+// silent never sends nor terminates: downstream processors stall.
+type silent struct{}
+
+func (silent) Init(*Context)                   {}
+func (silent) Receive(*Context, ProcID, int64) {}
+
+func TestStallOutcome(t *testing.T) {
+	strategies := newEchoRing(4, 3, 7)
+	strategies[1] = silent{}
+	net, err := New(Config{Strategies: strategies, Edges: RingEdges(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Failed || res.Reason != FailStall {
+		t.Fatalf("got (%v,%v), want stall failure", res.Failed, res.Reason)
+	}
+}
+
+// chatterbox floods the ring forever.
+type chatterbox struct{}
+
+func (chatterbox) Init(ctx *Context) { ctx.Send(0) }
+func (chatterbox) Receive(ctx *Context, _ ProcID, v int64) {
+	ctx.Send(v)
+	ctx.Send(v)
+}
+
+func TestStepLimitOutcome(t *testing.T) {
+	strategies := []Strategy{chatterbox{}, chatterbox{}}
+	net, err := New(Config{Strategies: strategies, Edges: RingEdges(2), StepLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Failed || res.Reason != FailStepLimit {
+		t.Fatalf("got (%v,%v), want step-limit failure", res.Failed, res.Reason)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no strategies", Config{}},
+		{"nil strategy", Config{Strategies: []Strategy{nil}}},
+		{"edge out of range", Config{Strategies: newEchoRing(2, 1, 0), Edges: []Edge{{1, 5}}}},
+		{"self loop", Config{Strategies: newEchoRing(2, 1, 0), Edges: []Edge{{1, 1}}}},
+		{"duplicate edge", Config{Strategies: newEchoRing(2, 1, 0), Edges: []Edge{{1, 2}, {1, 2}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestDeriveRandDeterminism(t *testing.T) {
+	a := DeriveRand(42, 3)
+	b := DeriveRand(42, 3)
+	c := DeriveRand(42, 4)
+	same, diff := true, false
+	for i := 0; i < 16; i++ {
+		x, y, z := a.Int63(), b.Int63(), c.Int63()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same (seed,id) produced different streams")
+	}
+	if !diff {
+		t.Error("different ids produced identical streams")
+	}
+}
+
+// recorder observes trace callbacks.
+type recorder struct {
+	sends      int
+	deliveries int
+	terms      int
+}
+
+func (r *recorder) OnSend(ProcID, int, ProcID, int64)    { r.sends++ }
+func (r *recorder) OnDeliver(ProcID, int, ProcID, int64) { r.deliveries++ }
+func (r *recorder) OnTerminate(ProcID, int64, bool)      { r.terms++ }
+
+func TestTracerSeesAllEvents(t *testing.T) {
+	rec := &recorder{}
+	net, err := New(Config{
+		Strategies: newEchoRing(4, 3, 7),
+		Edges:      RingEdges(4),
+		Tracer:     MultiTracer{rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if rec.terms != 4 {
+		t.Errorf("terminations traced = %d, want 4", rec.terms)
+	}
+	if rec.deliveries != res.Delivered {
+		t.Errorf("deliveries traced = %d, result says %d", rec.deliveries, res.Delivered)
+	}
+	if rec.sends < rec.deliveries {
+		t.Errorf("sends traced = %d < deliveries %d", rec.sends, rec.deliveries)
+	}
+}
+
+func TestSchedulerPickRange(t *testing.T) {
+	scheds := []Scheduler{FIFOScheduler{}, LIFOScheduler{}, NewRandomScheduler(1)}
+	for _, s := range scheds {
+		for k := 1; k <= 8; k++ {
+			got := s.Pick(k)
+			if got < 0 || got >= k {
+				t.Fatalf("%T.Pick(%d) = %d out of range", s, k, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "math/rand"
+
+// ProcID identifies a processor. Processors are numbered 1..n as in the
+// paper's model, where the id set V = [n] is common knowledge.
+type ProcID int
+
+// Strategy is the deterministic behaviour of a single processor: a function
+// from everything the processor knows (its id, its random string, and its
+// receive history) to the messages it sends. Strategies are invoked once on
+// wake-up and then once per received message. A strategy that deviates from
+// a protocol in any way models an adversary (Definition 2.2).
+type Strategy interface {
+	// Init is the wake-up event. Most ring processors do nothing here
+	// except draw their secrets; the origin additionally sends.
+	Init(ctx *Context)
+
+	// Receive handles one incoming message. from is the link's source
+	// processor, value the payload. The strategy may send zero or more
+	// messages and may terminate.
+	Receive(ctx *Context, from ProcID, value int64)
+}
+
+// Backend is the runtime a Context delegates to. The event-driven Network
+// is the default backend; the conc package provides a goroutine-per-
+// processor backend running the same strategies on real channels.
+type Backend interface {
+	// Send enqueues value on the processor's default (first) outgoing
+	// link; on a unidirectional ring that is the only link.
+	Send(from ProcID, value int64)
+	// SendTo enqueues value on the link towards the given neighbour, or
+	// silently drops the message if no such link exists.
+	SendTo(from, to ProcID, value int64)
+	// Terminate ends the processor's participation; aborted selects ⊥.
+	Terminate(from ProcID, output int64, aborted bool)
+	// Sent returns how many messages the processor has sent so far.
+	Sent(p ProcID) int
+	// Received returns how many messages it has processed so far.
+	Received(p ProcID) int
+	// Size returns the number of processors.
+	Size() int
+}
+
+// Context is a strategy's handle to its runtime during one invocation.
+// It exposes exactly the capabilities the model grants a processor: sending
+// on its outgoing links, terminating with an output (or aborting with ⊥),
+// and local randomness.
+type Context struct {
+	backend Backend
+	self    ProcID
+	rng     *rand.Rand
+}
+
+// NewContext builds a context for the given backend; used by runtimes, not
+// by strategies.
+func NewContext(backend Backend, self ProcID, seed int64) Context {
+	return Context{backend: backend, self: self, rng: DeriveRand(seed, self)}
+}
+
+// Self returns the processor's own id.
+func (c *Context) Self() ProcID { return c.self }
+
+// N returns the number of processors in the network. The id set V = [n] is
+// known to every processor in the model.
+func (c *Context) N() int { return c.backend.Size() }
+
+// Rand returns the processor's local source of randomness. It is derived
+// deterministically from the trial seed and the processor id, so executions
+// are reproducible.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Send enqueues value on the processor's unique outgoing link. It is the
+// natural primitive on a unidirectional ring. If the processor has several
+// outgoing links, the first configured link is used; use SendTo on general
+// graphs. Sends after termination are ignored (a terminated processor is
+// silent).
+func (c *Context) Send(value int64) { c.backend.Send(c.self, value) }
+
+// SendTo enqueues value on the link from this processor to the given
+// neighbour. If no such link exists the message is silently dropped, which
+// models an (impossible) send outside the communication graph.
+func (c *Context) SendTo(to ProcID, value int64) { c.backend.SendTo(c.self, to, value) }
+
+// Terminate ends the processor's participation with the given output.
+// Subsequent deliveries to this processor are dropped and subsequent sends
+// from it are ignored.
+func (c *Context) Terminate(output int64) { c.backend.Terminate(c.self, output, false) }
+
+// Abort terminates the processor with output ⊥, the model's "punishment"
+// move: a single aborting processor forces outcome = FAIL.
+func (c *Context) Abort() { c.backend.Terminate(c.self, 0, true) }
+
+// Sent returns how many messages this processor has sent so far, the
+// Sent_i^t counter used throughout the synchronization analysis (Appendix D).
+func (c *Context) Sent() int { return c.backend.Sent(c.self) }
+
+// Received returns how many messages this processor has processed so far.
+func (c *Context) Received() int { return c.backend.Received(c.self) }

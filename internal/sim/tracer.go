@@ -1,0 +1,41 @@
+package sim
+
+// Tracer observes an execution. All callbacks run synchronously inside the
+// simulation loop, in execution order, so a Tracer sees a linearization of
+// the run: every delivery callback is followed by the sends it triggered.
+type Tracer interface {
+	// OnSend fires when a processor enqueues its idx-th outgoing message
+	// (1-based), before delivery.
+	OnSend(from ProcID, idx int, to ProcID, value int64)
+	// OnDeliver fires when a processor is about to process its idx-th
+	// incoming message (1-based).
+	OnDeliver(to ProcID, idx int, from ProcID, value int64)
+	// OnTerminate fires when a processor terminates; aborted reports ⊥.
+	OnTerminate(p ProcID, output int64, aborted bool)
+}
+
+// MultiTracer fans events out to several tracers in order.
+type MultiTracer []Tracer
+
+var _ Tracer = MultiTracer(nil)
+
+// OnSend implements Tracer.
+func (m MultiTracer) OnSend(from ProcID, idx int, to ProcID, value int64) {
+	for _, t := range m {
+		t.OnSend(from, idx, to, value)
+	}
+}
+
+// OnDeliver implements Tracer.
+func (m MultiTracer) OnDeliver(to ProcID, idx int, from ProcID, value int64) {
+	for _, t := range m {
+		t.OnDeliver(to, idx, from, value)
+	}
+}
+
+// OnTerminate implements Tracer.
+func (m MultiTracer) OnTerminate(p ProcID, output int64, aborted bool) {
+	for _, t := range m {
+		t.OnTerminate(p, output, aborted)
+	}
+}

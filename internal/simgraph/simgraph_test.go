@@ -1,0 +1,182 @@
+package simgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRingIsTwoNodeSimulatedTree(t *testing.T) {
+	// The paper's headline instance: a ring splits into two arcs of
+	// ⌈n/2⌉, whose quotient is the 2-vertex tree — hence no FLE protocol
+	// on a ring resists some ⌈n/2⌉ coalition (realized by attacks.HalfRing).
+	for _, n := range []int{3, 4, 7, 16, 33} {
+		g, err := Ring(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := HalfSplit(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := (n + 1) / 2
+		quotient, err := VerifySimulatedTree(g, p, k)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if quotient.N != 2 {
+			t.Errorf("n=%d: quotient has %d nodes, want 2", n, quotient.N)
+		}
+		if p.MaxPartSize() != k {
+			t.Errorf("n=%d: max part %d, want ⌈n/2⌉=%d", n, p.MaxPartSize(), k)
+		}
+	}
+}
+
+func TestTreesAreOneSimulatedTrees(t *testing.T) {
+	mk := []func(int) (*Graph, error){Path, Star}
+	for _, makeGraph := range mk {
+		g, err := makeGraph(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := TreeSelfPartition(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifySimulatedTree(g, p, 1); err != nil {
+			t.Errorf("tree self-partition rejected: %v", err)
+		}
+	}
+	ring, _ := Ring(5)
+	if _, err := TreeSelfPartition(ring); err == nil {
+		t.Error("ring accepted as a tree")
+	}
+}
+
+func TestClaimF5OnRandomConnectedGraphs(t *testing.T) {
+	// Claim F.5: every connected graph is a ⌈n/2⌉-simulated tree, and
+	// HalfSplit constructs the witness.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(24)
+		g, err := NewGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random spanning tree first (guarantees connectivity)...
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			if err := g.AddEdge(perm[i]+1, perm[rng.Intn(i)]+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// ...then random extra edges.
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			u, v := 1+rng.Intn(n), 1+rng.Intn(n)
+			if u != v {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		p, err := HalfSplit(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := VerifySimulatedTree(g, p, (n+1)/2); err != nil {
+			t.Fatalf("trial %d (n=%d): Claim F.5 construction invalid: %v", trial, n, err)
+		}
+	}
+}
+
+func TestVerifyRejectsBadPartitions(t *testing.T) {
+	g, _ := Ring(6)
+	// Disconnected part: {1,4} are not adjacent on the 6-ring.
+	bad := Partition{Part: []int{0, 1, 2, 2, 1, 2, 2}, Parts: 2}
+	if _, err := VerifySimulatedTree(g, bad, 3); err == nil {
+		t.Error("disconnected part accepted")
+	}
+	// Oversized part.
+	p, _ := HalfSplit(g)
+	if _, err := VerifySimulatedTree(g, p, 2); err == nil {
+		t.Error("k smaller than the largest part accepted")
+	}
+	// Quotient with a cycle: three arcs of a ring.
+	threeArcs := Partition{Part: []int{0, 1, 1, 2, 2, 3, 3}, Parts: 3}
+	if _, err := VerifySimulatedTree(g, threeArcs, 2); err == nil {
+		t.Error("cyclic quotient accepted as a tree")
+	}
+}
+
+func TestMinSimulatedTreeK(t *testing.T) {
+	path, _ := Path(8)
+	k, _, err := MinSimulatedTreeK(path)
+	if err != nil || k != 1 {
+		t.Errorf("path: k=%d err=%v, want 1", k, err)
+	}
+	ring, _ := Ring(8)
+	k, p, err := MinSimulatedTreeK(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySimulatedTree(ring, p, k); err != nil {
+		t.Fatalf("returned witness invalid: %v", err)
+	}
+	if k != 4 {
+		t.Errorf("8-ring: k=%d, want ⌈n/2⌉=4", k)
+	}
+	grid, _ := Grid(3, 3)
+	k, p, err = MinSimulatedTreeK(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySimulatedTree(grid, p, k); err != nil {
+		t.Fatalf("grid witness invalid: %v", err)
+	}
+	if k > 5 { // ⌈9/2⌉ = 5 is the Claim F.5 fallback
+		t.Errorf("3×3 grid: k=%d exceeds ⌈n/2⌉", k)
+	}
+	t.Logf("3×3 grid simulated-tree k ≤ %d (Figure 2 analogue)", k)
+}
+
+func TestGraphBasics(t *testing.T) {
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil { // duplicate ignored
+		t.Fatal(err)
+	}
+	if got := len(g.Edges()); got != 1 {
+		t.Errorf("%d edges after duplicate add, want 1", got)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 2); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestGridConstruction(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 12 {
+		t.Fatalf("grid has %d vertices", g.N)
+	}
+	// 3×4 grid: 3·3 horizontal + 2·4 vertical = 17 edges.
+	if got := len(g.Edges()); got != 17 {
+		t.Errorf("grid has %d edges, want 17", got)
+	}
+	if !g.Connected() {
+		t.Error("grid not connected")
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats provides the statistical machinery behind every experiment:
+// binomial confidence intervals, chi-square uniformity tests, total
+// variation distance, and summary helpers. Only the standard library is
+// used; the chi-square p-value comes from the regularized incomplete gamma
+// function evaluated by series/continued fraction.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// WilsonInterval returns the Wilson score interval for a binomial proportion
+// at the given z (use 1.96 for 95%). It behaves sensibly at the extremes
+// wins = 0 and wins = trials, unlike the normal approximation.
+func WilsonInterval(wins, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(wins) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// ChiSquareUniform computes the chi-square statistic and p-value for the
+// hypothesis that counts were drawn uniformly over their cells.
+func ChiSquareUniform(counts []int) (statistic, pValue float64, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0, errors.New("stats: need at least 2 cells")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, errors.New("stats: no observations")
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		statistic += d * d / expected
+	}
+	pValue = ChiSquareSurvival(statistic, float64(k-1))
+	return statistic, pValue, nil
+}
+
+// ChiSquareSurvival returns P(X ≥ x) for a chi-square distribution with df
+// degrees of freedom: the regularized upper incomplete gamma Q(df/2, x/2).
+func ChiSquareSurvival(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(df/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) using the series for
+// x < a+1 and the continued fraction otherwise (Numerical Recipes style).
+func upperGammaRegularized(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - lowerGammaSeries(a, x)
+	default:
+		return upperGammaContinuedFraction(a, x)
+	}
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+	)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperGammaContinuedFraction(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// TotalVariationFromUniform returns ½·Σ|p_i − 1/k| for the empirical
+// distribution given by counts.
+func TotalVariationFromUniform(counts []int) float64 {
+	k := len(counts)
+	if k == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var tv float64
+	u := 1 / float64(k)
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(total) - u)
+	}
+	return tv / 2
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}

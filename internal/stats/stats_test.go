@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	tests := []struct {
+		wins, trials int
+		wantLoBelow  float64
+		wantHiAbove  float64
+	}{
+		{50, 100, 0.5, 0.5},
+		{0, 100, 0.0001, 0.0},
+		{100, 100, 1.0, 0.96},
+		{1, 1000, 0.002, 0.0005},
+	}
+	for _, tt := range tests {
+		lo, hi := WilsonInterval(tt.wins, tt.trials, 1.96)
+		if lo > tt.wantLoBelow {
+			t.Errorf("Wilson(%d/%d): lo=%v > %v", tt.wins, tt.trials, lo, tt.wantLoBelow)
+		}
+		if hi < tt.wantHiAbove {
+			t.Errorf("Wilson(%d/%d): hi=%v < %v", tt.wins, tt.trials, hi, tt.wantHiAbove)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d/%d): degenerate interval [%v,%v]", tt.wins, tt.trials, lo, hi)
+		}
+	}
+}
+
+func TestWilsonIntervalCoverage(t *testing.T) {
+	// A z=3.3 interval covers the truth ≈99.9% of the time; over 400
+	// random binomials a couple of misses are expected, many are a bug.
+	rng := rand.New(rand.NewSource(7))
+	misses := 0
+	const reps = 400
+	for i := 0; i < reps; i++ {
+		p := rng.Float64()
+		trials := 200 + rng.Intn(800)
+		wins := 0
+		for j := 0; j < trials; j++ {
+			if rng.Float64() < p {
+				wins++
+			}
+		}
+		lo, hi := WilsonInterval(wins, trials, 3.3)
+		if p < lo || p > hi {
+			misses++
+		}
+	}
+	if misses > 5 {
+		t.Errorf("interval missed the truth %d/%d times at z=3.3", misses, reps)
+	}
+}
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	tests := []struct {
+		x, df, want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{16.919, 9, 0.05},
+		{2.706, 1, 0.10},
+		{23.209, 10, 0.01},
+	}
+	for _, tt := range tests {
+		got := ChiSquareSurvival(tt.x, tt.df)
+		if math.Abs(got-tt.want) > 0.002 {
+			t.Errorf("ChiSquareSurvival(%v, %v) = %v, want ≈ %v", tt.x, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rejected := 0
+	const reps = 50
+	for rep := 0; rep < reps; rep++ {
+		counts := make([]int, 16)
+		for i := 0; i < 8000; i++ {
+			counts[rng.Intn(16)]++
+		}
+		_, p, err := ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.01 {
+			rejected++
+		}
+	}
+	if rejected > 4 { // expect ≈ 0.5 rejections at the 1% level
+		t.Errorf("rejected uniform data %d/%d times at 1%%", rejected, reps)
+	}
+}
+
+func TestChiSquareUniformRejectsSkew(t *testing.T) {
+	counts := make([]int, 16)
+	for i := range counts {
+		counts[i] = 100
+	}
+	counts[3] = 400
+	_, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("p=%v for grossly skewed data; want ≈ 0", p)
+	}
+}
+
+func TestChiSquareUniformErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single cell accepted")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, _, err := ChiSquareUniform([]int{1, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if tv := TotalVariationFromUniform([]int{10, 10, 10, 10}); tv != 0 {
+		t.Errorf("uniform TV = %v, want 0", tv)
+	}
+	if tv := TotalVariationFromUniform([]int{40, 0, 0, 0}); math.Abs(tv-0.75) > 1e-12 {
+		t.Errorf("point-mass TV = %v, want 0.75", tv)
+	}
+}
+
+func TestMeanStdDevQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("min = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("max = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+}

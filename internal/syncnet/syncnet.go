@@ -1,0 +1,233 @@
+// Package syncnet implements the synchronous message-passing model and the
+// two synchronous scenarios the paper contrasts against (Section 1.1):
+// fair leader election on a synchronous fully connected network and on a
+// synchronous ring, both resilient to coalitions of size n−1.
+//
+// Execution proceeds in lock-step rounds: every message sent in round r is
+// delivered at the start of round r+1, so no processor's round-r message can
+// depend on another's round-r message. That single property kills the
+// rushing attacks that dominate the asynchronous setting — an adversary must
+// commit its secret in round 1 knowing nothing — which is exactly why the
+// paper's hard case is the asynchronous ring.
+package syncnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Message is a round-scoped message.
+type Message struct {
+	From  sim.ProcID
+	To    sim.ProcID
+	Value int64
+}
+
+// Action is what a processor does in one round.
+type Action struct {
+	// Send lists the messages to deliver next round.
+	Send []Message
+	// Done terminates the processor with Output (or ⊥ when Abort).
+	Done   bool
+	Abort  bool
+	Output int64
+}
+
+// Processor is a synchronous strategy: a function of the round number and
+// the messages delivered this round. Round 1 has an empty inbox.
+type Processor interface {
+	Step(round int, inbox []Message) Action
+}
+
+// Run executes processors in lock-step until all terminate or maxRounds is
+// exceeded (which yields a stall failure, the synchronous analogue of
+// running forever).
+func Run(procs []Processor, maxRounds int) (sim.Result, error) {
+	n := len(procs)
+	if n == 0 {
+		return sim.Result{}, errors.New("syncnet: no processors")
+	}
+	res := sim.Result{
+		Outputs:  make([]int64, n+1),
+		Statuses: make([]sim.Status, n+1),
+	}
+	for i := 1; i <= n; i++ {
+		res.Statuses[i] = sim.StatusRunning
+	}
+	inboxes := make([][]Message, n+1)
+	running := n
+	for round := 1; round <= maxRounds && running > 0; round++ {
+		next := make([][]Message, n+1)
+		for i := 1; i <= n; i++ {
+			if res.Statuses[i] != sim.StatusRunning {
+				continue
+			}
+			act := procs[i-1].Step(round, inboxes[i])
+			res.Delivered += len(inboxes[i])
+			for _, m := range act.Send {
+				if m.To < 1 || int(m.To) > n || m.To == sim.ProcID(i) {
+					continue // sends outside the network vanish
+				}
+				m.From = sim.ProcID(i)
+				next[m.To] = append(next[m.To], m)
+				res.Steps++
+			}
+			if act.Done {
+				running--
+				if act.Abort {
+					res.Statuses[i] = sim.StatusAborted
+				} else {
+					res.Statuses[i] = sim.StatusTerminated
+					res.Outputs[i] = act.Output
+				}
+			}
+		}
+		inboxes = next
+	}
+	first := true
+	var common int64
+	for i := 1; i <= n; i++ {
+		switch res.Statuses[i] {
+		case sim.StatusAborted:
+			res.Failed, res.Reason = true, sim.FailAbort
+		case sim.StatusRunning:
+			if !res.Failed {
+				res.Failed, res.Reason = true, sim.FailStall
+			}
+		case sim.StatusTerminated:
+			if first {
+				common, first = res.Outputs[i], false
+			} else if res.Outputs[i] != common && !res.Failed {
+				res.Failed, res.Reason = true, sim.FailMismatch
+			}
+		}
+	}
+	if !res.Failed {
+		res.Output = common
+	}
+	return res, nil
+}
+
+// CompleteLead is the synchronous fully-connected election: broadcast your
+// secret in round 1, sum everything in round 2. Simultaneity makes it
+// resilient to any n−1 processors — there is nothing to rush.
+type CompleteLead struct {
+	N    int
+	Self sim.ProcID
+	// Secret overrides the random draw when ≥ 0 (adversaries commit
+	// blind constants; it cannot help them).
+	Secret int64
+	rng    interface{ Int63n(int64) int64 }
+}
+
+// NewCompleteLead builds the honest processor; seed derives its secret.
+func NewCompleteLead(n int, self sim.ProcID, seed int64) *CompleteLead {
+	return &CompleteLead{N: n, Self: self, Secret: -1, rng: sim.DeriveRand(seed, self)}
+}
+
+// Step implements Processor.
+func (p *CompleteLead) Step(round int, inbox []Message) Action {
+	switch round {
+	case 1:
+		secret := p.Secret
+		if secret < 0 {
+			secret = p.rng.Int63n(int64(p.N))
+		}
+		p.Secret = secret
+		var out []Message
+		for j := 1; j <= p.N; j++ {
+			if sim.ProcID(j) != p.Self {
+				out = append(out, Message{To: sim.ProcID(j), Value: secret})
+			}
+		}
+		return Action{Send: out}
+	case 2:
+		if len(inbox) != p.N-1 {
+			return Action{Done: true, Abort: true} // someone went silent
+		}
+		sum := p.Secret
+		for _, m := range inbox {
+			if m.Value < 0 || m.Value >= int64(p.N) {
+				return Action{Done: true, Abort: true}
+			}
+			sum = ring.Mod(sum+m.Value, p.N)
+		}
+		return Action{Done: true, Output: ring.LeaderFromSum(sum, p.N)}
+	default:
+		return Action{Done: true, Abort: true}
+	}
+}
+
+// RingSyncLead is the synchronous unidirectional ring election: in round r
+// forward the value learned in round r−1; after n rounds everyone has all
+// secrets. Tampering with a forwarded value splits the ring into disagreeing
+// halves (FAIL), and withholding stalls it, so only the blind round-1 choice
+// is free: resilient to n−1.
+type RingSyncLead struct {
+	N    int
+	Self sim.ProcID
+	// Secret as in CompleteLead; −1 draws uniformly.
+	Secret int64
+	// Tamper, when non-zero, is added to every forwarded value: the
+	// deviation whose only effect is outcome FAIL.
+	Tamper int64
+
+	rng  interface{ Int63n(int64) int64 }
+	sum  int64
+	last int64
+}
+
+// NewRingSyncLead builds the honest ring processor.
+func NewRingSyncLead(n int, self sim.ProcID, seed int64) *RingSyncLead {
+	return &RingSyncLead{N: n, Self: self, Secret: -1, rng: sim.DeriveRand(seed, self)}
+}
+
+func (p *RingSyncLead) succ() sim.ProcID { return sim.ProcID(int(p.Self)%p.N + 1) }
+
+// Step implements Processor.
+func (p *RingSyncLead) Step(round int, inbox []Message) Action {
+	if round == 1 {
+		secret := p.Secret
+		if secret < 0 {
+			secret = p.rng.Int63n(int64(p.N))
+		}
+		p.Secret = secret
+		p.sum = secret
+		p.last = secret
+		return Action{Send: []Message{{To: p.succ(), Value: secret}}}
+	}
+	if len(inbox) != 1 || int(inbox[0].From) != (int(p.Self)+p.N-2)%p.N+1 {
+		return Action{Done: true, Abort: true} // lost lock-step
+	}
+	v := inbox[0].Value
+	if v < 0 || v >= int64(p.N) {
+		return Action{Done: true, Abort: true}
+	}
+	p.sum = ring.Mod(p.sum+v, p.N)
+	p.last = ring.Mod(v+p.Tamper, p.N)
+	if round == p.N {
+		return Action{Done: true, Output: ring.LeaderFromSum(p.sum, p.N)}
+	}
+	return Action{Send: []Message{{To: p.succ(), Value: p.last}}}
+}
+
+// NewCompleteElection builds the full processor vector for one synchronous
+// fully-connected election; adversaries (if any) occupy the last k positions
+// and commit the blind constant 0.
+func NewCompleteElection(n, k int, seed int64) ([]Processor, error) {
+	if n < 2 || k < 0 || k >= n {
+		return nil, fmt.Errorf("syncnet: bad configuration n=%d k=%d", n, k)
+	}
+	procs := make([]Processor, n)
+	for i := 1; i <= n; i++ {
+		p := NewCompleteLead(n, sim.ProcID(i), seed)
+		if i > n-k {
+			p.Secret = 0 // adversary: the best it can do is a constant
+		}
+		procs[i-1] = p
+	}
+	return procs, nil
+}

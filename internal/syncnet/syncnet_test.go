@@ -1,0 +1,146 @@
+package syncnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func runComplete(t *testing.T, n, k int, seed int64) sim.Result {
+	t.Helper()
+	procs, err := NewCompleteElection(n, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(procs, n+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCompleteHonestSucceeds(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 40} {
+		for seed := int64(0); seed < 4; seed++ {
+			res := runComplete(t, n, 0, seed)
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: failed: %v", n, seed, res.Reason)
+			}
+			if res.Output < 1 || res.Output > int64(n) {
+				t.Fatalf("leader %d out of range", res.Output)
+			}
+		}
+	}
+}
+
+func TestCompleteResilientToNMinusOne(t *testing.T) {
+	// n−1 colluders committing blind constants: the single honest secret
+	// still makes the outcome uniform — the synchronous model's whole
+	// point, contrasting with Basic-LEAD's async collapse (E1).
+	const (
+		n      = 8
+		trials = 3000
+	)
+	counts := make([]int, n+1)
+	for seed := int64(0); seed < trials; seed++ {
+		res := runComplete(t, n, n-1, seed)
+		if res.Failed {
+			t.Fatalf("seed=%d: failed: %v", seed, res.Reason)
+		}
+		counts[res.Output]++
+	}
+	want := float64(trials) / n
+	for j := 1; j <= n; j++ {
+		if got := float64(counts[j]); got < want*0.7 || got > want*1.3 {
+			t.Errorf("leader %d elected %v times under n−1 colluders, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestCompleteSilentAdversaryAborts(t *testing.T) {
+	const n = 6
+	procs, err := NewCompleteElection(n, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs[2] = silent{}
+	res, err := Run(procs, n+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("withholding not punished")
+	}
+}
+
+type silent struct{}
+
+func (silent) Step(int, []Message) Action { return Action{Done: true, Output: 1} }
+
+func TestRingHonestSucceedsAndAgrees(t *testing.T) {
+	for _, n := range []int{3, 7, 20} {
+		for seed := int64(0); seed < 4; seed++ {
+			procs := make([]Processor, n)
+			for i := 1; i <= n; i++ {
+				procs[i-1] = NewRingSyncLead(n, sim.ProcID(i), seed)
+			}
+			res, err := Run(procs, n+2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: failed: %v", n, seed, res.Reason)
+			}
+		}
+	}
+}
+
+func TestRingTamperingFailsInsteadOfBiasing(t *testing.T) {
+	// Altering a forwarded value splits the ring into disagreeing
+	// halves: the deviation can only destroy the election, never steer
+	// it — the synchronous ring's n−1 resilience in action.
+	const n = 9
+	procs := make([]Processor, n)
+	for i := 1; i <= n; i++ {
+		p := NewRingSyncLead(n, sim.ProcID(i), 5)
+		if i == 4 {
+			p.Tamper = 1
+		}
+		procs[i-1] = p
+	}
+	res, err := Run(procs, n+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != sim.FailMismatch {
+		t.Fatalf("got (%v,%v), want mismatch failure", res.Failed, res.Reason)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, 4); err == nil {
+		t.Error("empty processor set accepted")
+	}
+	if _, err := NewCompleteElection(1, 0, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewCompleteElection(4, 4, 0); err == nil {
+		t.Error("all-adversary configuration accepted")
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	// A processor that never terminates shows up as a stall.
+	procs := []Processor{forever{}, forever{}}
+	res, err := Run(procs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != sim.FailStall {
+		t.Fatalf("got (%v,%v), want stall", res.Failed, res.Reason)
+	}
+}
+
+type forever struct{}
+
+func (forever) Step(int, []Message) Action { return Action{} }

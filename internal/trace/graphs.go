@@ -1,0 +1,124 @@
+package trace
+
+import "repro/internal/sim"
+
+// HappensBefore builds the happens-before graph G_x of Appendix E.1 from a
+// recorded execution. Its edges are exactly the paper's four families:
+//
+//   - arrival:             send(p,i)  → recv(q,i')   (the matching delivery)
+//   - local linearity:     send(p,i)  → send(p,i+1),
+//     recv(p,i)  → recv(p,i+1)
+//   - triggering:          recv(p,i)  → send(p,j)    (j emitted handling i)
+//   - receive-after-send:  send(p,j)  → recv(p,i)    (j triggered before i)
+//
+// The receive-after-send family is added compactly: from the last send a
+// processor emitted before each receive; local linearity supplies the rest
+// transitively.
+func (r *Recorder) HappensBefore() *Graph {
+	g := newGraph()
+	// Per-ordered-pair FIFO matching of sends to deliveries.
+	type pair struct{ from, to sim.ProcID }
+	sent := make(map[pair][]int)   // send indices awaiting delivery
+	lastSend := make([]int, r.N+1) // last send index per processor
+	lastRecv := make([]int, r.N+1) // last receive index per processor
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case OpSend:
+			e := Send(op.Proc, op.Index)
+			g.node(e)
+			if op.Index > 1 {
+				g.addEdge(Send(op.Proc, op.Index-1), e)
+			}
+			if i := lastRecv[op.Proc]; i > 0 {
+				g.addEdge(Recv(op.Proc, i), e) // triggering
+			}
+			lastSend[op.Proc] = op.Index
+			key := pair{op.Proc, op.Peer}
+			sent[key] = append(sent[key], op.Index)
+		case OpDeliver:
+			e := Recv(op.Proc, op.Index)
+			g.node(e)
+			if op.Index > 1 {
+				g.addEdge(Recv(op.Proc, op.Index-1), e)
+			}
+			key := pair{op.Peer, op.Proc}
+			if q := sent[key]; len(q) > 0 {
+				g.addEdge(Send(op.Peer, q[0]), e) // arrival
+				sent[key] = q[1:]
+			}
+			if j := lastSend[op.Proc]; j > 0 {
+				g.addEdge(Send(op.Proc, j), e) // receive-after-send
+			}
+			lastRecv[op.Proc] = op.Index
+		}
+	}
+	return g
+}
+
+// CalcGraph builds the calculation-dependency graph Gc_x of Appendix E.1
+// for a phase-protocol execution (PhaseAsyncLead or SumPhaseLead), given the
+// coalition (whose members get the general "every earlier receive feeds
+// every send" edges). Odd per-processor message indices are data messages,
+// even ones validation messages, matching the protocols' positional typing.
+//
+// Edge families:
+//
+//   - send-to-receive:      send(p,i) → recv(q,i')       (message identity)
+//   - validation transfer:  recv(h,2i) → send(h,2i)      (honest h, i ≠ h)
+//   - data delay:           recv(h,2i−1) → send(h,2i+1)  (honest h)
+//   - adversarial:          recv(a,t) → send(a,j) for all t ≤ trigger(j)
+func (r *Recorder) CalcGraph(coalition []sim.ProcID) *Graph {
+	adv := make(map[sim.ProcID]bool, len(coalition))
+	for _, c := range coalition {
+		adv[c] = true
+	}
+	g := newGraph()
+	type pair struct{ from, to sim.ProcID }
+	sent := make(map[pair][]int)
+	lastRecv := make([]int, r.N+1)
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case OpSend:
+			e := Send(op.Proc, op.Index)
+			g.node(e)
+			if adv[op.Proc] {
+				// General calculation: all receives so far feed it.
+				for t := 1; t <= lastRecv[op.Proc]; t++ {
+					g.addEdge(Recv(op.Proc, t), e)
+				}
+			} else {
+				switch {
+				case op.Index%2 == 0 && op.Index != 2*int(op.Proc):
+					// Forwarded validation value: depends on the
+					// receive of the same index. (The processor's own
+					// validation send 2h depends on nothing.)
+					g.addEdge(Recv(op.Proc, op.Index), e)
+				case op.Index%2 == 1 && op.Index > 2:
+					// Data send 2i+1 releases the value received as
+					// data message 2i−1 (one-round buffer delay).
+					g.addEdge(Recv(op.Proc, op.Index-2), e)
+				}
+			}
+			key := pair{op.Proc, op.Peer}
+			sent[key] = append(sent[key], op.Index)
+		case OpDeliver:
+			e := Recv(op.Proc, op.Index)
+			g.node(e)
+			key := pair{op.Peer, op.Proc}
+			if q := sent[key]; len(q) > 0 {
+				g.addEdge(Send(op.Peer, q[0]), e)
+				sent[key] = q[1:]
+			}
+			lastRecv[op.Proc] = op.Index
+		}
+	}
+	return g
+}
+
+// Validated reports Definition E.3 for honest processor h in a recorded
+// phase-protocol execution: whether s(h) ⤳c r(h), i.e. the value h receives
+// back as round-h validator actually depends on the value it sent.
+func Validated(calc *Graph, h sim.ProcID, n int) bool {
+	s, ret := ValidatorSend(h), ValidatorReturn(h, n)
+	return calc.Has(s) && calc.Has(ret) && calc.HappensBefore(s, ret)
+}

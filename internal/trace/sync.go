@@ -1,0 +1,102 @@
+package trace
+
+import "repro/internal/sim"
+
+// SyncProfile extracts the synchronization time series of Appendix D from a
+// recorded execution: after every operation, the spread max_i Sent_i −
+// min_j Sent_j over the watched processors. Watching the coalition exhibits
+// Lemma D.3/D.5's 2k² bound (and the cubic attack's Θ(k²) gap); watching all
+// processors exhibits PhaseAsyncLead's O(k) lockstep.
+type SyncProfile struct {
+	// MaxGap is the maximal spread observed at any point in time.
+	MaxGap int
+	// Series is the spread after each send operation by a watched
+	// processor (one sample per such send).
+	Series []int
+}
+
+// Sync computes the profile over the watched processors (all if empty).
+func (r *Recorder) Sync(watch []sim.ProcID) SyncProfile {
+	watched := make(map[sim.ProcID]bool, len(watch))
+	if len(watch) == 0 {
+		for i := 1; i <= r.N; i++ {
+			watched[sim.ProcID(i)] = true
+		}
+	} else {
+		for _, p := range watch {
+			watched[p] = true
+		}
+	}
+	sent := make(map[sim.ProcID]int, len(watched))
+	for p := range watched {
+		sent[p] = 0
+	}
+	var prof SyncProfile
+	for _, op := range r.Ops {
+		if op.Kind != OpSend || !watched[op.Proc] {
+			continue
+		}
+		sent[op.Proc] = op.Index
+		lo, hi := int(^uint(0)>>1), 0
+		for _, s := range sent {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		gap := hi - lo
+		prof.Series = append(prof.Series, gap)
+		if gap > prof.MaxGap {
+			prof.MaxGap = gap
+		}
+	}
+	return prof
+}
+
+// CheckCausality verifies Lemma D.4 on the recorded execution: at every
+// point in time, a processor cannot have received more messages from its
+// ring predecessor than the predecessor has sent. It returns false only if
+// the simulator itself violated FIFO causality (which would be a bug, not an
+// attack).
+func (r *Recorder) CheckCausality() bool {
+	type pair struct{ from, to sim.ProcID }
+	sent := make(map[pair]int)
+	recv := make(map[pair]int)
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case OpSend:
+			sent[pair{op.Proc, op.Peer}]++
+		case OpDeliver:
+			key := pair{op.Peer, op.Proc}
+			recv[key]++
+			if recv[key] > sent[key] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SentCounts returns the final Sent_i counters.
+func (r *Recorder) SentCounts() []int {
+	out := make([]int, r.N+1)
+	for _, op := range r.Ops {
+		if op.Kind == OpSend {
+			out[op.Proc] = op.Index
+		}
+	}
+	return out
+}
+
+// ReceivedCounts returns the final Recv_i counters.
+func (r *Recorder) ReceivedCounts() []int {
+	out := make([]int, r.N+1)
+	for _, op := range r.Ops {
+		if op.Kind == OpDeliver {
+			out[op.Proc] = op.Index
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+// Package trace records executions and reconstructs the formal objects the
+// paper's resilience proofs reason about (Appendix E.1): the set of send/
+// receive events, the happens-before graph G_x, the calculation-dependency
+// graph Gc_x, synchronization profiles (the Sent_i^t counters of Appendix D),
+// and the validated/unvalidated classification of phase-protocol processors
+// (Definition E.3).
+//
+// The recorded structures let tests check the lemmas on real executions:
+// Lemma D.4 (Recv_{i+1}^t ≤ Sent_i^t), Lemma D.5 (non-failing executions are
+// 2k²-synchronized), the Lemma E.8 event orderings, and acyclicity of both
+// graphs (Remark 2 of E.1).
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// OpKind classifies a recorded operation.
+type OpKind int
+
+// Recorded operation kinds.
+const (
+	// OpSend is a message enqueue by a processor.
+	OpSend OpKind = iota + 1
+	// OpDeliver is a message being processed by a processor.
+	OpDeliver
+	// OpTerminate is a processor terminating (possibly with ⊥).
+	OpTerminate
+)
+
+// Op is one recorded operation, in execution order.
+type Op struct {
+	Kind    OpKind
+	Proc    sim.ProcID // acting processor
+	Peer    sim.ProcID // destination (send) or source (deliver)
+	Index   int        // 1-based per-processor send or receive index
+	Value   int64
+	Aborted bool // for OpTerminate
+}
+
+// Recorder is a sim.Tracer that captures the full execution sequence.
+type Recorder struct {
+	N   int
+	Ops []Op
+}
+
+var _ sim.Tracer = (*Recorder)(nil)
+
+// NewRecorder returns a Recorder for a network of n processors.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{N: n}
+}
+
+// OnSend implements sim.Tracer.
+func (r *Recorder) OnSend(from sim.ProcID, idx int, to sim.ProcID, value int64) {
+	r.Ops = append(r.Ops, Op{Kind: OpSend, Proc: from, Peer: to, Index: idx, Value: value})
+}
+
+// OnDeliver implements sim.Tracer.
+func (r *Recorder) OnDeliver(to sim.ProcID, idx int, from sim.ProcID, value int64) {
+	r.Ops = append(r.Ops, Op{Kind: OpDeliver, Proc: to, Peer: from, Index: idx, Value: value})
+}
+
+// OnTerminate implements sim.Tracer.
+func (r *Recorder) OnTerminate(p sim.ProcID, output int64, aborted bool) {
+	r.Ops = append(r.Ops, Op{Kind: OpTerminate, Proc: p, Value: output, Aborted: aborted})
+}
+
+// EventKind distinguishes the two event families of Appendix E.1.
+type EventKind int
+
+// Event kinds: send(p,i) and recv(p,i).
+const (
+	EvSend EventKind = iota + 1
+	EvRecv
+)
+
+// Event is send(p,i) or recv(p,i) in the paper's notation.
+type Event struct {
+	Kind  EventKind
+	Proc  sim.ProcID
+	Index int
+}
+
+// String renders the paper's notation.
+func (e Event) String() string {
+	if e.Kind == EvSend {
+		return fmt.Sprintf("send(%d,%d)", e.Proc, e.Index)
+	}
+	return fmt.Sprintf("recv(%d,%d)", e.Proc, e.Index)
+}
+
+// Send returns the event send(p, i).
+func Send(p sim.ProcID, i int) Event { return Event{Kind: EvSend, Proc: p, Index: i} }
+
+// Recv returns the event recv(p, i).
+func Recv(p sim.ProcID, i int) Event { return Event{Kind: EvRecv, Proc: p, Index: i} }
+
+// ValidatorSend returns s(h) = send(h, 2h): processor h sending its
+// validation value as round-h validator (phase protocols).
+func ValidatorSend(h sim.ProcID) Event { return Send(h, 2*int(h)) }
+
+// ValidatorReturn returns r(h) = send(h−1, 2h): h's ring predecessor sending
+// the message h interprets as its returning validation value.
+func ValidatorReturn(h sim.ProcID, n int) Event {
+	pred := h - 1
+	if pred < 1 {
+		pred = sim.ProcID(n)
+	}
+	return Send(pred, 2*int(h))
+}
+
+// Graph is a directed graph over the execution's events.
+type Graph struct {
+	index map[Event]int
+	nodes []Event
+	adj   [][]int
+}
+
+func newGraph() *Graph {
+	return &Graph{index: make(map[Event]int)}
+}
+
+func (g *Graph) node(e Event) int {
+	if id, ok := g.index[e]; ok {
+		return id
+	}
+	id := len(g.nodes)
+	g.index[e] = id
+	g.nodes = append(g.nodes, e)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+func (g *Graph) addEdge(from, to Event) {
+	f, t := g.node(from), g.node(to)
+	g.adj[f] = append(g.adj[f], t)
+}
+
+// Len returns the number of events in the graph.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Has reports whether the event occurred in the execution.
+func (g *Graph) Has(e Event) bool {
+	_, ok := g.index[e]
+	return ok
+}
+
+// Reaches reports whether there is a (possibly empty) path from a to b:
+// the paper's α ⤳ β relation holds iff a != b and a path exists.
+func (g *Graph) Reaches(a, b Event) bool {
+	ai, ok := g.index[a]
+	if !ok {
+		return false
+	}
+	bi, ok := g.index[b]
+	if !ok {
+		return false
+	}
+	if ai == bi {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []int{ai}
+	seen[ai] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.adj[cur] {
+			if next == bi {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// HappensBefore reports the strict relation α ⤳ β (α != β and a path
+// exists).
+func (g *Graph) HappensBefore(a, b Event) bool {
+	return a != b && g.Reaches(a, b)
+}
+
+// Acyclic reports whether the graph has no directed cycle (Remark 2).
+func (g *Graph) Acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.nodes))
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.adj[u] {
+			switch color[v] {
+			case gray:
+				return false
+			case white:
+				if !visit(v) {
+					return false
+				}
+			}
+		}
+		color[u] = black
+		return true
+	}
+	for u := range g.nodes {
+		if color[u] == white && !visit(u) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"testing/quick"
+
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/protocols/alead"
+	"repro/internal/protocols/phaselead"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func recordRun(t *testing.T, spec ring.Spec) (*Recorder, sim.Result) {
+	t.Helper()
+	rec := NewRecorder(spec.N)
+	spec.Tracer = rec
+	res, err := ring.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestHappensBeforeAcyclic(t *testing.T) {
+	rec, res := recordRun(t, ring.Spec{N: 12, Protocol: phaselead.NewDefault(), Seed: 3})
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	g := rec.HappensBefore()
+	if !g.Acyclic() {
+		t.Error("happens-before graph has a cycle (Remark 2 violated)")
+	}
+	if g.Len() == 0 {
+		t.Error("empty graph")
+	}
+}
+
+func TestCalcGraphAcyclicAndWeaker(t *testing.T) {
+	// Remark 1: calculation dependence implies happens-before.
+	const n = 10
+	rec, res := recordRun(t, ring.Spec{N: n, Protocol: phaselead.NewDefault(), Seed: 5})
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	hb := rec.HappensBefore()
+	calc := rec.CalcGraph(nil)
+	if !calc.Acyclic() {
+		t.Error("calculation graph has a cycle")
+	}
+	// Sample pairs: every calc edge endpoint pair must be HB-related.
+	for _, h := range []sim.ProcID{2, 5, 9} {
+		s, ret := ValidatorSend(h), ValidatorReturn(h, n)
+		if calc.HappensBefore(s, ret) && !hb.HappensBefore(s, ret) {
+			t.Errorf("s(%d) ⤳c r(%d) but not ⤳ in happens-before", h, h)
+		}
+	}
+}
+
+func TestLemmaE8Orderings(t *testing.T) {
+	// Lemma E.8 on an honest PhaseAsyncLead execution: for consecutive
+	// honest processors h, h+1:
+	//   (1) r(h) ⤳ s(h+1), (2) r(h) ⤳ r(h+1), (3) s(h) ⤳ s(h+1).
+	const n = 11
+	rec, res := recordRun(t, ring.Spec{N: n, Protocol: phaselead.NewDefault(), Seed: 1})
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	g := rec.HappensBefore()
+	for h := sim.ProcID(2); h < n; h++ {
+		rh, rh1 := ValidatorReturn(h, n), ValidatorReturn(h+1, n)
+		sh, sh1 := ValidatorSend(h), ValidatorSend(h+1)
+		if !g.HappensBefore(rh, sh1) {
+			t.Errorf("r(%d) does not precede s(%d)", h, h+1)
+		}
+		if !g.HappensBefore(rh, rh1) {
+			t.Errorf("r(%d) does not precede r(%d)", h, h+1)
+		}
+		if !g.HappensBefore(sh, sh1) {
+			t.Errorf("s(%d) does not precede s(%d)", h, h+1)
+		}
+	}
+}
+
+func TestAllValidatedInHonestRun(t *testing.T) {
+	// In an honest execution every processor's validation value truly
+	// depends on what it sent: s(h) ⤳c r(h) for all h (Definition E.3).
+	const n = 9
+	rec, res := recordRun(t, ring.Spec{N: n, Protocol: phaselead.NewDefault(), Seed: 2})
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	calc := rec.CalcGraph(nil)
+	for h := sim.ProcID(1); h <= n; h++ {
+		if !Validated(calc, h, n) {
+			t.Errorf("processor %d unvalidated in an honest run", h)
+		}
+	}
+}
+
+func TestCausalityAlwaysHolds(t *testing.T) {
+	// Lemma D.4 is a property of the FIFO network itself: it holds even
+	// under attack.
+	attack := attacks.Rushing{Place: attacks.PlaceStaggered}
+	dev, err := attack.Plan(216, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(216)
+	res, err := ring.Run(ring.Spec{N: 216, Protocol: alead.New(), Deviation: dev, Seed: 4, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("cubic attack failed: %v", res.Reason)
+	}
+	if !rec.CheckCausality() {
+		t.Error("Recv_{i+1} exceeded Sent_i at some time point (Lemma D.4)")
+	}
+}
+
+func TestSyncGapHonestALead(t *testing.T) {
+	// Honest A-LEADuni is 1-synchronized: |Sent_i − Sent_j| ≤ 1 always.
+	rec, res := recordRun(t, ring.Spec{N: 20, Protocol: alead.New(), Seed: 6})
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	prof := rec.Sync(nil)
+	if prof.MaxGap > 1 {
+		t.Errorf("honest A-LEADuni sync gap %d, want ≤ 1", prof.MaxGap)
+	}
+}
+
+func TestSyncGapPhaseVsCubic(t *testing.T) {
+	// The paper's Section 6 motivation, measured: the cubic attack on
+	// A-LEADuni drives the coalition's send-count spread to Θ(k²), while
+	// PhaseAsyncLead's validation keeps every deviation we can run at
+	// O(k).
+	const n = 216
+	cubic := attacks.Rushing{Place: attacks.PlaceStaggered}
+	dev, err := cubic.Plan(n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(dev.Coalition)
+	rec := NewRecorder(n)
+	res, err := ring.Run(ring.Spec{N: n, Protocol: alead.New(), Deviation: dev, Seed: 8, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("cubic attack failed: %v", res.Reason)
+	}
+	aleadGap := rec.Sync(dev.Coalition).MaxGap
+
+	proto := phaselead.NewDefault()
+	phase := attacks.PhaseRushing{Protocol: proto}
+	pdev, err := phase.Plan(n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := NewRecorder(n)
+	pres, err := ring.Run(ring.Spec{N: n, Protocol: proto, Deviation: pdev, Seed: 8, Tracer: prec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Failed {
+		t.Fatalf("phase rushing failed: %v", pres.Reason)
+	}
+	phaseGap := prec.Sync(pdev.Coalition).MaxGap
+
+	if aleadGap < k*(k-1)/4 {
+		t.Errorf("cubic attack gap %d; expected Ω(k²)≈%d", aleadGap, k*k)
+	}
+	kPhase := len(pdev.Coalition)
+	if phaseGap > 4*kPhase {
+		t.Errorf("phase-protocol gap %d with k=%d; expected O(k)", phaseGap, kPhase)
+	}
+}
+
+func TestSentReceivedCounts(t *testing.T) {
+	const n = 7
+	rec, res := recordRun(t, ring.Spec{N: n, Protocol: alead.New(), Seed: 0})
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	for i := 1; i <= n; i++ {
+		if got := rec.SentCounts()[i]; got != n {
+			t.Errorf("Sent_%d = %d, want %d", i, got, n)
+		}
+		if got := rec.ReceivedCounts()[i]; got != n {
+			t.Errorf("Recv_%d = %d, want %d", i, got, n)
+		}
+	}
+}
+
+func TestGraphPropertiesQuick(t *testing.T) {
+	// Property check over random configurations: for every protocol,
+	// ring size and seed, the happens-before graph is acyclic, causality
+	// holds, and (for the phase protocol) every honest validator is
+	// validated in the calculation graph.
+	if err := quick.Check(func(nRaw, seedRaw uint8, phase bool) bool {
+		n := int(nRaw%14) + 4
+		seed := int64(seedRaw)
+		var proto ring.Protocol = alead.New()
+		if phase {
+			proto = phaselead.NewDefault()
+		}
+		rec := NewRecorder(n)
+		res, err := ring.Run(ring.Spec{N: n, Protocol: proto, Seed: seed, Tracer: rec})
+		if err != nil || res.Failed {
+			return false
+		}
+		if !rec.HappensBefore().Acyclic() || !rec.CheckCausality() {
+			return false
+		}
+		if phase {
+			calc := rec.CalcGraph(nil)
+			if !calc.Acyclic() {
+				return false
+			}
+			for h := sim.ProcID(1); h <= sim.ProcID(n); h++ {
+				if !Validated(calc, h, n) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if got := Send(3, 7).String(); got != "send(3,7)" {
+		t.Errorf("Send string = %q", got)
+	}
+	if got := Recv(2, 4).String(); got != "recv(2,4)" {
+		t.Errorf("Recv string = %q", got)
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/protocols/phaselead"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// guesser behaves like an honest phase processor except in round rstar: it
+// emits a guessed validation value immediately after its data send — before
+// the true circulating value reaches it — and swallows the real one. The
+// round-rstar validator then receives a value computed independently of what
+// it sent: Definition E.3's "unvalidated" case, which the validator
+// punishes by aborting with probability 1−1/m.
+type guesser struct {
+	n     int
+	pos   int
+	rstar int
+
+	buffer   int64
+	round    int
+	received int
+}
+
+var _ sim.Strategy = (*guesser)(nil)
+
+func (g *guesser) Init(*sim.Context) { g.buffer = 0 }
+
+func (g *guesser) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	g.received++
+	if g.received%2 == 1 { // data
+		ctx.Send(g.buffer)
+		g.round++
+		g.buffer = value
+		if g.round == g.rstar {
+			ctx.Send(0) // the early guess for v_{rstar}
+		}
+		if g.round == g.pos {
+			ctx.Send(0) // own validator round: junk, unchecked
+		}
+		return
+	}
+	// validation
+	switch g.round {
+	case g.rstar, g.pos:
+		// Swallow: the guess (or our own junk) already went out.
+	default:
+		ctx.Send(value)
+	}
+}
+
+func TestGuessedValidationIsUnvalidatedAndAborts(t *testing.T) {
+	const (
+		n     = 9
+		adv   = sim.ProcID(7)
+		rstar = sim.ProcID(3)
+	)
+	dev := &ring.Deviation{
+		Coalition:  []sim.ProcID{adv},
+		Strategies: map[sim.ProcID]sim.Strategy{adv: &guesser{n: n, pos: int(adv), rstar: int(rstar)}},
+	}
+	rec := NewRecorder(n)
+	res, err := ring.Run(ring.Spec{N: n, Protocol: phaselead.NewDefault(), Deviation: dev, Seed: 6, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime: the validator catches the guess (m = 2n², so a correct
+	// guess at this seed would be a miracle).
+	if !res.Failed || res.Reason != sim.FailAbort {
+		t.Fatalf("got (%v,%v), want abort by the guessed validator", res.Failed, res.Reason)
+	}
+	if res.Statuses[rstar] != sim.StatusAborted {
+		t.Fatalf("validator %d status %v, want aborted", rstar, res.Statuses[rstar])
+	}
+
+	// Structure: the calculation-dependency graph shows WHY — the value
+	// that returned to the validator does not depend on what it sent.
+	calc := rec.CalcGraph(dev.Coalition)
+	if Validated(calc, rstar, n) {
+		t.Errorf("round-%d validator classified as validated despite the guess", rstar)
+	}
+	// Earlier rounds completed honestly and stay validated.
+	for _, h := range []sim.ProcID{1, 2} {
+		if !Validated(calc, h, n) {
+			t.Errorf("validator %d should be validated (its round preceded the guess)", h)
+		}
+	}
+}

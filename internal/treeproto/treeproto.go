@@ -1,0 +1,192 @@
+// Package treeproto implements a natural fair-leader-election protocol on
+// tree networks — convergecast the secret sum to a root, broadcast the
+// winner back — and the single rational agent that breaks it.
+//
+// Trees are 1-simulated trees, so by Theorem 7.2 no tree topology admits a
+// fair leader election protocol resilient to even one rational agent. This
+// package makes that concrete: the root of the convergecast sees every
+// other secret before contributing its own and therefore dictates the
+// outcome, while honest executions elect uniformly. (The theorem says some
+// node can always cheat in any protocol; the Lemma F.2 solver in the
+// twoparty package shows the structural side, and this package shows it in
+// the message-passing model.) It also exercises the simulator on general
+// multi-link topologies, where the message schedule is no longer trivially
+// equivalent.
+package treeproto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/simgraph"
+)
+
+// Protocol is the convergecast/broadcast election on a rooted tree.
+type Protocol struct {
+	tree     *simgraph.Graph
+	root     int
+	parent   []int
+	children [][]int
+}
+
+// New validates the tree and orients it at the given root.
+func New(tree *simgraph.Graph, root int) (*Protocol, error) {
+	if !tree.IsTree() {
+		return nil, errors.New("treeproto: graph is not a tree")
+	}
+	if root < 1 || root > tree.N {
+		return nil, fmt.Errorf("treeproto: root %d out of range [1,%d]", root, tree.N)
+	}
+	p := &Protocol{
+		tree:     tree,
+		root:     root,
+		parent:   make([]int, tree.N+1),
+		children: make([][]int, tree.N+1),
+	}
+	// BFS orientation from the root.
+	seen := make([]bool, tree.N+1)
+	seen[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range tree.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				p.parent[w] = v
+				p.children[v] = append(p.children[v], w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Spec describes one tree election.
+type Spec struct {
+	// Seed drives all processor randomness.
+	Seed int64
+	// Scheduler defaults to FIFO; on trees different oblivious schedules
+	// genuinely interleave differently (unlike on the ring).
+	Scheduler sim.Scheduler
+	// AdversaryRoot, when true, replaces the root's strategy with a
+	// dictator that announces Target regardless of the secrets.
+	AdversaryRoot bool
+	// Target is the leader the adversarial root forces.
+	Target int64
+}
+
+// Run executes one election.
+func (p *Protocol) Run(spec Spec) (sim.Result, error) {
+	n := p.tree.N
+	strategies := make([]sim.Strategy, n)
+	for v := 1; v <= n; v++ {
+		node := &node{
+			n:        n,
+			self:     v,
+			isRoot:   v == p.root,
+			parent:   sim.ProcID(p.parent[v]),
+			children: p.children[v],
+			pending:  len(p.children[v]),
+		}
+		if v == p.root && spec.AdversaryRoot {
+			strategies[v-1] = &dictatorRoot{node: *node, target: spec.Target}
+		} else {
+			strategies[v-1] = node
+		}
+	}
+	edges := make([]sim.Edge, 0, 2*(n-1))
+	for _, e := range p.tree.Edges() {
+		edges = append(edges,
+			sim.Edge{From: sim.ProcID(e[0]), To: sim.ProcID(e[1])},
+			sim.Edge{From: sim.ProcID(e[1]), To: sim.ProcID(e[0])})
+	}
+	net, err := sim.New(sim.Config{
+		Strategies: strategies,
+		Edges:      edges,
+		Seed:       spec.Seed,
+		Scheduler:  spec.Scheduler,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return net.Run(), nil
+}
+
+// node is one honest participant: it draws a secret, accumulates its
+// subtree's sum, reports it to its parent, and relays the root's
+// announcement downward.
+type node struct {
+	n        int
+	self     int
+	isRoot   bool
+	parent   sim.ProcID
+	children []int
+	pending  int
+	sum      int64
+}
+
+var _ sim.Strategy = (*node)(nil)
+
+func (nd *node) Init(ctx *sim.Context) {
+	nd.sum = ctx.Rand().Int63n(int64(nd.n))
+	if nd.pending == 0 {
+		nd.flush(ctx)
+	}
+}
+
+// flush fires when the subtree sum is complete.
+func (nd *node) flush(ctx *sim.Context) {
+	if nd.isRoot {
+		leader := ring.LeaderFromSum(nd.sum, nd.n)
+		nd.announce(ctx, leader)
+		return
+	}
+	ctx.SendTo(nd.parent, ring.Mod(nd.sum, nd.n))
+}
+
+func (nd *node) announce(ctx *sim.Context, leader int64) {
+	for _, c := range nd.children {
+		ctx.SendTo(sim.ProcID(c), leader)
+	}
+	ctx.Terminate(leader)
+}
+
+func (nd *node) Receive(ctx *sim.Context, from sim.ProcID, value int64) {
+	if !nd.isRoot && from == nd.parent {
+		// Announcement from above: relay and finish.
+		nd.announce(ctx, value)
+		return
+	}
+	// Subtree report from a child.
+	nd.sum = ring.Mod(nd.sum+value, nd.n)
+	nd.pending--
+	if nd.pending == 0 {
+		nd.flush(ctx)
+	}
+}
+
+// dictatorRoot gathers like an honest root but announces its target: the
+// single rational agent Theorem 7.2 promises on every tree.
+type dictatorRoot struct {
+	node
+	target int64
+}
+
+var _ sim.Strategy = (*dictatorRoot)(nil)
+
+func (d *dictatorRoot) Init(ctx *sim.Context) {
+	d.sum = 0 // its "secret" is irrelevant
+	if d.pending == 0 {
+		d.announce(ctx, d.target)
+	}
+}
+
+func (d *dictatorRoot) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	d.pending--
+	if d.pending == 0 {
+		d.announce(ctx, d.target)
+	}
+}

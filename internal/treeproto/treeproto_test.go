@@ -1,0 +1,138 @@
+package treeproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simgraph"
+)
+
+func randomTree(t *testing.T, n int, seed int64) *simgraph.Graph {
+	t.Helper()
+	g, err := simgraph.NewGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(perm[i]+1, perm[rng.Intn(i)]+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestHonestElectionSucceeds(t *testing.T) {
+	for _, build := range []func() *simgraph.Graph{
+		func() *simgraph.Graph { g, _ := simgraph.Path(7); return g },
+		func() *simgraph.Graph { g, _ := simgraph.Star(9); return g },
+		func() *simgraph.Graph { return randomTree(t, 15, 3) },
+	} {
+		g := build()
+		proto, err := New(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := proto.Run(Spec{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: honest tree election failed: %v", g.N, seed, res.Reason)
+			}
+			if res.Output < 1 || res.Output > int64(g.N) {
+				t.Fatalf("leader %d out of range [1,%d]", res.Output, g.N)
+			}
+		}
+	}
+}
+
+func TestHonestUniformity(t *testing.T) {
+	g := randomTree(t, 8, 5)
+	proto, err := New(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, g.N+1)
+	const trials = 4000
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := proto.Run(Spec{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("seed=%d failed: %v", seed, res.Reason)
+		}
+		counts[res.Output]++
+	}
+	want := float64(trials) / float64(g.N)
+	for j := 1; j <= g.N; j++ {
+		if got := float64(counts[j]); got < want*0.7 || got > want*1.3 {
+			t.Errorf("leader %d elected %v times, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestScheduleIndependenceOfOutcome(t *testing.T) {
+	// On trees the schedules interleave differently, but the convergecast
+	// sums are order-invariant: the outcome must match across schedulers.
+	g := randomTree(t, 12, 9)
+	proto, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first int64
+	for i, s := range []sim.Scheduler{sim.FIFOScheduler{}, sim.LIFOScheduler{}, sim.NewRandomScheduler(1)} {
+		res, err := proto.Run(Spec{Seed: 4, Scheduler: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("failed under %T: %v", s, res.Reason)
+		}
+		if i == 0 {
+			first = res.Output
+		} else if res.Output != first {
+			t.Fatalf("outcome differs across schedules: %d vs %d", res.Output, first)
+		}
+	}
+}
+
+func TestRootDictates(t *testing.T) {
+	// Theorem 7.2 with k = 1, executed: the root forces any target on
+	// every tree shape and every seed.
+	for _, target := range []int64{1, 5, 11} {
+		g := randomTree(t, 11, 7)
+		proto, err := New(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := proto.Run(Spec{Seed: seed, AdversaryRoot: true, Target: target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed || res.Output != target {
+				t.Fatalf("target=%d seed=%d: failed=%v output=%d",
+					target, seed, res.Failed, res.Output)
+			}
+		}
+	}
+}
+
+func TestRejectsNonTrees(t *testing.T) {
+	ringGraph, err := simgraph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ringGraph, 1); err == nil {
+		t.Error("ring accepted as a tree")
+	}
+	path, _ := simgraph.Path(4)
+	if _, err := New(path, 9); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}

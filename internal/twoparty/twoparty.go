@@ -1,0 +1,313 @@
+// Package twoparty models finite two-party coin-toss protocols and computes
+// which party can "assure" which outcome (Definition F.1), the engine behind
+// the impossibility results of Section 7 / Appendix F.
+//
+// A protocol is a finite message tree: each internal node names the party
+// whose turn it is and a table mapping that party's private input to the
+// message it honestly sends; leaves carry the outcome bit. An adversarial
+// party may send any message with a defined continuation, while the honest
+// party follows its table — revealing information about its input that the
+// adversary exploits. A party assures bit b if it has a deviation forcing
+// outcome b against every input of its honest opponent (Definition F.1).
+//
+// Lemma F.2 states the dichotomy: in every such protocol either some bit is
+// assured by both parties (a favourable value), or one party assures both
+// bits (a dictator). The Assures solver makes the lemma executable, and the
+// package's property tests check it over enumerated and random protocols —
+// which is the paper's route to "no tree network admits a 1-resilient fair
+// coin toss" (Lemma F.3) and then Theorem 7.2.
+package twoparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Party identifies one of the two participants.
+type Party int
+
+// The two parties.
+const (
+	PartyA Party = iota + 1
+	PartyB
+)
+
+// Other returns the opponent.
+func (p Party) Other() Party {
+	if p == PartyA {
+		return PartyB
+	}
+	return PartyA
+}
+
+// String implements fmt.Stringer.
+func (p Party) String() string {
+	if p == PartyA {
+		return "A"
+	}
+	return "B"
+}
+
+// Node is one position of the protocol tree.
+type Node struct {
+	// Leaf, when non-nil, ends the protocol with outcome *Leaf ∈ {0,1}.
+	Leaf *int
+	// Turn is the party that sends at this node (internal nodes only).
+	Turn Party
+	// Msg maps the sender's input index to the message it honestly
+	// sends; every entry must be a key of Next.
+	Msg []int
+	// Next maps messages to continuations. Keys beyond the range of Msg
+	// are moves only an adversarial sender would play.
+	Next map[int]*Node
+}
+
+// LeafNode returns a leaf with the given outcome bit.
+func LeafNode(bit int) *Node { return &Node{Leaf: &bit} }
+
+// Protocol is a finite two-party coin-toss protocol.
+type Protocol struct {
+	// Root is the first position; PartyA's input space has InputsA
+	// elements, PartyB's InputsB.
+	Root    *Node
+	InputsA int
+	InputsB int
+}
+
+// Validate checks structural sanity: every honest message has a
+// continuation, input tables have the right size, leaves carry bits.
+func (p *Protocol) Validate() error {
+	if p.InputsA < 1 || p.InputsB < 1 {
+		return errors.New("twoparty: empty input space")
+	}
+	if p.InputsA > 30 || p.InputsB > 30 {
+		return errors.New("twoparty: input space too large for the bitmask solver")
+	}
+	return p.validateNode(p.Root)
+}
+
+func (p *Protocol) validateNode(n *Node) error {
+	if n == nil {
+		return errors.New("twoparty: nil node")
+	}
+	if n.Leaf != nil {
+		if *n.Leaf != 0 && *n.Leaf != 1 {
+			return fmt.Errorf("twoparty: leaf outcome %d", *n.Leaf)
+		}
+		return nil
+	}
+	if n.Turn != PartyA && n.Turn != PartyB {
+		return fmt.Errorf("twoparty: bad turn %d", n.Turn)
+	}
+	inputs := p.InputsA
+	if n.Turn == PartyB {
+		inputs = p.InputsB
+	}
+	if len(n.Msg) != inputs {
+		return fmt.Errorf("twoparty: %s node has %d-entry table, want %d", n.Turn, len(n.Msg), inputs)
+	}
+	if len(n.Next) == 0 {
+		return errors.New("twoparty: internal node with no continuations")
+	}
+	for input, m := range n.Msg {
+		if n.Next[m] == nil {
+			return fmt.Errorf("twoparty: %s input %d sends %d with no continuation", n.Turn, input, m)
+		}
+	}
+	for _, child := range n.Next {
+		if err := p.validateNode(child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outcome plays the protocol honestly with the given inputs.
+func (p *Protocol) Outcome(inputA, inputB int) int {
+	node := p.Root
+	for node.Leaf == nil {
+		input := inputA
+		if node.Turn == PartyB {
+			input = inputB
+		}
+		node = node.Next[node.Msg[input]]
+	}
+	return *node.Leaf
+}
+
+// IsFair reports whether the honest outcome over uniform independent inputs
+// is exactly balanced (possible only when InputsA·InputsB is even).
+func (p *Protocol) IsFair() bool {
+	ones := 0
+	for a := 0; a < p.InputsA; a++ {
+		for b := 0; b < p.InputsB; b++ {
+			ones += p.Outcome(a, b)
+		}
+	}
+	return 2*ones == p.InputsA*p.InputsB
+}
+
+// Assures reports whether the given party has an adversarial deviation that
+// forces outcome bit for every input of its honest opponent and every
+// message schedule (Definition F.1). The solver walks the protocol tree
+// with the set of opponent inputs consistent with the history: at the
+// adversary's turn it may pick any continuation (∃); at the opponent's turn
+// the honest message partitions the consistent inputs, and the adversary
+// must win every non-empty class (∀).
+func (p *Protocol) Assures(party Party, bit int) bool {
+	oppInputs := p.InputsB
+	if party == PartyB {
+		oppInputs = p.InputsA
+	}
+	full := uint32(1)<<oppInputs - 1
+	memo := make(map[assureKey]bool)
+	return p.assures(p.Root, party, bit, full, memo)
+}
+
+type assureKey struct {
+	node *Node
+	opp  uint32
+}
+
+func (p *Protocol) assures(n *Node, party Party, bit int, opp uint32, memo map[assureKey]bool) bool {
+	if n.Leaf != nil {
+		return *n.Leaf == bit
+	}
+	key := assureKey{n, opp}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	var result bool
+	if n.Turn == party {
+		// Adversary's move: any defined continuation.
+		for _, child := range n.Next {
+			if p.assures(child, party, bit, opp, memo) {
+				result = true
+				break
+			}
+		}
+	} else {
+		// Honest opponent's move: its input (within the consistent set)
+		// determines the message; the adversary must handle every class.
+		classes := make(map[int]uint32)
+		for input := 0; input < len(n.Msg); input++ {
+			if opp&(1<<input) != 0 {
+				classes[n.Msg[input]] |= 1 << input
+			}
+		}
+		result = true
+		for m, class := range classes {
+			if !p.assures(n.Next[m], party, bit, class, memo) {
+				result = false
+				break
+			}
+		}
+	}
+	memo[key] = result
+	return result
+}
+
+// Verdict classifies a protocol per Lemma F.2.
+type Verdict struct {
+	// AssuresZero[p] / AssuresOne[p] report what party p can force.
+	AssuresZero map[Party]bool
+	AssuresOne  map[Party]bool
+}
+
+// Dictator returns the dictating party, if any: one that assures both bits.
+func (v Verdict) Dictator() (Party, bool) {
+	for _, p := range []Party{PartyA, PartyB} {
+		if v.AssuresZero[p] && v.AssuresOne[p] {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Favourable returns a bit assured by both parties, if any.
+func (v Verdict) Favourable() (int, bool) {
+	if v.AssuresZero[PartyA] && v.AssuresZero[PartyB] {
+		return 0, true
+	}
+	if v.AssuresOne[PartyA] && v.AssuresOne[PartyB] {
+		return 1, true
+	}
+	return 0, false
+}
+
+// SatisfiesLemmaF2 checks the dichotomy: (A assures 0 ∨ B assures 1) and
+// (A assures 1 ∨ B assures 0).
+func (v Verdict) SatisfiesLemmaF2() bool {
+	first := v.AssuresZero[PartyA] || v.AssuresOne[PartyB]
+	second := v.AssuresOne[PartyA] || v.AssuresZero[PartyB]
+	return first && second
+}
+
+// Classify computes the full verdict.
+func (p *Protocol) Classify() Verdict {
+	return Verdict{
+		AssuresZero: map[Party]bool{
+			PartyA: p.Assures(PartyA, 0),
+			PartyB: p.Assures(PartyB, 0),
+		},
+		AssuresOne: map[Party]bool{
+			PartyA: p.Assures(PartyA, 1),
+			PartyB: p.Assures(PartyB, 1),
+		},
+	}
+}
+
+// RandomProtocol generates a random protocol tree for property testing:
+// depth levels of alternating-ish turns, the given alphabet size, and
+// random leaf bits and input tables.
+func RandomProtocol(rng *rand.Rand, inputsA, inputsB, depth, alphabet int) *Protocol {
+	p := &Protocol{InputsA: inputsA, InputsB: inputsB}
+	p.Root = p.randomNode(rng, depth, alphabet)
+	return p
+}
+
+func (p *Protocol) randomNode(rng *rand.Rand, depth, alphabet int) *Node {
+	if depth == 0 {
+		return LeafNode(rng.Intn(2))
+	}
+	turn := PartyA
+	if rng.Intn(2) == 1 {
+		turn = PartyB
+	}
+	inputs := p.InputsA
+	if turn == PartyB {
+		inputs = p.InputsB
+	}
+	n := &Node{Turn: turn, Msg: make([]int, inputs), Next: make(map[int]*Node, alphabet)}
+	for m := 0; m < alphabet; m++ {
+		n.Next[m] = p.randomNode(rng, depth-1, alphabet)
+	}
+	for i := range n.Msg {
+		n.Msg[i] = rng.Intn(alphabet)
+	}
+	return n
+}
+
+// XORProtocol is the classic example: A announces its input bit, then B
+// announces its bit, and the outcome is the XOR. The second mover is a
+// dictator.
+func XORProtocol() *Protocol {
+	leaf := func(bit int) *Node { return LeafNode(bit) }
+	bNode := func(aBit int) *Node {
+		return &Node{
+			Turn: PartyB,
+			Msg:  []int{0, 1},
+			Next: map[int]*Node{0: leaf(aBit ^ 0), 1: leaf(aBit ^ 1)},
+		}
+	}
+	return &Protocol{
+		InputsA: 2,
+		InputsB: 2,
+		Root: &Node{
+			Turn: PartyA,
+			Msg:  []int{0, 1},
+			Next: map[int]*Node{0: bNode(0), 1: bNode(1)},
+		},
+	}
+}

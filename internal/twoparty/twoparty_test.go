@@ -1,0 +1,172 @@
+package twoparty
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestXORProtocolSecondMoverDictates(t *testing.T) {
+	p := XORProtocol()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsFair() {
+		t.Fatal("XOR protocol should be a fair coin toss")
+	}
+	v := p.Classify()
+	dict, ok := v.Dictator()
+	if !ok || dict != PartyB {
+		t.Fatalf("dictator = %v (ok=%v), want B", dict, ok)
+	}
+	if v.AssuresZero[PartyA] || v.AssuresOne[PartyA] {
+		t.Error("first mover should assure nothing in XOR exchange")
+	}
+	if !v.SatisfiesLemmaF2() {
+		t.Error("Lemma F.2 dichotomy violated")
+	}
+}
+
+func TestConstantProtocolFavourable(t *testing.T) {
+	// A protocol that always outputs 1 has favourable value 1.
+	p := &Protocol{InputsA: 2, InputsB: 2, Root: LeafNode(1)}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := p.Classify()
+	if bit, ok := v.Favourable(); !ok || bit != 1 {
+		t.Fatalf("favourable = (%d,%v), want (1,true)", bit, ok)
+	}
+	if _, ok := v.Dictator(); ok {
+		t.Error("constant protocol should have no dictator")
+	}
+	if !v.SatisfiesLemmaF2() {
+		t.Error("Lemma F.2 dichotomy violated")
+	}
+}
+
+func TestFirstMoverAnnouncesOutcome(t *testing.T) {
+	// A announces the outcome directly: A dictates.
+	p := &Protocol{
+		InputsA: 2, InputsB: 2,
+		Root: &Node{
+			Turn: PartyA,
+			Msg:  []int{0, 1},
+			Next: map[int]*Node{0: LeafNode(0), 1: LeafNode(1)},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := p.Classify()
+	if dict, ok := v.Dictator(); !ok || dict != PartyA {
+		t.Fatalf("dictator = (%v,%v), want A", dict, ok)
+	}
+}
+
+func TestLemmaF2OnRandomProtocols(t *testing.T) {
+	// The dichotomy must hold for EVERY protocol; check it over a large
+	// random family, including unfair ones.
+	rng := rand.New(rand.NewSource(42))
+	fairChecked := 0
+	for trial := 0; trial < 400; trial++ {
+		p := RandomProtocol(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(4), 1+rng.Intn(3))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random protocol: %v", trial, err)
+		}
+		v := p.Classify()
+		if !v.SatisfiesLemmaF2() {
+			t.Fatalf("trial %d: Lemma F.2 dichotomy violated: %+v", trial, v)
+		}
+		if p.IsFair() {
+			fairChecked++
+			// Corollary for fair protocols: someone assures a bit,
+			// so no fair two-party coin toss is 1-resilient.
+			someone := v.AssuresZero[PartyA] || v.AssuresZero[PartyB] ||
+				v.AssuresOne[PartyA] || v.AssuresOne[PartyB]
+			if !someone {
+				t.Fatalf("trial %d: fair protocol where nobody assures anything", trial)
+			}
+		}
+	}
+	if fairChecked < 20 {
+		t.Logf("only %d fair protocols among 400 random ones", fairChecked)
+	}
+}
+
+func TestDeepProtocolDictatorship(t *testing.T) {
+	// Multi-round alternation: whoever moves last with full knowledge
+	// dictates in a "parity of all messages" protocol.
+	mk := func(depth int) *Protocol {
+		p := &Protocol{InputsA: 2, InputsB: 2}
+		var build func(turn Party, parity, d int) *Node
+		build = func(turn Party, parity, d int) *Node {
+			if d == 0 {
+				return LeafNode(parity)
+			}
+			return &Node{
+				Turn: turn,
+				Msg:  []int{0, 1},
+				Next: map[int]*Node{
+					0: build(turn.Other(), parity, d-1),
+					1: build(turn.Other(), parity^1, d-1),
+				},
+			}
+		}
+		p.Root = build(PartyA, 0, depth)
+		return p
+	}
+	// Depth 2: B moves last having seen A's (input-revealing) message,
+	// while A moved blind — B alone dictates. Depth ≥ 3: honest messages
+	// reveal inputs, so every later mover can predict all remaining
+	// honest messages, and BOTH parties dictate.
+	p2 := mk(2)
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := p2.Classify()
+	if dict, ok := v2.Dictator(); !ok || dict != PartyB {
+		t.Errorf("depth 2: dictator = (%v,%v), want B", dict, ok)
+	}
+	if v2.AssuresZero[PartyA] || v2.AssuresOne[PartyA] {
+		t.Error("depth 2: blind first mover should assure nothing")
+	}
+	for depth := 3; depth <= 6; depth++ {
+		p := mk(depth)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		v := p.Classify()
+		for _, party := range []Party{PartyA, PartyB} {
+			if !v.AssuresZero[party] || !v.AssuresOne[party] {
+				t.Errorf("depth %d: %v should dictate (inputs are revealed)", depth, party)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBrokenProtocols(t *testing.T) {
+	broken := &Protocol{InputsA: 2, InputsB: 2,
+		Root: &Node{Turn: PartyA, Msg: []int{0, 7}, Next: map[int]*Node{0: LeafNode(0)}}}
+	if err := broken.Validate(); err == nil {
+		t.Error("missing continuation accepted")
+	}
+	badLeaf := &Protocol{InputsA: 1, InputsB: 1, Root: LeafNode(3)}
+	if err := badLeaf.Validate(); err == nil {
+		t.Error("non-bit leaf accepted")
+	}
+	tooBig := &Protocol{InputsA: 40, InputsB: 1, Root: LeafNode(0)}
+	if err := tooBig.Validate(); err == nil {
+		t.Error("oversized input space accepted")
+	}
+}
+
+func TestOutcomeDeterminism(t *testing.T) {
+	p := XORProtocol()
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if got := p.Outcome(a, b); got != a^b {
+				t.Errorf("Outcome(%d,%d) = %d, want %d", a, b, got, a^b)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package wakeup implements the wake-up phase of the original Abraham et
+// al. protocol (discussed in Appendix H): processors do not know each
+// other's identities in advance, so every processor first circulates its id
+// around the ring. When a processor's own id returns it has seen all n ids
+// in ring order; all processors then agree that the minimal id acts as the
+// origin and run A-LEADuni re-indexed accordingly.
+//
+// The paper notes that the Section 4 attacks survive this extension — the
+// adversaries simply participate honestly in the wake-up — while the
+// resilience proofs do not obviously extend (adversaries might abuse the
+// phase to move information). This package makes the first half executable:
+// attacks.WakeupRushing forces outcomes against the combined protocol
+// exactly as against bare A-LEADuni.
+//
+// Message typing is positional, as everywhere in the reproduction: the
+// first n messages a processor handles are wake-up ids, everything after is
+// the A-LEADuni flow. FIFO links make the phases separate cleanly.
+package wakeup
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Protocol is A-LEADuni preceded by the id wake-up phase.
+type Protocol struct {
+	// IDs optionally pins each position's id (IDs[pos−1]); nil draws
+	// distinct random 62-bit ids at wake-up. Ids must be non-negative
+	// and pairwise distinct.
+	IDs []int64
+}
+
+var _ ring.Protocol = Protocol{}
+
+// New returns the combined protocol with random ids.
+func New() Protocol { return Protocol{} }
+
+// NewWithIDs pins the ids, e.g. to place the origin deterministically.
+func NewWithIDs(ids []int64) Protocol { return Protocol{IDs: ids} }
+
+// Name implements ring.Protocol.
+func (Protocol) Name() string { return "Wakeup+A-LEADuni" }
+
+// Strategies implements ring.Protocol.
+func (p Protocol) Strategies(n int) ([]sim.Strategy, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("wakeup: need n ≥ 2, got %d", n)
+	}
+	if p.IDs != nil {
+		if len(p.IDs) != n {
+			return nil, fmt.Errorf("wakeup: %d ids for n=%d", len(p.IDs), n)
+		}
+		seen := make(map[int64]bool, n)
+		for _, id := range p.IDs {
+			if id < 0 || seen[id] {
+				return nil, fmt.Errorf("wakeup: ids must be distinct and non-negative")
+			}
+			seen[id] = true
+		}
+	}
+	strategies := make([]sim.Strategy, n)
+	for i := 0; i < n; i++ {
+		part := &participant{n: n, pos: i + 1}
+		if p.IDs != nil {
+			part.id = p.IDs[i]
+			part.idPinned = true
+		}
+		strategies[i] = part
+	}
+	return strategies, nil
+}
+
+// participant runs the wake-up phase and then A-LEADuni in the learned
+// indexing.
+type participant struct {
+	n        int
+	pos      int
+	id       int64
+	idPinned bool
+
+	// Wake-up state: ids in arrival order; ids[j] belongs to the ring
+	// position j hops behind us.
+	wakeSeen int
+	ids      []int64
+
+	// Election state (A-LEADuni re-indexed).
+	originPos int // ring position acting as origin (minimal id)
+	isOrigin  bool
+	secret    int64
+	buffer    int64
+	sum       int64
+	received  int
+}
+
+var _ sim.Strategy = (*participant)(nil)
+
+func (p *participant) Init(ctx *sim.Context) {
+	if !p.idPinned {
+		p.id = ctx.Rand().Int63()
+	}
+	p.ids = make([]int64, p.n+1)
+	ctx.Send(p.id)
+}
+
+func (p *participant) Receive(ctx *sim.Context, from sim.ProcID, value int64) {
+	if p.wakeSeen < p.n {
+		p.wakeUpStep(ctx, value)
+		return
+	}
+	p.electionStep(ctx, value)
+}
+
+func (p *participant) wakeUpStep(ctx *sim.Context, value int64) {
+	p.wakeSeen++
+	p.ids[p.wakeSeen] = value
+	if p.wakeSeen < p.n {
+		ctx.Send(value) // forward foreign ids
+		return
+	}
+	// Our own id returned: we know every id in ring order.
+	if value != p.id {
+		ctx.Abort() // the ring is corrupted
+		return
+	}
+	minJ := 1
+	for j := 2; j <= p.n; j++ {
+		if p.ids[j] < p.ids[minJ] {
+			minJ = j
+		}
+	}
+	// ids[j] belongs to position (pos − j) mod n.
+	p.originPos = (p.pos-minJ-1+2*p.n)%p.n + 1
+	p.isOrigin = p.originPos == p.pos
+	p.secret = ctx.Rand().Int63n(int64(p.n))
+	if p.isOrigin {
+		ctx.Send(p.secret) // the origin opens the election
+	} else {
+		p.buffer = p.secret
+	}
+}
+
+// electionStep is A-LEADuni (Section 3) with the origin at originPos; the
+// final output is the winning ring position, identically computable by
+// every processor from the common sum.
+func (p *participant) electionStep(ctx *sim.Context, value int64) {
+	value = ring.Mod(value, p.n)
+	p.received++
+	if p.isOrigin {
+		p.sum = ring.Mod(p.sum+value, p.n)
+		if p.received < p.n {
+			ctx.Send(value)
+			return
+		}
+		p.finish(ctx, value)
+		return
+	}
+	ctx.Send(p.buffer)
+	p.buffer = value
+	p.sum = ring.Mod(p.sum+value, p.n)
+	if p.received == p.n {
+		p.finish(ctx, value)
+	}
+}
+
+func (p *participant) finish(ctx *sim.Context, last int64) {
+	if last != p.secret {
+		ctx.Abort()
+		return
+	}
+	ctx.Terminate(p.winner())
+}
+
+// winner maps the common sum to a ring position, offset by the origin so
+// that every logical index is equally likely regardless of where the
+// minimal id landed.
+func (p *participant) winner() int64 {
+	return int64((p.originPos-1+int(ring.Mod(p.sum, p.n)))%p.n) + 1
+}
+
+// PhaseShift adapts an election-phase strategy (e.g. a rushing adversary)
+// to the combined protocol: it participates honestly in the wake-up with
+// the given id, then delegates every later message to the inner strategy.
+// The inner strategy must not send during Init (all of the paper's ring
+// adversaries satisfy this).
+type PhaseShift struct {
+	N     int
+	ID    int64
+	Inner sim.Strategy
+
+	seen int
+}
+
+var _ sim.Strategy = (*PhaseShift)(nil)
+
+// Init sends the id and initializes the inner strategy.
+func (p *PhaseShift) Init(ctx *sim.Context) {
+	ctx.Send(p.ID)
+	p.Inner.Init(ctx)
+}
+
+// Receive forwards wake-up ids honestly, then delegates.
+func (p *PhaseShift) Receive(ctx *sim.Context, from sim.ProcID, value int64) {
+	if p.seen < p.N {
+		p.seen++
+		if value != p.ID {
+			ctx.Send(value)
+		}
+		return
+	}
+	p.Inner.Receive(ctx, from, value)
+}

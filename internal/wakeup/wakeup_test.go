@@ -1,0 +1,105 @@
+package wakeup
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// counter tracks per-processor sends.
+type counter struct{ sent []int }
+
+func (c *counter) OnSend(from sim.ProcID, _ int, _ sim.ProcID, _ int64) { c.sent[from]++ }
+func (c *counter) OnDeliver(sim.ProcID, int, sim.ProcID, int64)         {}
+func (c *counter) OnTerminate(sim.ProcID, int64, bool)                  {}
+
+func TestHonestRandomIDsSucceed(t *testing.T) {
+	for _, n := range []int{2, 3, 9, 33} {
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("n=%d seed=%d: failed: %v", n, seed, res.Reason)
+			}
+			if res.Output < 1 || res.Output > int64(n) {
+				t.Fatalf("winner %d out of range", res.Output)
+			}
+		}
+	}
+}
+
+func TestMessageCounts(t *testing.T) {
+	const n = 11
+	c := &counter{sent: make([]int, n+1)}
+	res, err := ring.Run(ring.Spec{N: n, Protocol: New(), Seed: 2, Tracer: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("failed: %v", res.Reason)
+	}
+	for i := 1; i <= n; i++ {
+		if c.sent[i] != 2*n {
+			t.Errorf("processor %d sent %d messages, want 2n=%d (n wake-up + n election)",
+				i, c.sent[i], 2*n)
+		}
+	}
+}
+
+func TestPinnedIDsSelectMinAsOrigin(t *testing.T) {
+	// With ids pinned so the minimum sits at position 4, the election is
+	// still valid and uniform-ish; the origin role is internal, but the
+	// run must succeed from any origin position.
+	const n = 9
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(100 + i)
+	}
+	ids[3] = 1 // position 4 holds the minimal id
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := ring.Run(ring.Spec{N: n, Protocol: NewWithIDs(ids), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("seed=%d: failed: %v", seed, res.Reason)
+		}
+	}
+}
+
+func TestUniformityWithRotatingOrigin(t *testing.T) {
+	// Random ids move the origin around; the winner must stay uniform
+	// over ring positions regardless.
+	const (
+		n      = 8
+		trials = 4000
+	)
+	dist, err := ring.Trials(ring.Spec{N: n, Protocol: New(), Seed: 77}, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Failures() != 0 {
+		t.Fatalf("%d honest trials failed", dist.Failures())
+	}
+	want := float64(trials) / n
+	for j := 1; j <= n; j++ {
+		if got := float64(dist.Counts[j]); got < want*0.7 || got > want*1.3 {
+			t.Errorf("position %d won %v times, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestIDValidation(t *testing.T) {
+	if _, err := NewWithIDs([]int64{1, 2}).Strategies(3); err == nil {
+		t.Error("wrong id count accepted")
+	}
+	if _, err := NewWithIDs([]int64{1, 1, 2}).Strategies(3); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := NewWithIDs([]int64{-1, 1, 2}).Strategies(3); err == nil {
+		t.Error("negative id accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package repro
+
+import "testing"
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	proto := NewPhaseAsyncLead()
+	res, err := Run(Spec{N: 50, Protocol: proto, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("honest run failed: %v", res.Reason)
+	}
+	if res.Output < 1 || res.Output > 50 {
+		t.Fatalf("leader %d out of range", res.Output)
+	}
+}
+
+func TestPublicAPIAttackFlow(t *testing.T) {
+	proto := NewALead()
+	dist, err := AttackTrials(100, proto, NewSqrtAttack(0), 7, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := dist.WinRate(7); rate != 1.0 {
+		t.Fatalf("forced rate %v, want 1.0", rate)
+	}
+	rep := Bias(dist)
+	if rep.Leader != 7 {
+		t.Fatalf("bias report leader %d, want 7", rep.Leader)
+	}
+}
+
+func TestPublicAPIConcurrent(t *testing.T) {
+	res, err := RunConcurrent(Spec{N: 20, Protocol: NewALead(), Seed: 2}, ConcurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("concurrent honest run failed: %v", res.Reason)
+	}
+}
+
+func TestPublicAPIUtilities(t *testing.T) {
+	dist, err := Trials(Spec{N: 10, Protocol: NewALead(), Seed: 3}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := SelfishUtility(10, 4)
+	e, err := ExpectedUtility(dist, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0 || e > 1 {
+		t.Fatalf("expected utility %v outside [0,1]", e)
+	}
+	if len(Experiments()) != 15 {
+		t.Fatalf("experiment suite has %d entries, want 15", len(Experiments()))
+	}
+}

@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/fullnet"
+	"repro/internal/shamir"
+	"repro/internal/simgraph"
+	"repro/internal/syncnet"
+	"repro/internal/treeproto"
+)
+
+// The paper's reference scenarios (Section 1.1): synchronous networks,
+// the asynchronous complete graph with Shamir sharing, and tree networks.
+type (
+	// CompleteElection is fair leader election on the asynchronous
+	// complete graph via Shamir secret sharing (resilient to ⌈n/2⌉−1).
+	CompleteElection = fullnet.Election
+	// SyncProcessor is a lock-step synchronous strategy.
+	SyncProcessor = syncnet.Processor
+	// SyncMessage is a round-scoped synchronous message.
+	SyncMessage = syncnet.Message
+	// ShamirShare is one point of a secret sharing over GF(2³¹−1).
+	ShamirShare = shamir.Share
+	// TreeElection is the convergecast/broadcast election on trees.
+	TreeElection = treeproto.Protocol
+	// TreeElectionSpec configures one tree election run.
+	TreeElectionSpec = treeproto.Spec
+)
+
+// NewCompleteElection builds an asynchronous fully-connected election for n
+// processors; threshold 0 picks the paper-optimal ⌈n/2⌉.
+func NewCompleteElection(n, threshold int) (*CompleteElection, error) {
+	return fullnet.New(n, threshold)
+}
+
+// NewTreeElection builds the tree election on the given tree, rooted at
+// root. Its root is the Theorem 7.2 dictator: trees are 1-simulated trees.
+func NewTreeElection(tree *Graph, root int) (*TreeElection, error) {
+	return treeproto.New(tree, root)
+}
+
+// PathGraph returns the path graph on n vertices (a tree).
+func PathGraph(n int) (*Graph, error) { return simgraph.Path(n) }
+
+// StarGraph returns the star graph on n vertices (a tree).
+func StarGraph(n int) (*Graph, error) { return simgraph.Star(n) }
+
+// RunSynchronous executes synchronous processors in lock-step rounds.
+func RunSynchronous(procs []SyncProcessor, maxRounds int) (Result, error) {
+	return syncnet.Run(procs, maxRounds)
+}
+
+// NewSynchronousCompleteElection builds the synchronous fully-connected
+// election with k blind colluders in the last positions; it stays uniform
+// for every k ≤ n−1 because round boundaries make rushing impossible.
+func NewSynchronousCompleteElection(n, k int, seed int64) ([]SyncProcessor, error) {
+	return syncnet.NewCompleteElection(n, k, seed)
+}
+
+// ShamirSplit shares a secret over GF(2³¹−1) with the given threshold.
+func ShamirSplit(secret int64, threshold, n int, rng *rand.Rand) ([]ShamirShare, error) {
+	return shamir.Split(secret, threshold, n, rng)
+}
+
+// ShamirReconstruct recovers a secret from at least threshold shares.
+func ShamirReconstruct(shares []ShamirShare) (int64, error) {
+	return shamir.Reconstruct(shares)
+}
