@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# bench.sh — run the experiment benchmarks (E1..E15) plus the trial-engine
+# sequential/parallel pair and record the results, so the repository's
+# performance trajectory is measured, not remembered.
+#
+# Usage: ./bench.sh [extra go-test-bench args]
+#
+# Results land in BENCH_<date>.json (the `go test -json` event stream, which
+# preserves every benchmark line and metric for later diffing) next to a
+# plain-text twin BENCH_<date>.txt for human eyes.
+set -eu
+
+cd "$(dirname "$0")"
+
+date="$(date -u +%Y-%m-%d)"
+json_out="BENCH_${date}.json"
+txt_out="BENCH_${date}.txt"
+
+go test -run '^$' -bench 'E[0-9]+|BenchmarkTrials(Sequential|Parallel)' -benchmem -json "$@" . >"$json_out"
+
+# The JSON stream is the artifact; derive the human-readable summary from it
+# rather than running the suite twice.
+grep -o '"Output":"[^"]*"' "$json_out" |
+	sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' >"$txt_out"
+
+echo "benchmarks recorded to $json_out (summary: $txt_out)"

@@ -10,6 +10,7 @@ package repro
 //     random function, and the two-party solver.
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -72,6 +73,39 @@ func BenchmarkE12Decomposition(b *testing.B)           { benchExperiment(b, "E12
 func BenchmarkE13MessageComplexity(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14PhaseTransition(b *testing.B)         { benchExperiment(b, "E14") }
 func BenchmarkE15ScenarioLandscape(b *testing.B)       { benchExperiment(b, "E15") }
+
+// benchTrialEngine measures the parallel trial engine on a 10k-trial honest
+// PhaseAsyncLead workload — the workload behind every ε estimate in the
+// suite. The sequential/parallel pair tracks the engine's speedup; both
+// produce bit-for-bit identical distributions (enforced in
+// internal/ring/distribution_test.go), so only wall clock differs.
+func benchTrialEngine(b *testing.B, workers int) {
+	b.Helper()
+	const (
+		n      = 64
+		trials = 10_000
+	)
+	spec := ring.Spec{N: n, Protocol: phaselead.NewDefault(), Seed: 20180516}
+	opts := ring.TrialOptions{Workers: workers}
+	for i := 0; i < b.N; i++ {
+		dist, err := ring.TrialsOpts(context.Background(), spec, trials, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dist.Trials != trials {
+			b.Fatalf("ran %d trials, want %d", dist.Trials, trials)
+		}
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkTrialsSequential pins the engine to one worker: the pre-engine
+// single-threaded baseline.
+func BenchmarkTrialsSequential(b *testing.B) { benchTrialEngine(b, 1) }
+
+// BenchmarkTrialsParallel lets the engine use every CPU; on a 4+-core
+// machine it runs the same workload ≥ 2× faster than the sequential pin.
+func BenchmarkTrialsParallel(b *testing.B) { benchTrialEngine(b, 0) }
 
 // benchProtocol runs one honest election per iteration and reports the
 // message throughput.

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		trials       = fs.Int("trials", 100, "number of independent executions")
 		seed         = fs.Int64("seed", 1, "base seed")
 		coin         = fs.Bool("coin", false, "also report the derived coin toss (low bit)")
+		workers      = fs.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,11 +62,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	opts := ring.TrialOptions{Workers: *workers}
 	var dist *ring.Distribution
 	if attack == nil {
-		dist, err = ring.Trials(ring.Spec{N: *n, Protocol: protocol, Seed: *seed}, *trials)
+		dist, err = ring.TrialsOpts(context.Background(), ring.Spec{N: *n, Protocol: protocol, Seed: *seed}, *trials, opts)
 	} else {
-		dist, err = ring.AttackTrials(*n, protocol, attack, *target, *seed, *trials)
+		dist, err = ring.AttackTrialsOpts(context.Background(), *n, protocol, attack, *target, *seed, *trials, opts)
 	}
 	if err != nil {
 		return err
@@ -88,7 +91,8 @@ func run(args []string, out io.Writer) error {
 			verdict.Statistic, verdict.PValue, verdict.Uniform)
 	}
 	if *coin {
-		s, err := cointoss.Trials(cointoss.ProtocolTosser(*n, protocol, *seed), *trials)
+		s, err := cointoss.TrialsOpts(context.Background(),
+			cointoss.ProtocolTosser(*n, protocol, *seed), *trials, cointoss.Options{Workers: *workers})
 		if err != nil {
 			return err
 		}

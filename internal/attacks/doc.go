@@ -20,5 +20,9 @@
 //     phase rounds.
 //
 // All attacks are deterministic deviations (WLOG per Appendix D): given the
-// honest processors' randomness, the execution is fully determined.
+// honest processors' randomness, the execution is fully determined. That
+// includes the PhaseRushing steering search, which runs on the trial
+// engine's deterministic first-hit scan (internal/engine.Search): it always
+// commits to the minimal satisfying coordinate assignment, at any worker
+// count, so attack executions stay reproducible under parallel trials.
 package attacks

@@ -3,6 +3,7 @@ package attacks
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/protocols/phaselead"
 	"repro/internal/ring"
 	"repro/internal/sim"
@@ -70,6 +71,11 @@ type PhaseRushing struct {
 	// SearchCap bounds the per-segment coordinate search; 0 picks 64·n
 	// tries (failure probability ≈ e^{−64} per segment with ≥ 2 slots).
 	SearchCap int
+	// SearchWorkers parallelizes the coordinate search via engine.Search;
+	// 0 keeps it sequential, the right default when the enclosing trials
+	// already saturate the CPUs. The chosen assignment is identical at
+	// any worker count (always the minimal satisfying one).
+	SearchWorkers int
 }
 
 var _ ring.Attack = PhaseRushing{}
@@ -168,15 +174,16 @@ func (a PhaseRushing) Plan(n int, target int64, _ int64) (*ring.Deviation, error
 	}
 	for i, pos := range coalition {
 		adv := &phaseRushAdversary{
-			cfg:       cfg,
-			pos:       int(pos),
-			k:         k,
-			li:        dists[i],
-			target:    target,
-			mode:      mode,
-			steer:     mode == PhaseSteer || mode == PhaseBestEffort,
-			searchCap: searchCap,
-			backward:  backwardHonest(int(pos), n, coalition),
+			cfg:           cfg,
+			pos:           int(pos),
+			k:             k,
+			li:            dists[i],
+			target:        target,
+			mode:          mode,
+			steer:         mode == PhaseSteer || mode == PhaseBestEffort,
+			searchCap:     searchCap,
+			searchWorkers: a.SearchWorkers,
+			backward:      backwardHonest(int(pos), n, coalition),
 		}
 		if mode == PhaseChase {
 			adv.longPos, adv.longLen = longPos, longLen
@@ -213,15 +220,16 @@ func backwardHonest(pos, n int, coalition []sim.ProcID) []int {
 
 // phaseRushAdversary is one coalition member of PhaseRushing.
 type phaseRushAdversary struct {
-	cfg       phaselead.Config
-	pos       int
-	k         int
-	li        int
-	target    int64
-	mode      PhaseMode
-	steer     bool
-	searchCap int
-	backward  []int
+	cfg           phaselead.Config
+	pos           int
+	k             int
+	li            int
+	target        int64
+	mode          PhaseMode
+	steer         bool
+	searchCap     int
+	searchWorkers int
+	backward      []int
 
 	// Chase-mode metadata: the unsteerable long segment's adversary.
 	longPos      int
@@ -422,7 +430,7 @@ func (p *phaseRushAdversary) computeSteering(rStart int, goal int64) {
 	for r := rStart; r <= freeEnd; r++ {
 		labels = append(labels, p.cfg.Label(p.pos+1-r))
 	}
-	values, ok := searchCoordinates(f, acc, labels, goal, p.searchCap)
+	values, ok := searchCoordinates(f, acc, labels, goal, p.searchCap, p.searchWorkers)
 	if !ok {
 		return // leave steered empty: fall back to blind values
 	}
@@ -432,42 +440,46 @@ func (p *phaseRushAdversary) computeSteering(rStart int, goal int64) {
 }
 
 // searchCoordinates looks for data values at the given labels that make the
-// function finalize to target, trying at most cap assignments in a fixed
-// deterministic order. With one label the search is exhaustive over [n]
-// (success probability ≈ 1−1/e for a random f); with two or more, cap = 64n
-// tries fail with probability ≈ e^{−64}.
+// function finalize to target, trying assignments in a fixed deterministic
+// order on engine.Search (workers ≤ 1 keeps the scan sequential). With one
+// label the search is exhaustive over [n] (success probability ≈ 1−1/e for
+// a random f); with two or more, at most cap assignments are tried and
+// cap = 64n tries fail with probability ≈ e^{−64}. The returned assignment
+// is the minimal satisfying one regardless of worker count.
 func searchCoordinates(f interface {
 	CoordData(int, int64) uint64
 	Finalize(uint64) int64
 	N() int
-}, acc uint64, labels []int, target int64, cap int) ([]int64, bool) {
+}, acc uint64, labels []int, target int64, cap, workers int) ([]int64, bool) {
 	n := int64(f.N())
 	c := len(labels)
 	if c == 0 {
 		return nil, false
 	}
+	limit := cap
 	if c == 1 {
-		for x := int64(0); x < n; x++ {
-			if f.Finalize(acc^f.CoordData(labels[0], x)) == target {
-				return []int64{x}, true
-			}
+		limit = int(n) // exhaustive over the single coordinate
+	}
+	// The t-th assignment is t's base-n digits, labels[0] least
+	// significant; candidates are tested by folding the digits straight
+	// into the accumulator, with no per-try allocation.
+	hit, ok := engine.Search(limit, func(t int) bool {
+		trial := acc
+		rem := int64(t)
+		for _, lab := range labels {
+			trial ^= f.CoordData(lab, rem%n)
+			rem /= n
 		}
+		return f.Finalize(trial) == target
+	}, workers)
+	if !ok {
 		return nil, false
 	}
 	values := make([]int64, c)
-	for t := 0; t < cap; t++ {
-		rem := int64(t)
-		for i := range values {
-			values[i] = rem % n
-			rem /= n
-		}
-		trial := acc
-		for i, lab := range labels {
-			trial ^= f.CoordData(lab, values[i])
-		}
-		if f.Finalize(trial) == target {
-			return values, true
-		}
+	rem := int64(hit)
+	for i := range values {
+		values[i] = rem % n
+		rem /= n
 	}
-	return nil, false
+	return values, true
 }

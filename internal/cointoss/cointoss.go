@@ -14,9 +14,11 @@
 package cointoss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -41,7 +43,11 @@ func Toss(spec ring.Spec) (int, error) {
 	return int((res.Output - 1) & 1), nil
 }
 
-// Tosser produces the b-th independent coin toss of a composite run.
+// Tosser produces the b-th independent coin toss of a composite run. Trial
+// batches call tossers (and the factories handed to ElectTrials) from
+// multiple goroutines, so they must be safe for concurrent use — true of
+// any tosser that, like ProtocolTosser, derives a per-instance seed and
+// runs a fresh election.
 type Tosser func(instance int) (int, error)
 
 // ProtocolTosser builds independent coin instances from a ring protocol:
@@ -95,25 +101,66 @@ type CoinStats struct {
 	Zeros, Ones, Fails int
 }
 
+// add records one toss outcome; anything other than 0 or 1 (in particular
+// TossFail) counts as a failure.
+func (s *CoinStats) add(bit int) {
+	switch bit {
+	case 0:
+		s.Zeros++
+	case 1:
+		s.Ones++
+	default:
+		s.Fails++
+	}
+}
+
+// merge folds another shard into s.
+func (s *CoinStats) merge(o *CoinStats) {
+	s.Zeros += o.Zeros
+	s.Ones += o.Ones
+	s.Fails += o.Fails
+}
+
+// Options tunes a parallel batch of coin-toss or composite-election trials.
+// The zero value uses every CPU.
+type Options struct {
+	// Workers is the engine worker count; 0 picks runtime.NumCPU().
+	Workers int
+	// Chunk is the engine chunk size; 0 picks engine.DefaultChunk.
+	Chunk int
+}
+
+// coinSink accumulates toss bits (smuggled through sim.Result.Output) into
+// per-worker CoinStats shards.
+var coinSink = engine.Sink[*CoinStats]{
+	New:   func() *CoinStats { return &CoinStats{} },
+	Add:   func(s *CoinStats, res sim.Result) { s.add(int(res.Output)) },
+	Merge: func(dst, src *CoinStats) { dst.merge(src) },
+}
+
 // Trials runs the tosser repeatedly (fresh instance index per trial per
-// call) and aggregates.
+// call) and aggregates. Tosses run in parallel on every CPU — the tosser
+// must be safe for concurrent use (ProtocolTosser and every tosser built
+// from ring.Run are) — with results identical to a sequential loop.
 func Trials(toss Tosser, trials int) (CoinStats, error) {
-	var s CoinStats
-	for t := 0; t < trials; t++ {
+	return TrialsOpts(context.Background(), toss, trials, Options{})
+}
+
+// TrialsOpts is Trials with a context and engine options.
+func TrialsOpts(ctx context.Context, toss Tosser, trials int, opts Options) (CoinStats, error) {
+	job := engine.JobFunc(func(t int) (sim.Result, error) {
 		bit, err := toss(t)
 		if err != nil {
-			return s, err
+			return sim.Result{}, err
 		}
-		switch bit {
-		case 0:
-			s.Zeros++
-		case 1:
-			s.Ones++
-		default:
-			s.Fails++
-		}
+		return sim.Result{Output: int64(bit)}, nil
+	})
+	s, err := engine.Run(ctx, trials, job, coinSink,
+		engine.Options[*CoinStats]{Workers: opts.Workers, Chunk: opts.Chunk})
+	if err != nil || s == nil {
+		return CoinStats{}, err
 	}
-	return s, nil
+	return *s, nil
 }
 
 // Bias returns max(Pr[0], Pr[1]) − ½, the ε of the unbias definition.
@@ -153,22 +200,32 @@ func ElectionBiasBound(n int, coinEpsilon float64) (float64, error) {
 }
 
 // ElectTrials runs the composite election repeatedly with per-trial derived
-// tossers and aggregates a leader distribution.
+// tossers and aggregates a leader distribution. Elections run in parallel
+// on every CPU; use ElectTrialsOpts to tune workers or cancellation.
 func ElectTrials(n int, mkTosser func(trial int) Tosser, trials int) (*ring.Distribution, error) {
+	return ElectTrialsOpts(context.Background(), n, mkTosser, trials, Options{})
+}
+
+// ElectTrialsOpts is ElectTrials with a context and engine options.
+func ElectTrialsOpts(ctx context.Context, n int, mkTosser func(trial int) Tosser, trials int, opts Options) (*ring.Distribution, error) {
 	if mkTosser == nil {
 		return nil, errors.New("cointoss: nil tosser factory")
 	}
-	dist := ring.NewDistribution(n)
-	for t := 0; t < trials; t++ {
+	job := engine.JobFunc(func(t int) (sim.Result, error) {
 		leader, ok, err := Elect(n, mkTosser(t))
 		if err != nil {
-			return nil, err
+			return sim.Result{}, err
 		}
 		if !ok {
-			dist.Add(sim.Result{Failed: true, Reason: sim.FailAbort})
-			continue
+			return sim.Result{Failed: true, Reason: sim.FailAbort}, nil
 		}
-		dist.Add(sim.Result{Output: leader})
+		return sim.Result{Output: leader}, nil
+	})
+	sink := engine.Sink[*ring.Distribution]{
+		New:   func() *ring.Distribution { return ring.NewDistribution(n) },
+		Add:   func(d *ring.Distribution, res sim.Result) { d.Add(res) },
+		Merge: func(dst, src *ring.Distribution) { _ = dst.Merge(src) },
 	}
-	return dist, nil
+	return engine.Run(ctx, trials, job, sink,
+		engine.Options[*ring.Distribution]{Workers: opts.Workers, Chunk: opts.Chunk})
 }

@@ -1,0 +1,275 @@
+// Package engine is the unified parallel Monte-Carlo trial runner behind
+// every experiment in the reproduction. All bias estimates (the ε of
+// Definition 2.3) are built from thousands of independent executions; the
+// engine shards that embarrassingly parallel workload across workers while
+// keeping the merged outcome bit-for-bit identical to a sequential run.
+//
+// Design:
+//
+//   - A Job runs one trial: it derives the trial's seed (via sim.Mix64 from
+//     a base seed), plans any per-trial deviation, executes, and returns a
+//     sim.Result.
+//   - Trials are dispatched in fixed-size chunks claimed from a shared
+//     atomic cursor (dynamic work stealing of index ranges), so fast
+//     workers steal the load of slow ones without any per-trial locking.
+//   - Accumulation is sharded: every worker folds its results into a
+//     private shard (e.g. a ring.Distribution) supplied by a Sink; shards
+//     are merged once at the end. Because all shard operations are sums of
+//     counters, the merged value is independent of which worker ran which
+//     trial — for a fixed base seed the output is identical at any worker
+//     count. A regression test enforces this.
+//   - Optional adaptive early stopping evaluates a caller-supplied rule at
+//     deterministic chunk boundaries, in chunk order, so the stopping point
+//     is also independent of scheduling (see options.go).
+//   - The context cancels the whole batch between trials.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Job produces one trial of a Monte-Carlo batch. Implementations must be
+// safe for concurrent use: Trial is called from multiple goroutines with
+// distinct trial indices. Determinism across worker counts requires that
+// the result depend only on the trial index (derive per-trial randomness
+// from it with sim.Mix64, never from shared mutable state).
+type Job interface {
+	// Trial runs the t-th trial (t in [0, trials)) and returns its outcome.
+	Trial(t int) (sim.Result, error)
+}
+
+// JobFunc adapts a function to the Job interface.
+type JobFunc func(t int) (sim.Result, error)
+
+// Trial implements Job.
+func (f JobFunc) Trial(t int) (sim.Result, error) { return f(t) }
+
+// Sink tells the engine how to accumulate results into per-worker shards of
+// type S and merge them. All three functions must be deterministic; Add and
+// Merge must commute (counter sums do), which is what makes the merged
+// result independent of trial scheduling.
+type Sink[S any] struct {
+	// New allocates an empty shard.
+	New func() S
+	// Add folds one trial result into a shard. It is never called
+	// concurrently on the same shard.
+	Add func(S, sim.Result)
+	// Merge folds src into dst. Called single-threaded during the final
+	// (or frontier) merge.
+	Merge func(dst, src S)
+}
+
+// trialError is an error annotated with the index of the trial that raised
+// it, so the engine can report the lowest-indexed failure deterministically.
+type trialError struct {
+	trial int
+	err   error
+}
+
+// Run executes trials jobs on opts.Workers workers and returns the merged
+// shard. For a fixed job and base seed the returned shard is identical for
+// every worker count, including 1 (sequential). On error, the batch is
+// abandoned and the lowest-indexed failure observed is returned (jobs whose
+// errors depend only on configuration, not the trial index — the common
+// case — therefore report deterministically); on context cancellation,
+// ctx.Err() is returned.
+func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Options[S]) (S, error) {
+	merged := sink.New()
+	if trials <= 0 {
+		return merged, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > trials {
+		workers = trials
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if opts.Stop != nil {
+		return runAdaptive(ctx, trials, chunk, workers, job, sink, opts, merged)
+	}
+	if workers == 1 {
+		// Sequential fast path: one shard, no goroutines.
+		for t := 0; t < trials; t++ {
+			if err := ctx.Err(); err != nil {
+				var zero S
+				return zero, err
+			}
+			res, err := job.Trial(t)
+			if err != nil {
+				var zero S
+				return zero, err
+			}
+			sink.Add(merged, res)
+		}
+		return merged, nil
+	}
+
+	var (
+		cursor  atomic.Int64 // next chunk start
+		wg      sync.WaitGroup
+		shards  = make([]S, workers)
+		mu      sync.Mutex
+		firstER *trialError
+	)
+	fail := func(t int, err error) {
+		mu.Lock()
+		if firstER == nil || t < firstER.trial {
+			firstER = &trialError{trial: t, err: err}
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstER != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := sink.New()
+			shards[w] = shard
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= trials {
+					return
+				}
+				end := start + chunk
+				if end > trials {
+					end = trials
+				}
+				for t := start; t < end; t++ {
+					if ctx.Err() != nil {
+						return
+					}
+					res, err := job.Trial(t)
+					if err != nil {
+						fail(t, err)
+						return
+					}
+					sink.Add(shard, res)
+				}
+				if failed() {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		var zero S
+		return zero, err
+	}
+	if firstER != nil {
+		var zero S
+		return zero, firstER.err
+	}
+	for _, shard := range shards {
+		sink.Merge(merged, shard)
+	}
+	return merged, nil
+}
+
+// runAdaptive executes the batch with per-chunk shards and an in-order
+// frontier merge, so the early-stopping rule is evaluated on deterministic
+// prefixes (chunks 0..i) regardless of which workers ran which chunks.
+// Chunks completed beyond the stopping point are discarded: wasted work,
+// never nondeterminism.
+func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job, sink Sink[S], opts Options[S], merged S) (S, error) {
+	numChunks := (trials + chunk - 1) / chunk
+	var (
+		cursor   atomic.Int64
+		stopAt   atomic.Int64 // first chunk index NOT to run; numChunks = no stop
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		results  = make([]S, numChunks)
+		done     = make([]bool, numChunks)
+		frontier = 0 // chunks [0, frontier) merged into merged
+		stopped  = false
+		firstER  *trialError
+	)
+	stopAt.Store(int64(numChunks))
+	// advance merges consecutive completed chunks into the prefix and
+	// evaluates the stopping rule at each boundary, in chunk order.
+	advance := func() {
+		if firstER != nil {
+			return // batch abandoned; don't let a firing Stop rule resurrect stopAt
+		}
+		for frontier < numChunks && done[frontier] && !stopped {
+			if int64(frontier) >= stopAt.Load() {
+				break
+			}
+			sink.Merge(merged, results[frontier])
+			var zero S
+			results[frontier] = zero // release
+			frontier++
+			prefixTrials := frontier * chunk
+			if prefixTrials > trials {
+				prefixTrials = trials
+			}
+			if opts.Stop(merged, prefixTrials) {
+				stopped = true
+				stopAt.Store(int64(frontier))
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= numChunks || int64(c) >= stopAt.Load() {
+					return
+				}
+				shard := sink.New()
+				start, end := c*chunk, (c+1)*chunk
+				if end > trials {
+					end = trials
+				}
+				for t := start; t < end; t++ {
+					if ctx.Err() != nil {
+						return
+					}
+					res, err := job.Trial(t)
+					if err != nil {
+						mu.Lock()
+						if firstER == nil || t < firstER.trial {
+							firstER = &trialError{trial: t, err: err}
+						}
+						mu.Unlock()
+						// Abandon the batch: stop every worker from
+						// claiming further chunks.
+						stopAt.Store(0)
+						return
+					}
+					sink.Add(shard, res)
+				}
+				mu.Lock()
+				results[c], done[c] = shard, true
+				advance()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		var zero S
+		return zero, err
+	}
+	if firstER != nil {
+		var zero S
+		return zero, firstER.err
+	}
+	return merged, nil
+}

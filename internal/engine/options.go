@@ -1,0 +1,34 @@
+package engine
+
+// DefaultChunk is the default number of trials per work unit. It is fixed —
+// independent of worker count and machine — because the adaptive stopping
+// rule fires at chunk boundaries: a chunk size derived from the environment
+// would make the stopping point environment-dependent. 32 trials amortize
+// the claim/merge overhead while keeping stopping granularity fine and tail
+// latency low (a straggling worker holds at most one chunk).
+const DefaultChunk = 32
+
+// Options tunes one Run. The zero value runs on runtime.NumCPU() workers
+// with DefaultChunk trials per chunk and no early stopping.
+type Options[S any] struct {
+	// Workers is the number of concurrent workers; 0 picks
+	// runtime.NumCPU(). The merged result is identical for every value.
+	Workers int
+	// Chunk is the number of trials per claimed work unit; 0 picks
+	// DefaultChunk. With a Stop rule, the rule is evaluated once per
+	// chunk boundary, so Chunk trades stopping granularity against
+	// coordination overhead. Changing Chunk may change where an adaptive
+	// run stops (never what a full run returns).
+	Chunk int
+	// Stop, if non-nil, enables adaptive early stopping: it is called
+	// with the merged prefix of chunks 0..i (in chunk order, under a
+	// lock) and the number of trials that prefix holds, and returns true
+	// to stop the batch after that prefix. The decision point depends
+	// only on (base seed, trials, Chunk) — never on worker count or
+	// scheduling — so adaptive runs stay deterministic. Chunks already
+	// completed beyond the stopping point are discarded.
+	//
+	// Use stats.WilsonInterval to build rules that stop once a rate
+	// estimate is resolved to a target half-width.
+	Stop func(prefix S, trials int) bool
+}

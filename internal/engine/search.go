@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Search finds the smallest t in [0, limit) for which pred returns true,
+// scanning with the given number of workers (0 picks 1: searches usually
+// run inside already-parallel trials, so parallelism here is opt-in). The
+// result is deterministic — always the minimal satisfying index, at any
+// worker count — which is what the PhaseRushing steering search needs: the
+// chosen coordinate assignment must not depend on scheduling.
+//
+// pred must be safe for concurrent use and depend only on t.
+func Search(limit int, pred func(t int) bool, workers int) (int, bool) {
+	if limit <= 0 {
+		return 0, false
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > limit {
+		workers = limit
+	}
+	if workers == 1 {
+		for t := 0; t < limit; t++ {
+			if pred(t) {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+	const chunk = 64
+	var (
+		cursor atomic.Int64
+		best   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	best.Store(math.MaxInt64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(chunk)) - chunk
+				// Chunks are claimed in ascending order, so once a
+				// chunk starts at or beyond the best hit, no earlier
+				// index remains unscanned by this or a later claim.
+				if start >= limit || int64(start) >= best.Load() {
+					return
+				}
+				end := start + chunk
+				if end > limit {
+					end = limit
+				}
+				for t := start; t < end; t++ {
+					if int64(t) >= best.Load() {
+						break
+					}
+					if pred(t) {
+						// CAS-min: keep the smallest hit.
+						for {
+							cur := best.Load()
+							if int64(t) >= cur || best.CompareAndSwap(cur, int64(t)) {
+								break
+							}
+						}
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b := best.Load(); b < int64(limit) {
+		return int(b), true
+	}
+	return 0, false
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -29,7 +30,7 @@ func RunE1BasicSingle(cfg Config) (*Table, error) {
 	}
 	for _, n := range sizes {
 		target := int64(n/2 + 1)
-		dist, err := ring.AttackTrials(n, basiclead.New(), attacks.BasicSingle{}, target, cfg.Seed, trials)
+		dist, err := ring.AttackTrialsOpts(context.Background(), n, basiclead.New(), attacks.BasicSingle{}, target, cfg.Seed, trials, cfg.trialOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +58,7 @@ func RunE2SqrtAttack(cfg Config) (*Table, error) {
 	}
 	for _, n := range sizes {
 		k := attacks.SqrtK(n)
-		dist, err := ring.AttackTrials(n, alead.New(), attacks.Rushing{Place: attacks.PlaceEqual}, 3, cfg.Seed, trials)
+		dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attacks.Rushing{Place: attacks.PlaceEqual}, 3, cfg.Seed, trials, cfg.trialOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +85,7 @@ func RunE3Randomized(cfg Config) (*Table, error) {
 	for _, n := range sizes {
 		for _, c := range []int{3, 5} {
 			attack := attacks.Randomized{C: c}
-			dist, err := ring.AttackTrials(n, alead.New(), attack, 7, cfg.Seed+int64(c), trials)
+			dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attack, 7, cfg.Seed+int64(c), trials, cfg.trialOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +118,7 @@ func RunE4Cubic(cfg Config) (*Table, error) {
 	for _, n := range sizes {
 		k := attacks.MinCubicK(n)
 		bound := 2 * cube(n)
-		dist, err := ring.AttackTrials(n, alead.New(), attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, 2, cfg.Seed, trials)
+		dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, 2, cfg.Seed, trials, cfg.trialOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +154,7 @@ func RunE5ALeadResilience(cfg Config) (*Table, error) {
 		n = 256
 		trials = 300
 	}
-	honest, err := ring.Trials(ring.Spec{N: n, Protocol: alead.New(), Seed: cfg.Seed}, trials)
+	honest, err := ring.TrialsOpts(context.Background(), ring.Spec{N: n, Protocol: alead.New(), Seed: cfg.Seed}, trials, cfg.trialOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +168,8 @@ func RunE5ALeadResilience(cfg Config) (*Table, error) {
 		feasible := errPlan == nil
 		forced := "n/a (no schedulable attack)"
 		if feasible {
-			dist, err := ring.AttackTrials(n, alead.New(),
-				attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, 2, cfg.Seed, 10)
+			dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(),
+				attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, 2, cfg.Seed, 10, cfg.trialOpts())
 			if err != nil {
 				return nil, err
 			}

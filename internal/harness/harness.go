@@ -2,6 +2,11 @@
 // per theorem-level claim of the paper, each regenerating a table for
 // EXPERIMENTS.md. The cmd/experiments binary runs the registry; the
 // repository's bench harness wraps the same functions as benchmarks.
+//
+// Every trial batch inside an experiment runs on the parallel Monte-Carlo
+// engine (internal/engine): Config.Workers threads a worker count through
+// to ring.TrialsOpts/AttackTrialsOpts and the cointoss runners, and the
+// tables are bit-for-bit identical at any worker count for a fixed seed.
 package harness
 
 import (
@@ -9,6 +14,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/cointoss"
+	"repro/internal/ring"
 )
 
 // Table is one experiment's output.
@@ -53,6 +61,20 @@ type Config struct {
 	Quick bool
 	// Seed makes the whole suite reproducible.
 	Seed int64
+	// Workers is the trial-engine worker count for every batch inside
+	// every experiment; 0 picks runtime.NumCPU(). Results are identical
+	// for any value.
+	Workers int
+}
+
+// trialOpts lowers the config onto the ring trial engine.
+func (cfg Config) trialOpts() ring.TrialOptions {
+	return ring.TrialOptions{Workers: cfg.Workers}
+}
+
+// coinOpts lowers the config onto the cointoss trial engine.
+func (cfg Config) coinOpts() cointoss.Options {
+	return cointoss.Options{Workers: cfg.Workers}
 }
 
 // Experiment is one registry entry.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,7 +36,7 @@ func RunE10Reductions(cfg Config) (*Table, error) {
 	}
 	// Honest election → fair coin.
 	toss := cointoss.ProtocolTosser(n, alead.New(), cfg.Seed)
-	s, err := cointoss.Trials(toss, trials)
+	s, err := cointoss.TrialsOpts(context.Background(), toss, trials, cfg.coinOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +52,7 @@ func RunE10Reductions(cfg Config) (*Table, error) {
 		}
 		return cointoss.Toss(ring.Spec{N: n, Protocol: basiclead.New(), Deviation: dev, Seed: seed})
 	}
-	s, err = cointoss.Trials(biased, trials/4)
+	s, err = cointoss.TrialsOpts(context.Background(), biased, trials/4, cfg.coinOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +65,7 @@ func RunE10Reductions(cfg Config) (*Table, error) {
 		return cointoss.ProtocolTosser(n, alead.New(), int64(sim.Mix64(uint64(cfg.Seed), uint64(trial)+7)))
 	}
 	electTrials := 2 * trials
-	dist, err := cointoss.ElectTrials(n, mk, electTrials)
+	dist, err := cointoss.ElectTrialsOpts(context.Background(), n, mk, electTrials, cfg.coinOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +137,7 @@ func RunE11TreeImpossibility(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n, trials = 32, 10
 	}
-	dist, err := ring.AttackTrials(n, alead.New(), attacks.HalfRing{}, 2, cfg.Seed, trials)
+	dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attacks.HalfRing{}, 2, cfg.Seed, trials, cfg.trialOpts())
 	if err != nil {
 		return nil, err
 	}

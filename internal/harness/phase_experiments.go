@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attacks"
@@ -44,7 +45,7 @@ func RunE7PhaseResilience(cfg Config) (*Table, error) {
 	proto := phaselead.NewDefault()
 	target := int64(5)
 
-	honest, err := ring.Trials(ring.Spec{N: n, Protocol: proto, Seed: cfg.Seed}, trials)
+	honest, err := ring.TrialsOpts(context.Background(), ring.Spec{N: n, Protocol: proto, Seed: cfg.Seed}, trials, cfg.trialOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +68,7 @@ func RunE7PhaseResilience(cfg Config) (*Table, error) {
 	// Rushing without steering: validity collapses, no bias.
 	k := 4
 	noSteer := attacks.PhaseRushing{Protocol: proto, K: k, Mode: attacks.PhaseNoSteer}
-	dist, err := ring.AttackTrials(n, proto, noSteer, target, cfg.Seed, trials/3)
+	dist, err := ring.AttackTrialsOpts(context.Background(), n, proto, noSteer, target, cfg.Seed, trials/3, cfg.trialOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +78,7 @@ func RunE7PhaseResilience(cfg Config) (*Table, error) {
 	// Chase mode: validity saved, bias provably lost.
 	kChase := 8
 	chase := attacks.PhaseRushing{Protocol: proto, K: kChase, Mode: attacks.PhaseChase}
-	dist, err = ring.AttackTrials(n, proto, chase, target, cfg.Seed, trials)
+	dist, err = ring.AttackTrialsOpts(context.Background(), n, proto, chase, target, cfg.Seed, trials, cfg.trialOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func RunE8PhaseAttack(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		k := attacks.SqrtK(n) + 3
-		dist, err := ring.AttackTrials(n, proto, attacks.PhaseRushing{Protocol: proto}, 9, cfg.Seed, trials)
+		dist, err := ring.AttackTrialsOpts(context.Background(), n, proto, attacks.PhaseRushing{Protocol: proto}, 9, cfg.Seed, trials, cfg.trialOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -139,14 +140,14 @@ func RunE9SumPhase(cfg Config) (*Table, error) {
 		trials = 20
 	}
 	for _, n := range sizes {
-		dist, err := ring.AttackTrials(n, sumphase.New(), attacks.SumPhase{}, 4, cfg.Seed, trials)
+		dist, err := ring.AttackTrialsOpts(context.Background(), n, sumphase.New(), attacks.SumPhase{}, 4, cfg.Seed, trials, cfg.trialOpts())
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow("SumPhaseLead", itoa(n), "4", itoa(trials), f3(dist.WinRate(4)), f3(dist.FailureRate()))
 
 		proto := phaselead.NewDefault()
-		dist, err = ring.AttackTrials(n, proto, attacks.SumPhase{}, 4, cfg.Seed, trials)
+		dist, err = ring.AttackTrialsOpts(context.Background(), n, proto, attacks.SumPhase{}, 4, cfg.Seed, trials, cfg.trialOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +183,7 @@ func RunE14PhaseTransition(cfg Config) (*Table, error) {
 		feasible := errPlan == nil
 		forced := "0 (infeasible)"
 		if feasible {
-			dist, err := ring.AttackTrials(n, proto, attack, 6, cfg.Seed, trials)
+			dist, err := ring.AttackTrialsOpts(context.Background(), n, proto, attack, 6, cfg.Seed, trials, cfg.trialOpts())
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,11 @@ import (
 // Protocol is a symmetric ring protocol: it assigns a strategy to every
 // position of a ring of size n. Position 1 is the origin, the only processor
 // that wakes up spontaneously.
+//
+// Trial batches run protocols in parallel (see Trials), so Strategies must
+// be safe for concurrent calls: return fresh strategy values each time and
+// do not memoize into shared mutable state. Every protocol in this
+// repository is a stateless value type.
 type Protocol interface {
 	// Name identifies the protocol in reports.
 	Name() string
@@ -58,6 +63,11 @@ func (d *Deviation) Validate(n int) error {
 
 // Attack plans an adversarial deviation against a protocol on a ring of size
 // n, trying to force the election of target.
+//
+// AttackTrials plans attacks in parallel, so Plan must be safe for
+// concurrent calls: derive all randomness from the seed argument and build
+// a fresh Deviation each time, without mutating receiver state. Every
+// attack in this repository is a stateless value type.
 type Attack interface {
 	// Name identifies the attack in reports.
 	Name() string

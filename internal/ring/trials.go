@@ -1,9 +1,12 @@
 package ring
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Distribution aggregates outcomes over many independent trials of one
@@ -42,6 +45,28 @@ func (d *Distribution) Add(res sim.Result) {
 		// honest protocols never produce it.
 		d.FailCounts[sim.FailMismatch]++
 	}
+}
+
+// Merge folds another distribution over the same ring size into d. Merging
+// is commutative and associative (every field is a counter sum), which is
+// what lets the trial engine accumulate into per-worker shards and still
+// produce results identical to a sequential run.
+func (d *Distribution) Merge(o *Distribution) error {
+	if o == nil {
+		return nil
+	}
+	if d.N != o.N {
+		return fmt.Errorf("ring: merging distributions of different ring sizes %d and %d", d.N, o.N)
+	}
+	d.Trials += o.Trials
+	d.Messages += o.Messages
+	for j := range d.Counts {
+		d.Counts[j] += o.Counts[j]
+	}
+	for r := range d.FailCounts {
+		d.FailCounts[r] += o.FailCounts[r]
+	}
+	return nil
 }
 
 // Failures returns the total number of failed trials.
@@ -87,39 +112,106 @@ func (d *Distribution) String() string {
 		d.N, d.Trials, d.FailureRate(), leader, rate)
 }
 
+// TrialOptions tunes a batch of trials run on the parallel engine. The zero
+// value uses every CPU, the engine's default chunk size, and no early
+// stopping; any setting yields the same distribution for a fixed seed.
+type TrialOptions struct {
+	// Workers is the worker count; 0 picks runtime.NumCPU().
+	Workers int
+	// Chunk is the engine chunk size; 0 picks engine.DefaultChunk.
+	Chunk int
+	// Stop, if non-nil, halts the batch early once the rule returns true
+	// on a deterministic prefix of the distribution (see engine.Options).
+	Stop func(prefix *Distribution) bool
+}
+
+// engineOptions lowers TrialOptions onto the engine.
+func (o TrialOptions) engineOptions() engine.Options[*Distribution] {
+	opts := engine.Options[*Distribution]{Workers: o.Workers, Chunk: o.Chunk}
+	if o.Stop != nil {
+		stop := o.Stop
+		opts.Stop = func(prefix *Distribution, _ int) bool { return stop(prefix) }
+	}
+	return opts
+}
+
+// distSink is the engine sink accumulating into per-worker Distributions.
+func distSink(n int) engine.Sink[*Distribution] {
+	return engine.Sink[*Distribution]{
+		New: func() *Distribution { return NewDistribution(n) },
+		Add: func(d *Distribution, res sim.Result) { d.Add(res) },
+		// Merge cannot fail: every shard is built for the same n.
+		Merge: func(dst, src *Distribution) { _ = dst.Merge(src) },
+	}
+}
+
+// StopWhenResolved returns a TrialOptions.Stop rule that halts a batch once
+// the max-win rate — the empirical ε estimate of Definition 2.3 — is
+// resolved: its Wilson score interval at the given z (1.96 for 95%) is
+// narrower than halfWidth on both sides, after at least minTrials trials.
+func StopWhenResolved(halfWidth float64, minTrials int, z float64) func(*Distribution) bool {
+	return func(d *Distribution) bool {
+		if d.Trials < minTrials {
+			return false
+		}
+		leader, rate := d.MaxWin()
+		lo, hi := stats.WilsonInterval(d.Counts[leader], d.Trials, z)
+		return rate-lo < halfWidth && hi-rate < halfWidth
+	}
+}
+
 // Trials runs the given spec repeatedly with derived seeds and aggregates
 // the outcomes. The spec's Seed field acts as the base seed; trial t runs
 // with an independently mixed seed, so trials are decorrelated but the whole
-// batch is reproducible.
+// batch is reproducible. Trials run in parallel on every CPU; use
+// TrialsOpts to tune workers, cancellation, or early stopping. A spec
+// carrying a Scheduler or Tracer is pinned to one worker: those are
+// typically stateful across executions and not safe to share.
 func Trials(spec Spec, trials int) (*Distribution, error) {
-	dist := NewDistribution(spec.N)
-	for t := 0; t < trials; t++ {
+	return TrialsOpts(context.Background(), spec, trials, TrialOptions{})
+}
+
+// TrialsOpts is Trials with a context and engine options. Specs with a
+// Scheduler or Tracer run on a single worker regardless of opts.Workers
+// (the interfaces make no concurrency promise); everything else in the
+// batch is safe to shard because each trial builds a fresh network.
+func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (*Distribution, error) {
+	if spec.Scheduler != nil || spec.Tracer != nil {
+		opts.Workers = 1
+	}
+	job := engine.JobFunc(func(t int) (sim.Result, error) {
 		trialSpec := spec
 		trialSpec.Seed = int64(sim.Mix64(uint64(spec.Seed), uint64(t)+0x1234))
 		res, err := Run(trialSpec)
 		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", t, err)
+			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
 		}
-		dist.Add(res)
-	}
-	return dist, nil
+		return res, nil
+	})
+	return engine.Run(ctx, trials, job, distSink(spec.N), opts.engineOptions())
 }
 
 // AttackTrials plans the attack once per trial (attacks may randomize
-// placement from the trial seed) and aggregates outcomes.
+// placement from the trial seed) and aggregates outcomes. Trials run in
+// parallel on every CPU; use AttackTrialsOpts to tune workers,
+// cancellation, or early stopping.
 func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int) (*Distribution, error) {
-	dist := NewDistribution(n)
-	for t := 0; t < trials; t++ {
+	return AttackTrialsOpts(context.Background(), n, protocol, attack, target, baseSeed, trials, TrialOptions{})
+}
+
+// AttackTrialsOpts is AttackTrials with a context and engine options.
+func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int, opts TrialOptions) (*Distribution, error) {
+	job := engine.JobFunc(func(t int) (sim.Result, error) {
 		seed := int64(sim.Mix64(uint64(baseSeed), uint64(t)+0x9e37))
 		dev, err := attack.Plan(n, target, seed)
 		if err != nil {
-			return nil, fmt.Errorf("plan %s (n=%d): %w", attack.Name(), n, err)
+			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", attack.Name(), n, err)
 		}
 		res, err := Run(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", t, err)
+			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
 		}
-		dist.Add(res)
-	}
-	return dist, nil
+		return res, nil
+	})
+	return engine.Run(ctx, trials, job, distSink(n), opts.engineOptions())
 }

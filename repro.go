@@ -24,6 +24,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/attacks"
 	"repro/internal/classic"
 	"repro/internal/conc"
@@ -69,6 +71,9 @@ type (
 	ExperimentTable = harness.Table
 	// ConcurrentOptions tunes the goroutine-per-processor runtime.
 	ConcurrentOptions = conc.Options
+	// TrialOptions tunes a parallel trial batch (workers, chunking,
+	// adaptive early stopping) on the internal/engine runner.
+	TrialOptions = ring.TrialOptions
 )
 
 // Protocol constructors.
@@ -150,11 +155,33 @@ func RunConcurrent(spec Spec, opts ConcurrentOptions) (Result, error) {
 }
 
 // Trials runs many executions with derived seeds and aggregates outcomes.
+// Batches run on the parallel trial engine across every CPU; for a fixed
+// seed the distribution is identical at any worker count.
 func Trials(spec Spec, trials int) (*Distribution, error) { return ring.Trials(spec, trials) }
 
+// TrialsOpts is Trials with a context (cancellation) and engine options
+// (worker count, adaptive early stopping).
+func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (*Distribution, error) {
+	return ring.TrialsOpts(ctx, spec, trials, opts)
+}
+
 // AttackTrials plans and runs an attack repeatedly, aggregating outcomes.
+// Batches run on the parallel trial engine across every CPU; for a fixed
+// seed the distribution is identical at any worker count.
 func AttackTrials(n int, protocol Protocol, attack Attack, target int64, seed int64, trials int) (*Distribution, error) {
 	return ring.AttackTrials(n, protocol, attack, target, seed, trials)
+}
+
+// AttackTrialsOpts is AttackTrials with a context and engine options.
+func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, seed int64, trials int, opts TrialOptions) (*Distribution, error) {
+	return ring.AttackTrialsOpts(ctx, n, protocol, attack, target, seed, trials, opts)
+}
+
+// StopWhenResolved builds a TrialOptions.Stop rule that ends a batch once
+// the empirical ε estimate's Wilson interval is narrower than halfWidth on
+// both sides (z = 1.96 for 95%), after at least minTrials trials.
+func StopWhenResolved(halfWidth float64, minTrials int, z float64) func(*Distribution) bool {
+	return ring.StopWhenResolved(halfWidth, minTrials, z)
 }
 
 // Analysis.
