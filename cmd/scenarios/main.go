@@ -1,0 +1,183 @@
+// Command scenarios lists and sweeps the scenario registry: every runnable
+// protocol × topology × scheduler × adversary configuration of the
+// reproduction, with uniform outcomes ready for cross-protocol comparison.
+//
+// Usage:
+//
+//	scenarios -list [-match RE] [-format table|csv|json|markdown]
+//	scenarios [-match RE] [-n N] [-trials T] [-seed S] [-workers W] [-format table|csv|json]
+//
+// Without -list the matching scenarios are run as a matrix sweep; -n,
+// -trials and -target override every matched scenario's defaults (scenarios
+// that cannot run at the forced size are reported and skipped). For a fixed
+// seed the sweep output is identical at any -workers value.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		list    = fs.Bool("list", false, "list matching scenarios instead of running them")
+		match   = fs.String("match", "", "regular expression filtering scenario names; empty = all")
+		n       = fs.Int("n", 0, "override every scenario's network size (0 = registered defaults)")
+		trials  = fs.Int("trials", 0, "override every scenario's trial count (0 = registered defaults)")
+		target  = fs.Int64("target", 0, "override every attack's target leader (0 = registered defaults)")
+		seed    = fs.Int64("seed", 20180516, "base seed for the sweep")
+		workers = fs.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for any value")
+		format  = fs.String("format", "table", "output format: table, csv, json, markdown (markdown lists only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	matched, err := scenario.Match(*match)
+	if err != nil {
+		return err
+	}
+	if len(matched) == 0 {
+		return fmt.Errorf("no scenario matches %q", *match)
+	}
+	if *list {
+		return writeList(out, matched, *format)
+	}
+	switch *format {
+	case "table", "csv", "json":
+	case "markdown":
+		return fmt.Errorf("format markdown is for -list only")
+	default:
+		return fmt.Errorf("unknown sweep format %q", *format)
+	}
+	opts := scenario.Opts{N: *n, Trials: *trials, Workers: *workers, Target: *target}
+	return sweep(out, errOut, matched, *seed, opts, *format)
+}
+
+// writeList renders the catalog.
+func writeList(out io.Writer, scenarios []scenario.Scenario, format string) error {
+	descs := make([]scenario.Descriptor, len(scenarios))
+	for i, s := range scenarios {
+		descs[i] = s.Describe()
+	}
+	switch format {
+	case "json":
+		return writeJSON(out, descs)
+	case "csv":
+		fmt.Fprintln(out, "name,topology,protocol,scheduler,attack,n,min_n,trials,k,target,uniform")
+		for _, d := range descs {
+			fmt.Fprintf(out, "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%v\n",
+				d.Name, d.Topology, d.Protocol, d.Scheduler, d.Attack,
+				d.N, d.MinN, d.Trials, d.K, d.Target, d.Uniform)
+		}
+		return nil
+	case "markdown":
+		fmt.Fprintln(out, "| scenario | topology | protocol | scheduler | attack | n | trials | uniform | note |")
+		fmt.Fprintln(out, "|---|---|---|---|---|---|---|---|---|")
+		for _, d := range descs {
+			fmt.Fprintf(out, "| `%s` | %s | %s | %s | %s | %d | %d | %s | %s |\n",
+				d.Name, d.Topology, d.Protocol, d.Scheduler, dash(d.Attack),
+				d.N, d.Trials, yesNo(d.Uniform), d.Note)
+		}
+		return nil
+	case "table":
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SCENARIO\tTOPOLOGY\tSCHED\tATTACK\tN\tTRIALS\tUNIFORM")
+		for _, d := range descs {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+				d.Name, d.Topology, d.Scheduler, dash(d.Attack), d.N, d.Trials, yesNo(d.Uniform))
+		}
+		return w.Flush()
+	default:
+		return fmt.Errorf("unknown list format %q", format)
+	}
+}
+
+// sweep runs every matched scenario and renders the outcome matrix.
+// Scenarios that cannot run under the forced overrides (e.g. -n below an
+// attack's feasibility floor) are reported on errOut and skipped; the sweep
+// fails only when nothing ran.
+func sweep(out, errOut io.Writer, scenarios []scenario.Scenario, seed int64, opts scenario.Opts, format string) error {
+	ctx := context.Background()
+	var outcomes []*scenario.Outcome
+	for _, s := range scenarios {
+		o, err := s.RunOpts(ctx, seed, opts)
+		if err != nil {
+			fmt.Fprintf(errOut, "skip %s: %v\n", s.Name, err)
+			continue
+		}
+		outcomes = append(outcomes, o)
+	}
+	if len(outcomes) == 0 {
+		return fmt.Errorf("no matched scenario could run")
+	}
+	switch format {
+	case "json":
+		return writeJSON(out, outcomes)
+	case "csv":
+		fmt.Fprintln(out, "scenario,n,trials,failures,fail_rate,max_win_leader,max_win_rate,epsilon,target,target_rate,messages")
+		for _, o := range outcomes {
+			fmt.Fprintf(out, "%s,%d,%d,%d,%s,%d,%s,%s,%d,%s,%d\n",
+				o.Scenario, o.N, o.Trials, o.Failures, f4(o.FailRate),
+				o.MaxWinLeader, f4(o.MaxWinRate), f4(o.Epsilon),
+				o.Target, f4(o.TargetRate), o.Messages)
+		}
+		return nil
+	case "table":
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SCENARIO\tN\tTRIALS\tFAIL\tMAXWIN\tEPS\tTARGET\tFORCED\tMSGS")
+		for _, o := range outcomes {
+			targetCell, forcedCell := "-", "-"
+			if o.Target != 0 {
+				targetCell = strconv.FormatInt(o.Target, 10)
+				forcedCell = f4(o.TargetRate)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d@%s\t%s\t%s\t%s\t%d\n",
+				o.Scenario, o.N, o.Trials, f4(o.FailRate),
+				o.MaxWinLeader, f4(o.MaxWinRate), f4(o.Epsilon),
+				targetCell, forcedCell, o.Messages)
+		}
+		return w.Flush()
+	default:
+		// Unreachable: run() validates the format before the sweep.
+		return fmt.Errorf("unknown sweep format %q", format)
+	}
+}
+
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files:
+//
+//	go test ./cmd/scenarios -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, byte for byte. The
+// golden files pin the CLI's JSON surface on a fixed seed: any change to
+// the catalog, the outcome schema, or the engine's determinism shows up as
+// a diff that has to be committed deliberately.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\n(refresh with: go test ./cmd/scenarios -run Golden -update)",
+			name, got, want)
+	}
+}
+
+func TestGoldenListJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list", "-format", "json"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "list.json.golden", out.Bytes())
+}
+
+func TestGoldenSweepJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{
+		"-match", "^(ring/(basic-lead|a-lead|chang-roberts)/fifo|ring/basic-lead/attack=basic-single)$",
+		"-n", "8", "-trials", "64", "-seed", "20180516", "-workers", "3",
+		"-format", "json",
+	}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep.json.golden", out.Bytes())
+
+	// The sweep is engine-deterministic: a different worker count must
+	// reproduce the golden bytes exactly.
+	var out1 bytes.Buffer
+	args[len(args)-3] = "1" // -workers value
+	if err := run(args, &out1, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out1.Bytes()) {
+		t.Error("sweep output differs between -workers 3 and -workers 1")
+	}
+}
+
+func TestGoldenListMarkdown(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list", "-format", "markdown"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "list.md.golden", out.Bytes())
+}
+
+func TestListFormats(t *testing.T) {
+	for _, format := range []string{"table", "csv", "json", "markdown"} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-list", "-format", format}, &out, &errOut); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		if !strings.Contains(out.String(), "ring/a-lead/fifo") {
+			t.Errorf("format %s: catalog is missing ring/a-lead/fifo", format)
+		}
+	}
+}
+
+func TestSweepSkipsInfeasibleSizes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// n=8 is below the staggered attack's feasibility floor but fine for
+	// the honest run: the sweep must skip one and run the other.
+	err := run([]string{
+		"-match", "^ring/a-lead/(fifo|attack=rushing-staggered)$",
+		"-n", "8", "-trials", "10", "-format", "csv",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "skip ring/a-lead/attack=rushing-staggered") {
+		t.Errorf("no skip notice for the infeasible attack; stderr: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "ring/a-lead/fifo,8,10") {
+		t.Errorf("honest scenario missing from sweep: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-match", "no-such-scenario"}, &out, &errOut); err == nil {
+		t.Error("empty match accepted")
+	}
+	if err := run([]string{"-match", "("}, &out, &errOut); err == nil {
+		t.Error("broken regexp accepted")
+	}
+	if err := run([]string{"-list", "-format", "yaml"}, &out, &errOut); err == nil {
+		t.Error("unknown list format accepted")
+	}
+	if err := run([]string{"-match", "^ring/a-lead/fifo$", "-trials", "4", "-format", "yaml"}, &out, &errOut); err == nil {
+		t.Error("unknown sweep format accepted")
+	}
+}

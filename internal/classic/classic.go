@@ -51,6 +51,12 @@ func assignID(ctx *sim.Context, arrange Arrangement, n int) int64 {
 type ChangRoberts struct {
 	// Arrange defaults to ArrangeRandom.
 	Arrange Arrangement
+	// OutputPosition makes the leader announce its ring position instead
+	// of its id, so outputs land in [1..n] and the win distribution is
+	// comparable with the fair protocols'. With random ids the winning
+	// position is uniform (the maximal id lands anywhere), which makes
+	// this variant a member of the uniform-election scenario family.
+	OutputPosition bool
 }
 
 var _ ring.Protocol = ChangRoberts{}
@@ -69,7 +75,7 @@ func (c ChangRoberts) Strategies(n int) ([]sim.Strategy, error) {
 	}
 	out := make([]sim.Strategy, n)
 	for i := range out {
-		out[i] = &crProcessor{n: n, arrange: arrange}
+		out[i] = &crProcessor{n: n, arrange: arrange, outputPos: c.OutputPosition}
 	}
 	return out, nil
 }
@@ -78,9 +84,11 @@ func (c ChangRoberts) Strategies(n int) ([]sim.Strategy, error) {
 // processor whose own id returns is the leader and starts the announcement
 // wave (encoded as the negated id).
 type crProcessor struct {
-	n       int
-	arrange Arrangement
-	id      int64
+	n         int
+	arrange   Arrangement
+	outputPos bool
+	id        int64
+	announced int64 // the value we announced as leader; 0 if not leading
 }
 
 var _ sim.Strategy = (*crProcessor)(nil)
@@ -92,9 +100,9 @@ func (p *crProcessor) Init(ctx *sim.Context) {
 
 func (p *crProcessor) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
 	switch {
-	case value < 0: // announcement carrying the winner id
+	case value < 0: // announcement carrying the winner id (or position)
 		winner := -value
-		if winner == p.id {
+		if p.announced != 0 && winner == p.announced {
 			ctx.Terminate(winner) // own announcement returned
 			return
 		}
@@ -103,7 +111,12 @@ func (p *crProcessor) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
 	case value > p.id:
 		ctx.Send(value)
 	case value == p.id:
-		ctx.Send(-p.id) // our id survived the full circle: we lead
+		// Our id survived the full circle: we lead.
+		p.announced = p.id
+		if p.outputPos {
+			p.announced = int64(ctx.Self())
+		}
+		ctx.Send(-p.announced)
 	default:
 		// Smaller candidate: swallowed.
 	}
@@ -115,6 +128,12 @@ func (p *crProcessor) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
 type Peterson struct {
 	// Arrange defaults to ArrangeRandom.
 	Arrange Arrangement
+	// OutputPosition makes the winning processor announce its ring
+	// position instead of the maximal value, so outputs land in [1..n].
+	// With random ids the winning position is uniform by rotational
+	// symmetry (the winner is the active holding the maximal value when
+	// it completes the circle).
+	OutputPosition bool
 }
 
 var _ ring.Protocol = Peterson{}
@@ -133,7 +152,7 @@ func (p Peterson) Strategies(n int) ([]sim.Strategy, error) {
 	}
 	out := make([]sim.Strategy, n)
 	for i := range out {
-		out[i] = &petersonProcessor{n: n, arrange: arrange}
+		out[i] = &petersonProcessor{n: n, arrange: arrange, outputPos: p.OutputPosition}
 	}
 	return out, nil
 }
@@ -146,13 +165,14 @@ const (
 )
 
 type petersonProcessor struct {
-	n       int
-	arrange Arrangement
-	relay   bool
-	done    bool
-	tid     int64
-	first   int64
-	phase   petersonPhase
+	n         int
+	arrange   Arrangement
+	outputPos bool
+	relay     bool
+	done      bool
+	tid       int64
+	first     int64
+	phase     petersonPhase
 }
 
 var _ sim.Strategy = (*petersonProcessor)(nil)
@@ -184,7 +204,11 @@ func (p *petersonProcessor) Receive(ctx *sim.Context, _ sim.ProcID, value int64)
 			// Our value circled the ring past every other active:
 			// it is the maximum; declare leadership.
 			p.done = true
-			ctx.Send(-p.tid)
+			announce := p.tid
+			if p.outputPos {
+				announce = int64(ctx.Self())
+			}
+			ctx.Send(-announce)
 			return
 		}
 		p.first = value

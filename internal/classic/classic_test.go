@@ -115,3 +115,62 @@ func TestFairProtocolsPayQuadratic(t *testing.T) {
 		t.Errorf("Peterson used %d ≥ n² messages", pt.Delivered)
 	}
 }
+
+func TestOutputPositionLandsInRange(t *testing.T) {
+	protos := map[string]ring.Protocol{
+		"chang-roberts": ChangRoberts{OutputPosition: true},
+		"peterson":      Peterson{OutputPosition: true},
+	}
+	for name, proto := range protos {
+		for _, n := range []int{2, 5, 16, 64} {
+			for seed := int64(0); seed < 5; seed++ {
+				res, err := ring.Run(ring.Spec{N: n, Protocol: proto, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Failed {
+					t.Fatalf("%s n=%d seed=%d failed: %v", name, n, seed, res.Reason)
+				}
+				if res.Output < 1 || res.Output > int64(n) {
+					t.Fatalf("%s n=%d seed=%d: position output %d outside [1,%d]",
+						name, n, seed, res.Output, n)
+				}
+			}
+		}
+	}
+}
+
+func TestOutputPositionAscendingIsDeterministic(t *testing.T) {
+	// With id = position, Chang–Roberts' maximal id sits at position n: the
+	// position output must name it exactly.
+	for _, n := range []int{3, 8, 33} {
+		res := runOnce(t, ChangRoberts{Arrange: ArrangeAscending, OutputPosition: true}, n, 1)
+		if res.Failed || res.Output != int64(n) {
+			t.Fatalf("n=%d: got output %d (failed=%v), want position %d", n, res.Output, res.Failed, n)
+		}
+	}
+}
+
+func TestOutputPositionMatchesIDWinner(t *testing.T) {
+	// In Chang–Roberts the declaring processor is the owner of the
+	// maximal id, so the position variant must crown exactly the position
+	// whose (deterministically derived) random id wins the id variant.
+	// (Peterson's declarer is the active *detecting* the maximal value,
+	// not its original owner, so no such correspondence is claimed there —
+	// its position output is uniform by rotational symmetry instead.)
+	for _, n := range []int{4, 9, 32} {
+		for seed := int64(0); seed < 3; seed++ {
+			idRes := runOnce(t, ChangRoberts{}, n, seed)
+			posRes := runOnce(t, ChangRoberts{OutputPosition: true}, n, seed)
+			if idRes.Failed || posRes.Failed {
+				t.Fatalf("n=%d seed=%d: unexpected failure", n, seed)
+			}
+			winner := int(posRes.Output)
+			wantID := sim.DeriveRand(seed, sim.ProcID(winner)).Int63()>>1&(1<<62-1) + 1
+			if idRes.Output != wantID {
+				t.Fatalf("n=%d seed=%d: position winner %d holds id %d, but id variant elected %d",
+					n, seed, winner, wantID, idRes.Output)
+			}
+		}
+	}
+}

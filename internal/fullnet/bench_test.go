@@ -1,0 +1,12 @@
+package fullnet
+
+import "testing"
+
+func BenchmarkHonestN32(b *testing.B) {
+	e, _ := New(32, 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(int64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

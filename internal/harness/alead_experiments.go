@@ -1,14 +1,13 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/attacks"
 	"repro/internal/core"
 	"repro/internal/protocols/alead"
-	"repro/internal/protocols/basiclead"
 	"repro/internal/ring"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -30,7 +29,8 @@ func RunE1BasicSingle(cfg Config) (*Table, error) {
 	}
 	for _, n := range sizes {
 		target := int64(n/2 + 1)
-		dist, err := ring.AttackTrialsOpts(context.Background(), n, basiclead.New(), attacks.BasicSingle{}, target, cfg.Seed, trials, cfg.trialOpts())
+		dist, err := cfg.scenarioDist("ring/basic-lead/attack=basic-single", cfg.Seed,
+			scenario.Opts{N: n, Trials: trials, Target: target})
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +58,8 @@ func RunE2SqrtAttack(cfg Config) (*Table, error) {
 	}
 	for _, n := range sizes {
 		k := attacks.SqrtK(n)
-		dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attacks.Rushing{Place: attacks.PlaceEqual}, 3, cfg.Seed, trials, cfg.trialOpts())
+		dist, err := cfg.scenarioDist("ring/a-lead/attack=rushing-equal", cfg.Seed,
+			scenario.Opts{N: n, Trials: trials, Target: 3})
 		if err != nil {
 			return nil, err
 		}
@@ -84,8 +85,8 @@ func RunE3Randomized(cfg Config) (*Table, error) {
 	}
 	for _, n := range sizes {
 		for _, c := range []int{3, 5} {
-			attack := attacks.Randomized{C: c}
-			dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attack, 7, cfg.Seed+int64(c), trials, cfg.trialOpts())
+			dist, err := cfg.scenarioDist(fmt.Sprintf("ring/a-lead/attack=randomized-c%d", c),
+				cfg.Seed+int64(c), scenario.Opts{N: n, Trials: trials, Target: 7})
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +119,8 @@ func RunE4Cubic(cfg Config) (*Table, error) {
 	for _, n := range sizes {
 		k := attacks.MinCubicK(n)
 		bound := 2 * cube(n)
-		dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, 2, cfg.Seed, trials, cfg.trialOpts())
+		dist, err := cfg.scenarioDist("ring/a-lead/attack=rushing-staggered", cfg.Seed,
+			scenario.Opts{N: n, Trials: trials, K: k, Target: 2})
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +156,7 @@ func RunE5ALeadResilience(cfg Config) (*Table, error) {
 		n = 256
 		trials = 300
 	}
-	honest, err := ring.TrialsOpts(context.Background(), ring.Spec{N: n, Protocol: alead.New(), Seed: cfg.Seed}, trials, cfg.trialOpts())
+	honest, err := cfg.scenarioDist("ring/a-lead/fifo", cfg.Seed, scenario.Opts{N: n, Trials: trials})
 	if err != nil {
 		return nil, err
 	}
@@ -168,8 +170,8 @@ func RunE5ALeadResilience(cfg Config) (*Table, error) {
 		feasible := errPlan == nil
 		forced := "n/a (no schedulable attack)"
 		if feasible {
-			dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(),
-				attacks.Rushing{Place: attacks.PlaceStaggered, K: k}, 2, cfg.Seed, 10, cfg.trialOpts())
+			dist, err := cfg.scenarioDist("ring/a-lead/attack=rushing-staggered", cfg.Seed,
+				scenario.Opts{N: n, Trials: 10, K: k, Target: 2})
 			if err != nil {
 				return nil, err
 			}

@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/cointoss"
 	"repro/internal/ring"
+	"repro/internal/scenario"
 )
 
 // Table is one experiment's output.
@@ -75,6 +77,20 @@ func (cfg Config) trialOpts() ring.TrialOptions {
 // coinOpts lowers the config onto the cointoss trial engine.
 func (cfg Config) coinOpts() cointoss.Options {
 	return cointoss.Options{Workers: cfg.Workers}
+}
+
+// scenarioDist runs a registered scenario and returns its raw distribution.
+// The experiments' trial batches are thin lookups into the scenario
+// registry: the registry routes through the same engine with the same seed
+// derivation, so the tables are byte-identical to the former direct
+// ring.TrialsOpts/AttackTrialsOpts calls.
+func (cfg Config) scenarioDist(name string, seed int64, o scenario.Opts) (*ring.Distribution, error) {
+	o.Workers = cfg.Workers
+	out, err := scenario.MustFind(name).RunOpts(context.Background(), seed, o)
+	if err != nil {
+		return nil, err
+	}
+	return out.Dist, nil
 }
 
 // Experiment is one registry entry.

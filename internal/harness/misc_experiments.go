@@ -14,6 +14,7 @@ import (
 	"repro/internal/protocols/basiclead"
 	"repro/internal/protocols/phaselead"
 	"repro/internal/ring"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simgraph"
 	"repro/internal/treeproto"
@@ -137,7 +138,8 @@ func RunE11TreeImpossibility(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n, trials = 32, 10
 	}
-	dist, err := ring.AttackTrialsOpts(context.Background(), n, alead.New(), attacks.HalfRing{}, 2, cfg.Seed, trials, cfg.trialOpts())
+	dist, err := cfg.scenarioDist("ring/a-lead/attack=half-ring", cfg.Seed,
+		scenario.Opts{N: n, Trials: trials, Target: 2})
 	if err != nil {
 		return nil, err
 	}

@@ -1,14 +1,13 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/attacks"
 	"repro/internal/core"
 	"repro/internal/protocols/phaselead"
-	"repro/internal/protocols/sumphase"
 	"repro/internal/ring"
+	"repro/internal/scenario"
 )
 
 // phaseDeviation bundles a planned PhaseRushing deviation with its protocol.
@@ -45,7 +44,7 @@ func RunE7PhaseResilience(cfg Config) (*Table, error) {
 	proto := phaselead.NewDefault()
 	target := int64(5)
 
-	honest, err := ring.TrialsOpts(context.Background(), ring.Spec{N: n, Protocol: proto, Seed: cfg.Seed}, trials, cfg.trialOpts())
+	honest, err := cfg.scenarioDist("ring/phase-lead/fifo", cfg.Seed, scenario.Opts{N: n, Trials: trials})
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +66,8 @@ func RunE7PhaseResilience(cfg Config) (*Table, error) {
 
 	// Rushing without steering: validity collapses, no bias.
 	k := 4
-	noSteer := attacks.PhaseRushing{Protocol: proto, K: k, Mode: attacks.PhaseNoSteer}
-	dist, err := ring.AttackTrialsOpts(context.Background(), n, proto, noSteer, target, cfg.Seed, trials/3, cfg.trialOpts())
+	dist, err := cfg.scenarioDist("ring/phase-lead/attack=phase-nosteer", cfg.Seed,
+		scenario.Opts{N: n, Trials: trials / 3, K: k, Target: target})
 	if err != nil {
 		return nil, err
 	}
@@ -77,8 +76,8 @@ func RunE7PhaseResilience(cfg Config) (*Table, error) {
 
 	// Chase mode: validity saved, bias provably lost.
 	kChase := 8
-	chase := attacks.PhaseRushing{Protocol: proto, K: kChase, Mode: attacks.PhaseChase}
-	dist, err = ring.AttackTrialsOpts(context.Background(), n, proto, chase, target, cfg.Seed, trials, cfg.trialOpts())
+	dist, err = cfg.scenarioDist("ring/phase-lead/attack=phase-chase", cfg.Seed,
+		scenario.Opts{N: n, Trials: trials, K: kChase, Target: target})
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +112,8 @@ func RunE8PhaseAttack(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		k := attacks.SqrtK(n) + 3
-		dist, err := ring.AttackTrialsOpts(context.Background(), n, proto, attacks.PhaseRushing{Protocol: proto}, 9, cfg.Seed, trials, cfg.trialOpts())
+		dist, err := cfg.scenarioDist("ring/phase-lead/attack=phase-rushing", cfg.Seed,
+			scenario.Opts{N: n, Trials: trials, Target: 9})
 		if err != nil {
 			return nil, err
 		}
@@ -140,14 +140,15 @@ func RunE9SumPhase(cfg Config) (*Table, error) {
 		trials = 20
 	}
 	for _, n := range sizes {
-		dist, err := ring.AttackTrialsOpts(context.Background(), n, sumphase.New(), attacks.SumPhase{}, 4, cfg.Seed, trials, cfg.trialOpts())
+		dist, err := cfg.scenarioDist("ring/sum-phase/attack=sum-phase", cfg.Seed,
+			scenario.Opts{N: n, Trials: trials, Target: 4})
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow("SumPhaseLead", itoa(n), "4", itoa(trials), f3(dist.WinRate(4)), f3(dist.FailureRate()))
 
-		proto := phaselead.NewDefault()
-		dist, err = ring.AttackTrialsOpts(context.Background(), n, proto, attacks.SumPhase{}, 4, cfg.Seed, trials, cfg.trialOpts())
+		dist, err = cfg.scenarioDist("ring/phase-lead/attack=sum-phase", cfg.Seed,
+			scenario.Opts{N: n, Trials: trials, Target: 4})
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +184,8 @@ func RunE14PhaseTransition(cfg Config) (*Table, error) {
 		feasible := errPlan == nil
 		forced := "0 (infeasible)"
 		if feasible {
-			dist, err := ring.AttackTrialsOpts(context.Background(), n, proto, attack, 6, cfg.Seed, trials, cfg.trialOpts())
+			dist, err := cfg.scenarioDist("ring/phase-lead/attack=phase-rushing", cfg.Seed,
+				scenario.Opts{N: n, Trials: trials, K: k, Target: 6})
 			if err != nil {
 				return nil, err
 			}

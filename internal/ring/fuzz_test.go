@@ -1,0 +1,49 @@
+package ring
+
+import "testing"
+
+// FuzzRingArith checks the residue-alphabet invariants every ring protocol
+// builds on: Mod lands in [0, n) for any input (including negatives and the
+// int64 extremes), LeaderFromSum lands in [1..n], and SumForLeader is its
+// exact inverse.
+func FuzzRingArith(f *testing.F) {
+	f.Add(int64(0), uint16(0))
+	f.Add(int64(-1), uint16(1))
+	f.Add(int64(1<<62), uint16(1023))
+	f.Add(int64(-1)<<62, uint16(7))
+	f.Add(int64(9223372036854775807), uint16(65535))
+	f.Add(int64(-9223372036854775808), uint16(2))
+	f.Fuzz(func(t *testing.T, v int64, rawN uint16) {
+		n := int(rawN)%4096 + 2
+
+		m := Mod(v, n)
+		if m < 0 || m >= int64(n) {
+			t.Fatalf("Mod(%d, %d) = %d outside [0, %d)", v, n, m, n)
+		}
+		if again := Mod(m, n); again != m {
+			t.Fatalf("Mod is not idempotent: Mod(%d, %d) = %d", m, n, again)
+		}
+		// Reduction agrees with pre-reducing by the native remainder.
+		if other := Mod(v%int64(n), n); other != m {
+			t.Fatalf("Mod(%d, %d) = %d but Mod(%d %% n, n) = %d", v, n, m, v, other)
+		}
+		// Shifting by one modulus does not change the residue (stay away
+		// from the int64 edges to avoid overflow in the test itself).
+		if v < 1<<62-int64(n) && v > -(1<<62)+int64(n) {
+			if shifted := Mod(v+int64(n), n); shifted != m {
+				t.Fatalf("Mod(%d+n, %d) = %d, want %d", v, n, shifted, m)
+			}
+		}
+
+		leader := LeaderFromSum(v, n)
+		if leader < 1 || leader > int64(n) {
+			t.Fatalf("LeaderFromSum(%d, %d) = %d outside [1, %d]", v, n, leader, n)
+		}
+		if LeaderFromSum(SumForLeader(leader, n), n) != leader {
+			t.Fatalf("SumForLeader is not inverse at leader %d, n=%d", leader, n)
+		}
+		if SumForLeader(leader, n) != m {
+			t.Fatalf("SumForLeader(LeaderFromSum(%d)) = %d, want the residue %d", v, SumForLeader(leader, n), m)
+		}
+	})
+}

@@ -160,6 +160,14 @@ func StopWhenResolved(halfWidth float64, minTrials int, z float64) func(*Distrib
 	}
 }
 
+// TrialSeed derives the seed of trial t of a batch from the base seed.
+// Every honest trial batch — ring.Trials and the scenario registry alike —
+// shares this derivation, which is what lets a registry run reproduce a
+// TrialsOpts batch bit-for-bit.
+func TrialSeed(base int64, t int) int64 {
+	return int64(sim.Mix64(uint64(base), uint64(t)+0x1234))
+}
+
 // Trials runs the given spec repeatedly with derived seeds and aggregates
 // the outcomes. The spec's Seed field acts as the base seed; trial t runs
 // with an independently mixed seed, so trials are decorrelated but the whole
@@ -181,7 +189,7 @@ func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (
 	}
 	job := engine.JobFunc(func(t int) (sim.Result, error) {
 		trialSpec := spec
-		trialSpec.Seed = int64(sim.Mix64(uint64(spec.Seed), uint64(t)+0x1234))
+		trialSpec.Seed = TrialSeed(spec.Seed, t)
 		res, err := Run(trialSpec)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)

@@ -1,0 +1,463 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/classic"
+	"repro/internal/fullnet"
+	"repro/internal/protocols/alead"
+	"repro/internal/protocols/basiclead"
+	"repro/internal/protocols/phaselead"
+	"repro/internal/protocols/sumphase"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/simgraph"
+	"repro/internal/syncnet"
+	"repro/internal/treeproto"
+	"repro/internal/wakeup"
+)
+
+// Run-function builders. Each returns the scenario's trial batch (always on
+// the engine) and, for ring topologies, the single-execution hook used by
+// the schedule-independence property tests.
+
+// ringHonest runs an honest ring protocol, building a fresh scheduler per
+// trial so non-FIFO batches stay shard-safe. With SchedFIFO the batch is
+// bit-identical to ring.TrialsOpts (same seed derivation, same engine).
+func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
+	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+			ts := trialSeed(seed, t)
+			sc, err := newScheduler(sched, ts)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			res, err := ring.Run(ring.Spec{N: p.N, Protocol: proto, Seed: ts, Scheduler: sc})
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
+			}
+			return res, nil
+		})
+	}
+	single := func(seed int64, sc sim.Scheduler, p params) (sim.Result, error) {
+		return ring.Run(ring.Spec{N: p.N, Protocol: proto, Seed: seed, Scheduler: sc})
+	}
+	return run, single
+}
+
+// ringAttack runs a planned deviation against a ring protocol; the attack
+// may depend on the resolved parameters (coalition size K). The batch is
+// exactly ring.AttackTrialsOpts, so registry runs reproduce the harness
+// experiments byte-identically.
+func ringAttack(proto ring.Protocol, mk func(p params) ring.Attack) (runFunc, singleFunc) {
+	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		return ring.AttackTrialsOpts(ctx, p.N, proto, mk(p), p.Target, seed, p.Trials,
+			ring.TrialOptions{Workers: p.Workers})
+	}
+	single := func(seed int64, sc sim.Scheduler, p params) (sim.Result, error) {
+		atk := mk(p)
+		dev, err := atk.Plan(p.N, p.Target, seed)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", atk.Name(), p.N, err)
+		}
+		return ring.Run(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc})
+	}
+	return run, single
+}
+
+// wakeupAttack lifts the staggered rushing attack to the wake-up extension;
+// the combined protocol depends on n (ids pinned to positions).
+func wakeupAttack() (runFunc, singleFunc) {
+	mk := func(p params) (ring.Protocol, ring.Attack) {
+		a := attacks.WakeupRushing{Inner: attacks.Rushing{Place: attacks.PlaceStaggered, K: p.K}}
+		return a.Protocol(p.N), a
+	}
+	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		proto, atk := mk(p)
+		return ring.AttackTrialsOpts(ctx, p.N, proto, atk, p.Target, seed, p.Trials,
+			ring.TrialOptions{Workers: p.Workers})
+	}
+	single := func(seed int64, sc sim.Scheduler, p params) (sim.Result, error) {
+		proto, atk := mk(p)
+		dev, err := atk.Plan(p.N, p.Target, seed)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", atk.Name(), p.N, err)
+		}
+		return ring.Run(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc})
+	}
+	return run, single
+}
+
+// completeRun runs the asynchronous complete-graph election with Shamir
+// sharing, honestly or under the share-pooling coalition (K ≤ 0 picks the
+// threshold ⌈n/2⌉, the smallest controlling coalition).
+func completeRun(attack bool) runFunc {
+	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		e, err := fullnet.New(p.N, 0)
+		if err != nil {
+			return nil, err
+		}
+		k := p.K
+		if attack && k <= 0 {
+			k = e.Threshold()
+		}
+		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+			ts := trialSeed(seed, t)
+			if attack {
+				return e.RunAttack(k, p.Target, ts, nil)
+			}
+			return e.Run(ts, nil)
+		})
+	}
+}
+
+// treeRun runs the convergecast/broadcast tree election on the given tree
+// family, honestly or with the dictating adversarial root.
+func treeRun(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int, sched string, adversary bool) runFunc {
+	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		tree, err := build(p.N)
+		if err != nil {
+			return nil, err
+		}
+		proto, err := treeproto.New(tree, rootAt(p.N))
+		if err != nil {
+			return nil, err
+		}
+		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+			ts := trialSeed(seed, t)
+			sc, err := newScheduler(sched, ts)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return proto.Run(treeproto.Spec{
+				Seed:          ts,
+				Scheduler:     sc,
+				AdversaryRoot: adversary,
+				Target:        p.Target,
+			})
+		})
+	}
+}
+
+// syncCompleteRun runs the synchronous fully-connected election with a blind
+// coalition of size K in the last positions (K = −1 resolves to n−1, the
+// maximal coalition; the outcome stays uniform — nothing to rush).
+func syncCompleteRun() runFunc {
+	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		k := p.K
+		if k < 0 {
+			k = p.N - 1
+		}
+		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+			procs, err := syncnet.NewCompleteElection(p.N, k, trialSeed(seed, t))
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return syncnet.Run(procs, p.N+4)
+		})
+	}
+}
+
+// syncRingRun runs the synchronous ring election; with tamper, processor 2
+// perturbs every forwarded value — the deviation whose only power is FAIL.
+func syncRingRun(tamper bool) runFunc {
+	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+			ts := trialSeed(seed, t)
+			procs := make([]syncnet.Processor, p.N)
+			for i := 1; i <= p.N; i++ {
+				proc := syncnet.NewRingSyncLead(p.N, sim.ProcID(i), ts)
+				if tamper && i == 2 {
+					proc.Tamper = 1
+				}
+				procs[i-1] = proc
+			}
+			return syncnet.Run(procs, p.N+2)
+		})
+	}
+}
+
+// registerRing registers one ring scenario from its builder pair.
+func registerRing(s Scenario, run runFunc, single singleFunc) {
+	s.run, s.single = run, single
+	register(s)
+}
+
+// pathRoot roots the path tree at its middle vertex.
+func pathRoot(n int) int { return (n + 1) / 2 }
+
+// starRoot roots the star at its center.
+func starRoot(int) int { return 1 }
+
+func init() {
+	// --- Asynchronous ring: honest protocols under every scheduler kind.
+	type honestRing struct {
+		slug    string
+		proto   ring.Protocol
+		scheds  []string
+		uniform bool
+		note    string
+	}
+	allScheds := []string{SchedFIFO, SchedLIFO, SchedRandom}
+	for _, h := range []honestRing{
+		{"basic-lead", basiclead.New(), allScheds, true,
+			"Appendix B naive protocol, honest run (uniform; broken by one adversary)"},
+		{"a-lead", alead.New(), allScheds, true,
+			"A-LEADuni (Section 3), honest run"},
+		{"phase-lead", phaselead.NewDefault(), allScheds, true,
+			"PhaseAsyncLead (Section 6), honest run"},
+		{"sum-phase", sumphase.New(), []string{SchedFIFO}, true,
+			"sum-output phase variant (Appendix E.4), honest run"},
+		{"chang-roberts", classic.ChangRoberts{OutputPosition: true}, []string{SchedFIFO}, true,
+			"classical baseline, random ids, position output (uniform winning position)"},
+		{"peterson", classic.Peterson{OutputPosition: true}, []string{SchedFIFO}, true,
+			"classical O(n log n) baseline, random ids, position output"},
+	} {
+		for _, sched := range h.scheds {
+			run, single := ringHonest(h.proto, sched)
+			registerRing(Scenario{
+				Name:      "ring/" + h.slug + "/" + sched,
+				Topology:  "ring",
+				Protocol:  h.slug,
+				Scheduler: sched,
+				N:         16,
+				Trials:    400,
+				Uniform:   h.uniform,
+				Note:      h.note,
+			}, run, single)
+		}
+	}
+
+	// --- Asynchronous ring: every adversarial deviation of the paper.
+	type ringAtk struct {
+		protoSlug string
+		proto     ring.Protocol
+		attack    string
+		mk        func(p params) ring.Attack
+		n, minN   int
+		trials    int
+		k         int
+		target    int64
+		note      string
+	}
+	phase := phaselead.NewDefault()
+	for _, a := range []ringAtk{
+		{"basic-lead", basiclead.New(), "basic-single",
+			func(params) ring.Attack { return attacks.BasicSingle{} },
+			16, 4, 200, 0, 2, "Claim B.1: one adversary forces any target"},
+		{"a-lead", alead.New(), "rushing-equal",
+			func(p params) ring.Attack { return attacks.Rushing{Place: attacks.PlaceEqual, K: p.K} },
+			64, 25, 25, 0, 3, "Theorem 4.2: ⌈√n⌉ equally spaced rushers control A-LEADuni"},
+		{"a-lead", alead.New(), "rushing-staggered",
+			func(p params) ring.Attack { return attacks.Rushing{Place: attacks.PlaceStaggered, K: p.K} },
+			64, 27, 20, 0, 2, "Theorem 4.3: the cubic attack (staggered distances)"},
+		{"a-lead", alead.New(), "randomized-c3",
+			func(params) ring.Attack { return attacks.Randomized{C: 3} },
+			256, 128, 60, 0, 7, "Theorem C.1: randomly located coalitions, C=3"},
+		{"a-lead", alead.New(), "randomized-c5",
+			func(params) ring.Attack { return attacks.Randomized{C: 5} },
+			256, 128, 60, 0, 7, "Theorem C.1: randomly located coalitions, C=5"},
+		{"a-lead", alead.New(), "half-ring",
+			func(p params) ring.Attack { return attacks.HalfRing{K: p.K} },
+			64, 8, 20, 0, 2, "Theorem 7.2 on the ring: ⌈n/2⌉ consecutive coalition dictates"},
+		{"phase-lead", phase, "phase-rushing",
+			func(p params) ring.Attack { return attacks.PhaseRushing{Protocol: phase, K: p.K} },
+			100, 64, 15, 0, 9, "Section 6 tightness: k = √n+3 rushing controls PhaseAsyncLead"},
+		{"phase-lead", phase, "phase-chase",
+			func(p params) ring.Attack {
+				return attacks.PhaseRushing{Protocol: phase, K: p.K, Mode: attacks.PhaseChase}
+			},
+			100, 64, 100, 8, 5, "chase mode: validity saved, bias provably lost (Theorem 6.1 mechanism)"},
+		{"phase-lead", phase, "phase-nosteer",
+			func(p params) ring.Attack {
+				return attacks.PhaseRushing{Protocol: phase, K: p.K, Mode: attacks.PhaseNoSteer}
+			},
+			100, 64, 100, 4, 5, "rushing without steering: validity collapses, no bias"},
+		{"sum-phase", sumphase.New(), "sum-phase",
+			func(params) ring.Attack { return attacks.SumPhase{} },
+			121, 16, 40, 0, 4, "Appendix E.4: four colluders control the sum-output variant"},
+		{"phase-lead", phase, "sum-phase",
+			func(params) ring.Attack { return attacks.SumPhase{} },
+			121, 16, 40, 0, 4, "control: the same four colluders are powerless against f"},
+	} {
+		run, single := ringAttack(a.proto, a.mk)
+		registerRing(Scenario{
+			Name:      "ring/" + a.protoSlug + "/attack=" + a.attack,
+			Topology:  "ring",
+			Protocol:  a.protoSlug,
+			Scheduler: SchedFIFO,
+			Attack:    a.attack,
+			N:         a.n,
+			MinN:      a.minN,
+			Trials:    a.trials,
+			K:         a.k,
+			Target:    a.target,
+			Note:      a.note,
+		}, run, single)
+	}
+
+	// --- Wake-up extension (Appendix H): id exchange, then A-LEADuni.
+	for _, sched := range []string{SchedFIFO, SchedRandom} {
+		run, single := ringHonest(wakeup.New(), sched)
+		registerRing(Scenario{
+			Name:      "wakeup/a-lead/" + sched,
+			Topology:  "wakeup",
+			Protocol:  "a-lead",
+			Scheduler: sched,
+			N:         16,
+			MinN:      4,
+			Trials:    400,
+			Uniform:   true,
+			Note:      "wake-up id circulation then A-LEADuni re-indexed at the minimal id",
+		}, run, single)
+	}
+	{
+		run, single := wakeupAttack()
+		registerRing(Scenario{
+			Name:      "wakeup/a-lead/attack=wakeup-rushing",
+			Topology:  "wakeup",
+			Protocol:  "a-lead",
+			Scheduler: SchedFIFO,
+			Attack:    "wakeup-rushing",
+			N:         64,
+			MinN:      27,
+			Trials:    20,
+			Target:    2,
+			Note:      "Section 4 attacks survive the wake-up extension (Appendix H remark)",
+		}, run, single)
+	}
+
+	// --- Asynchronous complete graph with Shamir sharing (Section 1.1).
+	register(Scenario{
+		Name:      "complete/shamir/fifo",
+		Topology:  "complete",
+		Protocol:  "shamir",
+		Scheduler: SchedFIFO,
+		N:         12,
+		MinN:      3,
+		Trials:    400,
+		Uniform:   true,
+		Note:      "commit-then-reveal secret sharing, resilient to ⌈n/2⌉−1",
+		run:       completeRun(false),
+	})
+	register(Scenario{
+		Name:      "complete/shamir/attack=pool",
+		Topology:  "complete",
+		Protocol:  "shamir",
+		Scheduler: SchedFIFO,
+		Attack:    "pool",
+		N:         12,
+		MinN:      3,
+		Trials:    40,
+		Target:    2,
+		Note:      "k = ⌈n/2⌉ pools phase-1 shares and reconstructs every secret early",
+		run:       completeRun(true),
+	})
+
+	// --- Tree topologies (Theorem 7.2: trees are 1-simulated trees).
+	register(Scenario{
+		Name:      "tree-path/convergecast/fifo",
+		Topology:  "tree-path",
+		Protocol:  "convergecast",
+		Scheduler: SchedFIFO,
+		N:         11,
+		MinN:      2,
+		Trials:    400,
+		Uniform:   true,
+		Note:      "convergecast/broadcast election on the path, rooted at the middle",
+		run:       treeRun(simgraph.Path, pathRoot, SchedFIFO, false),
+	})
+	register(Scenario{
+		Name:      "tree-path/convergecast/random",
+		Topology:  "tree-path",
+		Protocol:  "convergecast",
+		Scheduler: SchedRandom,
+		N:         11,
+		MinN:      2,
+		Trials:    400,
+		Uniform:   true,
+		Note:      "same election under a random oblivious schedule (trees genuinely interleave)",
+		run:       treeRun(simgraph.Path, pathRoot, SchedRandom, false),
+	})
+	register(Scenario{
+		Name:      "tree-star/convergecast/fifo",
+		Topology:  "tree-star",
+		Protocol:  "convergecast",
+		Scheduler: SchedFIFO,
+		N:         9,
+		MinN:      2,
+		Trials:    400,
+		Uniform:   true,
+		Note:      "convergecast election on the star, rooted at the center",
+		run:       treeRun(simgraph.Star, starRoot, SchedFIFO, false),
+	})
+	register(Scenario{
+		Name:      "tree-path/convergecast/attack=dictator-root",
+		Topology:  "tree-path",
+		Protocol:  "convergecast",
+		Scheduler: SchedFIFO,
+		Attack:    "dictator-root",
+		N:         11,
+		MinN:      3,
+		Trials:    40,
+		K:         1,
+		Target:    3,
+		Note:      "a single rational root dictates: trees are 1-simulated trees",
+		run:       treeRun(simgraph.Path, pathRoot, SchedFIFO, true),
+	})
+
+	// --- Synchronous models (Section 1.1: nothing to rush).
+	register(Scenario{
+		Name:      "sync-complete/complete-lead/honest",
+		Topology:  "sync-complete",
+		Protocol:  "complete-lead",
+		Scheduler: SchedLockstep,
+		N:         12,
+		MinN:      2,
+		Trials:    400,
+		Uniform:   true,
+		Note:      "lock-step complete graph: commit secrets in round 1, sum in round 2",
+		run:       syncCompleteRun(),
+	})
+	register(Scenario{
+		Name:      "sync-complete/complete-lead/attack=blind-coalition",
+		Topology:  "sync-complete",
+		Protocol:  "complete-lead",
+		Scheduler: SchedLockstep,
+		Attack:    "blind-coalition",
+		N:         12,
+		MinN:      2,
+		Trials:    400,
+		K:         -1,
+		Uniform:   true,
+		Note:      "k = n−1 blind constants gain nothing: the outcome stays uniform",
+		run:       syncCompleteRun(),
+	})
+	register(Scenario{
+		Name:      "sync-ring/ring-sync-lead/honest",
+		Topology:  "sync-ring",
+		Protocol:  "ring-sync-lead",
+		Scheduler: SchedLockstep,
+		N:         12,
+		MinN:      2,
+		Trials:    400,
+		Uniform:   true,
+		Note:      "lock-step ring: forward the previous round's value; resilient to n−1",
+		run:       syncRingRun(false),
+	})
+	register(Scenario{
+		Name:      "sync-ring/ring-sync-lead/attack=tamper",
+		Topology:  "sync-ring",
+		Protocol:  "ring-sync-lead",
+		Scheduler: SchedLockstep,
+		Attack:    "tamper",
+		N:         12,
+		MinN:      3,
+		Trials:    40,
+		K:         1,
+		Note:      "a tampering forwarder destroys (FAIL) but never steers",
+		run:       syncRingRun(true),
+	})
+}

@@ -1,0 +1,23 @@
+package scenario
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllIsConcurrencySafe(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if len(All()) < 25 {
+				t.Error("short catalog")
+			}
+			if _, err := Match("^ring/"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// differentialFamily returns the uniform-election scenarios the matrix
+// cross-checks. Scheduler variants of one configuration are excluded: the
+// schedule-independence property test already proves them bit-identical, so
+// they would only duplicate columns of the matrix.
+func differentialFamily() []Scenario {
+	var family []Scenario
+	for _, s := range All() {
+		if s.Uniform && (s.Scheduler == SchedFIFO || s.Scheduler == SchedLockstep) {
+			family = append(family, s)
+		}
+	}
+	return family
+}
+
+// TestDifferentialUniformMatrix is the cross-protocol differential check:
+// every pair of uniform-election scenarios — across protocols, topologies
+// and network models — must produce statistically indistinguishable leader
+// distributions at the same n over ≥ 2000 engine trials each. Failures are
+// appended as an extra contingency cell so a protocol that trades wins for
+// FAILs cannot slip through. The significance threshold is Bonferroni-safe
+// for the matrix size; the run is fully deterministic (fixed seed), so a
+// failure here is a real distributional divergence, not flakiness.
+func TestDifferentialUniformMatrix(t *testing.T) {
+	sizes := []int{8, 32}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	const trials = 2000
+	const alpha = 1e-6
+	family := differentialFamily()
+	if len(family) < 10 {
+		t.Fatalf("uniform family has %d scenarios, want ≥ 10", len(family))
+	}
+	ctx := context.Background()
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			type column struct {
+				name  string
+				cells []int // leader counts 1..n, then a FAIL cell
+			}
+			var cols []column
+			for _, s := range family {
+				if n < s.MinN {
+					continue
+				}
+				out, err := s.RunOpts(ctx, 20180516, Opts{N: n, Trials: trials})
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name, err)
+				}
+				cells := make([]int, n+1)
+				copy(cells, out.Counts[1:])
+				cells[n] = out.Failures
+				cols = append(cols, column{name: s.Name, cells: cells})
+			}
+			if len(cols) < 10 {
+				t.Fatalf("only %d scenarios ran at n=%d, want ≥ 10", len(cols), n)
+			}
+			pairs := 0
+			for i := 0; i < len(cols); i++ {
+				for j := i + 1; j < len(cols); j++ {
+					pairs++
+					statistic, p, err := stats.ChiSquareHomogeneity(cols[i].cells, cols[j].cells)
+					if err != nil {
+						t.Fatalf("%s vs %s: %v", cols[i].name, cols[j].name, err)
+					}
+					if p < alpha {
+						t.Errorf("%s and %s disagree at n=%d: χ²=%.2f p=%.3g (α=%g)",
+							cols[i].name, cols[j].name, n, statistic, p, alpha)
+					}
+				}
+			}
+			t.Logf("n=%d: %d scenarios, %d pairwise agreements over %d trials each",
+				n, len(cols), pairs, trials)
+		})
+	}
+}
+
+// TestDifferentialCatchesBias is the negative control for the matrix: an
+// attacked distribution must be flagged against every honest column, or the
+// agreement check above proves nothing.
+func TestDifferentialCatchesBias(t *testing.T) {
+	ctx := context.Background()
+	const n, trials = 16, 2000
+	honest, err := MustFind("ring/a-lead/fifo").RunOpts(ctx, 20180516, Opts{N: n, Trials: trials})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := MustFind("ring/basic-lead/attack=basic-single").RunOpts(ctx, 20180516,
+		Opts{N: n, Trials: trials, Target: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := func(o *Outcome) []int {
+		c := make([]int, n+1)
+		copy(c, o.Counts[1:])
+		c[n] = o.Failures
+		return c
+	}
+	_, p, err := stats.ChiSquareHomogeneity(cells(honest), cells(forced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-9 {
+		t.Errorf("matrix failed to distinguish a fully forced distribution from uniform (p=%v)", p)
+	}
+}

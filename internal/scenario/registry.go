@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// registry holds every registered scenario, keyed by name. Registration is
+// init-time only; names is kept sorted by register, so every accessor is
+// read-only afterwards and safe for concurrent use.
+var (
+	registry = map[string]Scenario{}
+	names    []string
+)
+
+// register adds a scenario to the catalog. It panics on duplicate or
+// malformed entries: registration happens at init time and a broken catalog
+// should fail loudly.
+func register(s Scenario) {
+	switch {
+	case s.Name == "":
+		panic("scenario: registering unnamed scenario")
+	case s.Topology == "" || s.Protocol == "" || s.Scheduler == "":
+		panic(fmt.Sprintf("scenario: %s missing topology/protocol/scheduler", s.Name))
+	case s.N < 2 || s.Trials < 1:
+		panic(fmt.Sprintf("scenario: %s has bad defaults n=%d trials=%d", s.Name, s.N, s.Trials))
+	case s.run == nil:
+		panic(fmt.Sprintf("scenario: %s has no run function", s.Name))
+	}
+	if s.MinN == 0 {
+		s.MinN = 2
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %s", s.Name))
+	}
+	registry[s.Name] = s
+	names = append(names, s.Name)
+	sort.Strings(names)
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []Scenario {
+	out := make([]Scenario, len(names))
+	for i, name := range names {
+		out[i] = registry[name]
+	}
+	return out
+}
+
+// Find returns the named scenario.
+func Find(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustFind is Find for callers with a static name (the harness experiments);
+// it panics on a missing entry.
+func MustFind(name string) Scenario {
+	s, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("scenario: no registered scenario %q", name))
+	}
+	return s
+}
+
+// Match returns the scenarios whose name matches the regular expression, in
+// name order. An empty pattern matches everything.
+func Match(pattern string) ([]Scenario, error) {
+	if pattern == "" {
+		return All(), nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: bad match pattern: %w", err)
+	}
+	var out []Scenario
+	for _, s := range All() {
+		if re.MatchString(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Descriptor is the exported, serializable description of a scenario.
+type Descriptor struct {
+	Name      string `json:"name"`
+	Topology  string `json:"topology"`
+	Protocol  string `json:"protocol"`
+	Scheduler string `json:"scheduler"`
+	Attack    string `json:"attack,omitempty"`
+	N         int    `json:"n"`
+	MinN      int    `json:"min_n"`
+	Trials    int    `json:"trials"`
+	K         int    `json:"k,omitempty"`
+	Target    int64  `json:"target,omitempty"`
+	Uniform   bool   `json:"uniform"`
+	Note      string `json:"note,omitempty"`
+}
+
+// Describe returns the scenario's catalog entry.
+func (s Scenario) Describe() Descriptor {
+	return Descriptor{
+		Name:      s.Name,
+		Topology:  s.Topology,
+		Protocol:  s.Protocol,
+		Scheduler: s.Scheduler,
+		Attack:    s.Attack,
+		N:         s.N,
+		MinN:      s.MinN,
+		Trials:    s.Trials,
+		K:         s.K,
+		Target:    s.Target,
+		Uniform:   s.Uniform,
+		Note:      s.Note,
+	}
+}

@@ -1,0 +1,265 @@
+// Package scenario is the catalog of runnable configurations: every point of
+// the protocol × topology × scheduler × adversary space studied by the
+// reproduction is a named, self-describing value with a uniform way to run
+// it and a uniform outcome. The registry is the substrate of the
+// cross-protocol differential tests (any two uniform-election scenarios must
+// produce statistically indistinguishable leader distributions), of the
+// schedule-independence property tests, and of the cmd/scenarios matrix
+// runner; the harness experiments are thin lookups into it.
+//
+// Every scenario's trial batch routes through the parallel Monte-Carlo
+// engine (internal/engine): for a fixed seed the outcome is bit-for-bit
+// identical at any worker count. Ring scenarios reuse the exact seed
+// derivation of ring.Trials/AttackTrials, so a registry run reproduces the
+// corresponding harness experiment byte-identically.
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Scheduler kinds. On a unidirectional ring all three yield bit-identical
+// executions (Section 2: per-link FIFO pins every local computation); on
+// trees and general graphs they genuinely interleave differently.
+const (
+	SchedFIFO     = "fifo"
+	SchedLIFO     = "lifo"
+	SchedRandom   = "random"
+	SchedLockstep = "lockstep" // synchronous topologies: rounds, no scheduler
+)
+
+// newScheduler builds a fresh scheduler for one execution. FIFO is the
+// simulator default (nil); the random scheduler is seeded per execution so
+// trial batches stay deterministic and shard-safe.
+func newScheduler(kind string, seed int64) (sim.Scheduler, error) {
+	switch kind {
+	case SchedFIFO, SchedLockstep, "":
+		return nil, nil
+	case SchedLIFO:
+		return sim.LIFOScheduler{}, nil
+	case SchedRandom:
+		return sim.NewRandomScheduler(seed), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown scheduler %q", kind)
+	}
+}
+
+// Opts overrides a scenario's defaults for one run. Zero fields keep the
+// scenario's registered values.
+type Opts struct {
+	// N overrides the network size.
+	N int
+	// Trials overrides the trial count.
+	Trials int
+	// Workers is the engine worker count; 0 picks runtime.NumCPU().
+	// Results are identical for any value.
+	Workers int
+	// K overrides the coalition size where the scenario's attack takes
+	// one (0 keeps the scenario default; the attack's own default rules
+	// apply when that is also 0).
+	K int
+	// Target overrides the leader the coalition tries to force.
+	Target int64
+}
+
+// params is a scenario's fully resolved run configuration.
+type params struct {
+	N       int
+	Trials  int
+	Workers int
+	K       int
+	Target  int64
+}
+
+type (
+	// runFunc runs the scenario's trial batch on the engine.
+	runFunc func(ctx context.Context, seed int64, p params) (*ring.Distribution, error)
+	// singleFunc runs one execution under an explicit scheduler; only
+	// ring-topology scenarios provide it (the schedule-independence
+	// property is a ring claim).
+	singleFunc func(seed int64, sched sim.Scheduler, p params) (sim.Result, error)
+)
+
+// Scenario is one named, runnable configuration.
+type Scenario struct {
+	// Name identifies the scenario: <topology>/<protocol>/<scheduler>
+	// or <topology>/<protocol>/attack=<attack>.
+	Name string
+	// Topology is the communication graph family: "ring", "wakeup",
+	// "complete", "tree-path", "tree-star", "sync-complete", "sync-ring".
+	Topology string
+	// Protocol is the protocol slug (e.g. "a-lead", "phase-lead").
+	Protocol string
+	// Scheduler is the message schedule kind (SchedFIFO et al.).
+	Scheduler string
+	// Attack is the adversarial deviation slug; empty for honest runs.
+	Attack string
+	// N is the default network size.
+	N int
+	// MinN is the smallest size the configuration supports (attack
+	// feasibility or protocol constraints).
+	MinN int
+	// Trials is the default trial count.
+	Trials int
+	// K is the default coalition size (0 = the attack's own default,
+	// −1 = n−1).
+	K int
+	// Target is the default leader the coalition tries to force.
+	Target int64
+	// Uniform marks scenarios whose leader distribution is uniform over
+	// [1..N] — the family the differential matrix tests pairwise.
+	Uniform bool
+	// Note is a one-line description for catalogs.
+	Note string
+
+	run    runFunc
+	single singleFunc
+}
+
+// params resolves the run configuration from the scenario defaults and the
+// caller's overrides.
+func (s Scenario) params(o Opts) params {
+	p := params{N: s.N, Trials: s.Trials, Workers: o.Workers, K: s.K, Target: s.Target}
+	if o.N > 0 {
+		p.N = o.N
+	}
+	if o.Trials > 0 {
+		p.Trials = o.Trials
+	}
+	if o.K != 0 {
+		p.K = o.K
+	}
+	if o.Target != 0 {
+		p.Target = o.Target
+	}
+	return p
+}
+
+// Outcome is the uniform result of one scenario run.
+type Outcome struct {
+	Scenario  string `json:"scenario"`
+	Topology  string `json:"topology"`
+	Protocol  string `json:"protocol"`
+	Scheduler string `json:"scheduler"`
+	Attack    string `json:"attack,omitempty"`
+	N         int    `json:"n"`
+	Trials    int    `json:"trials"`
+	// Counts[j] is the number of trials electing leader j (index 0
+	// unused).
+	Counts []int `json:"counts"`
+	// Failures is the number of FAIL outcomes.
+	Failures int `json:"failures"`
+	// Messages is the total number of delivered messages over all trials.
+	Messages int `json:"messages"`
+	// FailRate is Failures/Trials.
+	FailRate float64 `json:"fail_rate"`
+	// MaxWinLeader and MaxWinRate describe the most-elected leader.
+	MaxWinLeader int64   `json:"max_win_leader"`
+	MaxWinRate   float64 `json:"max_win_rate"`
+	// Epsilon is the Definition 2.3 bias point estimate (max-win − 1/n).
+	Epsilon float64 `json:"epsilon"`
+	// Target and TargetRate report the attack's goal and its success
+	// rate; Target is 0 for honest scenarios.
+	Target     int64   `json:"target,omitempty"`
+	TargetRate float64 `json:"target_rate,omitempty"`
+
+	// Dist is the underlying distribution, for callers that need the
+	// raw material (the harness tables, the differential tests).
+	Dist *ring.Distribution `json:"-"`
+}
+
+// Run executes the scenario's trial batch at its registered defaults.
+func (s Scenario) Run(ctx context.Context, seed int64) (*Outcome, error) {
+	return s.RunOpts(ctx, seed, Opts{})
+}
+
+// RunOpts is Run with overrides. The batch routes through the parallel
+// trial engine; for a fixed seed the outcome is identical at any
+// opts.Workers.
+func (s Scenario) RunOpts(ctx context.Context, seed int64, o Opts) (*Outcome, error) {
+	if s.run == nil {
+		return nil, fmt.Errorf("scenario: %q is not runnable", s.Name)
+	}
+	p := s.params(o)
+	if p.N < s.MinN {
+		return nil, fmt.Errorf("scenario: %s needs n ≥ %d, got %d", s.Name, s.MinN, p.N)
+	}
+	if p.Trials < 1 {
+		return nil, fmt.Errorf("scenario: %s needs ≥ 1 trial, got %d", s.Name, p.Trials)
+	}
+	dist, err := s.run(ctx, seed, p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	return s.outcome(dist, p), nil
+}
+
+// SingleRun executes one election of a ring-topology scenario under the
+// given scheduler (nil = FIFO). ok is false for scenarios that are not
+// single-execution ring configurations (trees, complete graphs, synchronous
+// models).
+func (s Scenario) SingleRun(seed int64, sched sim.Scheduler, o Opts) (res sim.Result, ok bool, err error) {
+	if s.single == nil {
+		return sim.Result{}, false, nil
+	}
+	p := s.params(o)
+	if p.N < s.MinN {
+		return sim.Result{}, true, fmt.Errorf("scenario: %s needs n ≥ %d, got %d", s.Name, s.MinN, p.N)
+	}
+	res, err = s.single(seed, sched, p)
+	return res, true, err
+}
+
+// outcome summarizes a distribution.
+func (s Scenario) outcome(dist *ring.Distribution, p params) *Outcome {
+	rep := core.Bias(dist)
+	leader, rate := dist.MaxWin()
+	out := &Outcome{
+		Scenario:     s.Name,
+		Topology:     s.Topology,
+		Protocol:     s.Protocol,
+		Scheduler:    s.Scheduler,
+		Attack:       s.Attack,
+		N:            dist.N,
+		Trials:       dist.Trials,
+		Counts:       dist.Counts,
+		Failures:     dist.Failures(),
+		Messages:     dist.Messages,
+		FailRate:     dist.FailureRate(),
+		MaxWinLeader: leader,
+		MaxWinRate:   rate,
+		Epsilon:      rep.Epsilon,
+		Dist:         dist,
+	}
+	if s.Attack != "" && p.Target != 0 {
+		out.Target = p.Target
+		out.TargetRate = dist.WinRate(p.Target)
+	}
+	return out
+}
+
+// trialSeed is ring.TrialSeed: the shared derivation is what makes an
+// engine batch built here reproduce a ring.TrialsOpts batch bit-for-bit.
+func trialSeed(base int64, t int) int64 { return ring.TrialSeed(base, t) }
+
+// distSink accumulates engine results into per-worker distributions.
+func distSink(n int) engine.Sink[*ring.Distribution] {
+	return engine.Sink[*ring.Distribution]{
+		New: func() *ring.Distribution { return ring.NewDistribution(n) },
+		Add: func(d *ring.Distribution, res sim.Result) { d.Add(res) },
+		// Merge cannot fail: every shard is built for the same n.
+		Merge: func(dst, src *ring.Distribution) { _ = dst.Merge(src) },
+	}
+}
+
+// engineTrials runs one job per trial on the parallel engine.
+func engineTrials(ctx context.Context, p params, job func(t int) (sim.Result, error)) (*ring.Distribution, error) {
+	return engine.Run(ctx, p.Trials, engine.JobFunc(job), distSink(p.N),
+		engine.Options[*ring.Distribution]{Workers: p.Workers})
+}

@@ -1,0 +1,113 @@
+package shamir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzShamirRoundtrip drives Split/Reconstruct/Consistent over GF(2³¹−1)
+// with fuzzer-chosen parameters: any valid (secret, t, n) must round-trip
+// through every t-subset ordering, tampering must be detected, and
+// malformed share vectors (too few, duplicates, bad evaluation points,
+// out-of-range thresholds) must return errors instead of panicking or
+// fabricating secrets.
+func FuzzShamirRoundtrip(f *testing.F) {
+	f.Add(int64(0), uint8(1), uint8(1), int64(1))
+	f.Add(int64(5), uint8(3), uint8(5), int64(42))
+	f.Add(int64(P-1), uint8(16), uint8(31), int64(-9))
+	f.Add(int64(1<<40), uint8(200), uint8(255), int64(7))
+	f.Fuzz(func(t *testing.T, rawSecret int64, rawT, rawN uint8, seed int64) {
+		n := int(rawN)%40 + 1
+		threshold := int(rawT)%n + 1
+		secret := ((rawSecret % P) + P) % P
+		rng := rand.New(rand.NewSource(seed))
+
+		shares, err := Split(secret, threshold, n, rng)
+		if err != nil {
+			t.Fatalf("Split(%d, %d, %d): %v", secret, threshold, n, err)
+		}
+		if len(shares) != n {
+			t.Fatalf("Split returned %d shares for n=%d", len(shares), n)
+		}
+
+		// Any t shares — here a random subset in random order — recover
+		// the secret exactly.
+		perm := rng.Perm(n)
+		subset := make([]Share, threshold)
+		for i := 0; i < threshold; i++ {
+			subset[i] = shares[perm[i]]
+		}
+		got, err := Reconstruct(subset)
+		if err != nil {
+			t.Fatalf("Reconstruct(%d shares of %d): %v", threshold, n, err)
+		}
+		if got != secret {
+			t.Fatalf("round-trip lost the secret: got %d, want %d (t=%d n=%d)", got, secret, threshold, n)
+		}
+
+		// The full share vector reconstructs too (interpolation through
+		// more than t points of a degree-(t−1) polynomial).
+		if got, err := Reconstruct(shares); err != nil || got != secret {
+			t.Fatalf("full-vector reconstruct: got %d err=%v, want %d", got, err, secret)
+		}
+
+		// Consistency holds for honest shares and breaks under tampering
+		// of any share beyond the interpolation base.
+		ok, err := Consistent(shares, threshold)
+		if err != nil || !ok {
+			t.Fatalf("honest shares inconsistent: ok=%v err=%v", ok, err)
+		}
+		if threshold < n {
+			tampered := make([]Share, n)
+			copy(tampered, shares)
+			idx := threshold + rng.Intn(n-threshold)
+			tampered[idx].Value = (tampered[idx].Value + 1) % P
+			ok, err := Consistent(tampered, threshold)
+			if err != nil {
+				t.Fatalf("Consistent on tampered shares errored: %v", err)
+			}
+			if ok {
+				t.Fatalf("tampered share %d went undetected (t=%d n=%d)", idx, threshold, n)
+			}
+		}
+
+		// Malformed share counts and vectors: errors, never panics.
+		if _, err := Reconstruct(nil); err == nil {
+			t.Fatal("Reconstruct(nil) succeeded")
+		}
+		if _, err := Reconstruct([]Share{shares[0], shares[0]}); n > 1 && err == nil {
+			t.Fatal("duplicate evaluation points accepted")
+		}
+		if _, err := Reconstruct([]Share{{X: 0, Value: 1}}); err == nil {
+			t.Fatal("evaluation point 0 accepted")
+		}
+		if _, err := Reconstruct([]Share{{X: P, Value: 1}}); err == nil {
+			t.Fatal("evaluation point P accepted")
+		}
+		if _, err := Split(secret, n+1, n, rng); err == nil {
+			t.Fatal("threshold above n accepted")
+		}
+		if _, err := Split(secret, 0, n, rng); err == nil {
+			t.Fatal("threshold 0 accepted")
+		}
+		if _, err := Split(-1-secret, threshold, n, rng); err == nil {
+			t.Fatal("negative secret accepted")
+		}
+		if _, err := Consistent(shares[:threshold-1], threshold); err == nil {
+			t.Fatal("Consistent below threshold accepted")
+		}
+
+		// Fewer than t shares reveal nothing: reconstruction from t−1
+		// points is well-defined interpolation but must not be trusted —
+		// here we only require it to not panic and to stay in the field.
+		if threshold > 1 {
+			v, err := Reconstruct(shares[:threshold-1])
+			if err != nil {
+				t.Fatalf("below-threshold interpolation errored: %v", err)
+			}
+			if v < 0 || v >= P {
+				t.Fatalf("below-threshold interpolation left the field: %d", v)
+			}
+		}
+	})
+}

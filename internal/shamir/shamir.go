@@ -137,17 +137,25 @@ func Reconstruct(shares []Share) (int64, error) {
 // Consistent reports whether all shares lie on one polynomial of degree
 // < t: the receiver-side cheater detection used by the fully-connected
 // election. It interpolates from the first t shares and checks the rest.
+//
+// The check is the hot path of the complete-graph election (every processor
+// validates every owner's n shares), so the interpolation is barycentric:
+// the weights wᵢ = 1/Πⱼ≠ᵢ(xᵢ−xⱼ) are inverted once per base, and each probe
+// evaluates Σ yᵢ·wᵢ·Πⱼ≠ᵢ(x−xⱼ) with prefix/suffix products — O(t) field
+// multiplications and no inversions per probe, algebraically identical to
+// the textbook Lagrange form.
 func Consistent(shares []Share, t int) (bool, error) {
 	if len(shares) < t {
 		return false, fmt.Errorf("shamir: %d shares below threshold %d", len(shares), t)
 	}
 	base := shares[:t]
+	weights, err := baryWeights(base)
+	if err != nil {
+		return false, err
+	}
+	scratch := newBaryScratch(t)
 	for _, probe := range shares[t:] {
-		v, err := interpolateAt(base, probe.X)
-		if err != nil {
-			return false, err
-		}
-		if v != probe.Value {
+		if baryEval(base, weights, probe.X, scratch) != probe.Value {
 			return false, nil
 		}
 	}
@@ -157,21 +165,66 @@ func Consistent(shares []Share, t int) (bool, error) {
 // interpolateAt evaluates the unique degree-(len(base)−1) polynomial
 // through base at x.
 func interpolateAt(base []Share, x int64) (int64, error) {
-	var result int64
+	weights, err := baryWeights(base)
+	if err != nil {
+		return 0, err
+	}
+	return baryEval(base, weights, x, newBaryScratch(len(base))), nil
+}
+
+// baryWeights computes the barycentric Lagrange weights 1/Πⱼ≠ᵢ(xᵢ−xⱼ) for
+// the base points. It fails on duplicate evaluation points (zero inverse),
+// like the textbook form.
+func baryWeights(base []Share) ([]int64, error) {
+	weights := make([]int64, len(base))
 	for i, si := range base {
-		num, den := int64(1), int64(1)
+		den := int64(1)
 		for j, sj := range base {
-			if i == j {
-				continue
+			if i != j {
+				den = mulmod(den, mod(si.X-sj.X))
 			}
-			num = mulmod(num, mod(x-sj.X))
-			den = mulmod(den, mod(si.X-sj.X))
 		}
 		inv, err := invmod(den)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		result = mod(result + mulmod(si.Value, mulmod(num, inv)))
+		weights[i] = inv
 	}
-	return result, nil
+	return weights, nil
+}
+
+// baryScratch holds the prefix/suffix product buffers of one evaluation,
+// reusable across the probes of a Consistent sweep (the hot path calls
+// baryEval once per probe share).
+type baryScratch struct {
+	prefix, suffix []int64
+}
+
+func newBaryScratch(t int) baryScratch {
+	return baryScratch{prefix: make([]int64, t+1), suffix: make([]int64, t+1)}
+}
+
+// baryEval evaluates the interpolating polynomial at x:
+// Σᵢ yᵢ·wᵢ·Πⱼ≠ᵢ(x−xⱼ), with the per-term products taken from prefix and
+// suffix products of (x−xⱼ). When x coincides with a base point every other
+// term vanishes and the sum collapses to that point's value, exactly as in
+// the quadratic form.
+func baryEval(base []Share, weights []int64, x int64, s baryScratch) int64 {
+	t := len(base)
+	// prefix[i] = Π_{j<i}(x−xⱼ), suffix[i] = Π_{j>i}(x−xⱼ).
+	prefix, suffix := s.prefix, s.suffix
+	prefix[0] = 1
+	for i, s := range base {
+		prefix[i+1] = mulmod(prefix[i], mod(x-s.X))
+	}
+	suffix[t] = 1
+	for i := t - 1; i >= 0; i-- {
+		suffix[i] = mulmod(suffix[i+1], mod(x-base[i].X))
+	}
+	var result int64
+	for i, s := range base {
+		num := mulmod(prefix[i], suffix[i+1])
+		result = mod(result + mulmod(s.Value, mulmod(num, weights[i])))
+	}
+	return result
 }

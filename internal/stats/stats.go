@@ -60,6 +60,53 @@ func ChiSquareUniform(counts []int) (statistic, pValue float64, err error) {
 	return statistic, pValue, nil
 }
 
+// ChiSquareHomogeneity tests whether two count vectors over the same cells
+// were drawn from the same (unknown) distribution: the 2×k contingency
+// test behind the cross-protocol differential matrix. Cells empty in both
+// samples are dropped; the statistic is Σ (o−e)²/e over the 2×k' table of
+// kept cells with the usual product-of-marginals expectations, and the
+// p-value uses df = k'−1.
+func ChiSquareHomogeneity(a, b []int) (statistic, pValue float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, errors.New("stats: homogeneity needs equal cell counts")
+	}
+	var totalA, totalB int
+	kept := 0
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		totalA += a[i]
+		totalB += b[i]
+		if a[i]+b[i] > 0 {
+			kept++
+		}
+	}
+	if totalA == 0 || totalB == 0 {
+		return 0, 0, errors.New("stats: empty sample")
+	}
+	if kept < 2 {
+		return 0, 0, errors.New("stats: need at least 2 occupied cells")
+	}
+	grand := float64(totalA + totalB)
+	for i := range a {
+		col := a[i] + b[i]
+		if col == 0 {
+			continue
+		}
+		for _, obs := range []struct {
+			o   int
+			row int
+		}{{a[i], totalA}, {b[i], totalB}} {
+			e := float64(obs.row) * float64(col) / grand
+			d := float64(obs.o) - e
+			statistic += d * d / e
+		}
+	}
+	pValue = ChiSquareSurvival(statistic, float64(kept-1))
+	return statistic, pValue, nil
+}
+
 // ChiSquareSurvival returns P(X ≥ x) for a chi-square distribution with df
 // degrees of freedom: the regularized upper incomplete gamma Q(df/2, x/2).
 func ChiSquareSurvival(x, df float64) float64 {

@@ -124,6 +124,73 @@ func TestChiSquareUniformErrors(t *testing.T) {
 	}
 }
 
+func TestChiSquareHomogeneityAcceptsSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rejected := 0
+	const reps = 50
+	for rep := 0; rep < reps; rep++ {
+		a, b := make([]int, 12), make([]int, 12)
+		for i := 0; i < 6000; i++ {
+			a[rng.Intn(12)]++
+			b[rng.Intn(12)]++
+		}
+		_, p, err := ChiSquareHomogeneity(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.01 {
+			rejected++
+		}
+	}
+	if rejected > 4 { // expect ≈ 0.5 rejections at the 1% level
+		t.Errorf("rejected homogeneous data %d/%d times at 1%%", rejected, reps)
+	}
+}
+
+func TestChiSquareHomogeneityRejectsDifferentDistributions(t *testing.T) {
+	a, b := make([]int, 10), make([]int, 10)
+	for i := range a {
+		a[i] = 200
+		b[i] = 200
+	}
+	b[0] = 800 // b is heavily biased toward cell 0
+	_, p, err := ChiSquareHomogeneity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-9 {
+		t.Errorf("p=%v for grossly different samples; want ≈ 0", p)
+	}
+}
+
+func TestChiSquareHomogeneityDropsEmptyCells(t *testing.T) {
+	// Identical samples concentrated on two cells: statistic 0, p = 1.
+	a := []int{0, 50, 0, 50, 0}
+	b := []int{0, 50, 0, 50, 0}
+	stat, p, err := ChiSquareHomogeneity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || p < 0.999 {
+		t.Errorf("identical samples: stat=%v p=%v, want 0 and ≈ 1", stat, p)
+	}
+}
+
+func TestChiSquareHomogeneityErrors(t *testing.T) {
+	if _, _, err := ChiSquareHomogeneity([]int{1, 2}, []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareHomogeneity([]int{1, 2}, []int{0, 0}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := ChiSquareHomogeneity([]int{1, -2}, []int{1, 2}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, _, err := ChiSquareHomogeneity([]int{3, 0}, []int{2, 0}); err == nil {
+		t.Error("single occupied cell accepted")
+	}
+}
+
 func TestTotalVariation(t *testing.T) {
 	if tv := TotalVariationFromUniform([]int{10, 10, 10, 10}); tv != 0 {
 		t.Errorf("uniform TV = %v, want 0", tv)

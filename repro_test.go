@@ -1,6 +1,9 @@
 package repro
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestPublicAPIQuickstart(t *testing.T) {
 	proto := NewPhaseAsyncLead()
@@ -56,5 +59,29 @@ func TestPublicAPIUtilities(t *testing.T) {
 	}
 	if len(Experiments()) != 15 {
 		t.Fatalf("experiment suite has %d entries, want 15", len(Experiments()))
+	}
+}
+
+func TestPublicAPIScenarios(t *testing.T) {
+	all := Scenarios()
+	if len(all) < 25 {
+		t.Fatalf("scenario catalog has %d entries, want ≥ 25", len(all))
+	}
+	if _, ok := FindScenario("ring/phase-lead/fifo"); !ok {
+		t.Fatal("ring/phase-lead/fifo missing from the catalog")
+	}
+	matched, err := MatchScenarios("^complete/")
+	if err != nil || len(matched) < 2 {
+		t.Fatalf("MatchScenarios(^complete/): %d entries err=%v, want ≥ 2", len(matched), err)
+	}
+	out, err := RunScenario(context.Background(), "ring/a-lead/fifo", 1, ScenarioOpts{N: 8, Trials: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 50 || out.N != 8 || out.FailRate != 0 {
+		t.Fatalf("unexpected outcome %+v", out)
+	}
+	if _, err := RunScenario(context.Background(), "no/such/scenario", 1, ScenarioOpts{}); err == nil {
+		t.Fatal("RunScenario invented a scenario")
 	}
 }

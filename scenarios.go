@@ -1,9 +1,12 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/fullnet"
+	"repro/internal/scenario"
 	"repro/internal/shamir"
 	"repro/internal/simgraph"
 	"repro/internal/syncnet"
@@ -66,4 +69,41 @@ func ShamirSplit(secret int64, threshold, n int, rng *rand.Rand) ([]ShamirShare,
 // ShamirReconstruct recovers a secret from at least threshold shares.
 func ShamirReconstruct(shares []ShamirShare) (int64, error) {
 	return shamir.Reconstruct(shares)
+}
+
+// The scenario registry: every runnable protocol × topology × scheduler ×
+// adversary configuration as a named, self-describing value.
+type (
+	// Scenario is one registered configuration; run it with Run/RunOpts.
+	Scenario = scenario.Scenario
+	// ScenarioOpts overrides a scenario's registered defaults.
+	ScenarioOpts = scenario.Opts
+	// ScenarioOutcome is the uniform result of a scenario run.
+	ScenarioOutcome = scenario.Outcome
+	// ScenarioDescriptor is a scenario's serializable catalog entry.
+	ScenarioDescriptor = scenario.Descriptor
+)
+
+// Scenarios returns the full registry, sorted by name. The catalog spans
+// the asynchronous ring (every protocol, scheduler, and attack of the
+// paper), the wake-up extension, the Shamir complete graph, tree
+// topologies, and the synchronous models.
+func Scenarios() []Scenario { return scenario.All() }
+
+// FindScenario returns the named scenario.
+func FindScenario(name string) (Scenario, bool) { return scenario.Find(name) }
+
+// MatchScenarios returns the scenarios whose name matches the regular
+// expression, in name order; an empty pattern matches everything.
+func MatchScenarios(pattern string) ([]Scenario, error) { return scenario.Match(pattern) }
+
+// RunScenario runs one registered scenario by name. The batch routes
+// through the parallel trial engine: for a fixed seed the outcome is
+// identical at any opts.Workers.
+func RunScenario(ctx context.Context, name string, seed int64, opts ScenarioOpts) (*ScenarioOutcome, error) {
+	s, ok := scenario.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: no registered scenario %q (see Scenarios())", name)
+	}
+	return s.RunOpts(ctx, seed, opts)
 }
