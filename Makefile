@@ -1,0 +1,35 @@
+# Repository tasks. Everything here is also what CI runs; keeping the
+# recipes in one place means a green `make check` locally predicts a green
+# pipeline.
+
+GO ?= go
+
+.PHONY: build test race check docs-check bench bench-tagged
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/ ./internal/ring/ ./internal/cointoss/ ./internal/scenario/
+
+# docs-check is the documentation floor: vet must be clean, every package
+# (internal/, cmd/, examples/ and the root) must carry a package doc
+# comment, and every exported identifier of the public root API must carry
+# a doc comment. CI runs this on every push.
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./internal/tools/doccheck -pkgdoc . .
+
+check: build docs-check test race
+
+# bench records the benchmark suite to BENCH_<date>.json/.txt (see
+# bench.sh); bench-tagged keeps several recordings from one day apart, e.g.
+# `make bench-tagged TAG=arena`.
+bench:
+	./bench.sh
+
+bench-tagged:
+	BENCH_TAG=$(TAG) ./bench.sh

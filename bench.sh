@@ -1,22 +1,26 @@
 #!/usr/bin/env sh
 # bench.sh — run the experiment benchmarks (E1..E15) plus the trial-engine
-# sequential/parallel pair and record the results, so the repository's
-# performance trajectory is measured, not remembered.
+# sequential/parallel pair and the arena fresh/recycled pair, and record the
+# results, so the repository's performance trajectory is measured, not
+# remembered.
 #
-# Usage: ./bench.sh [extra go-test-bench args]
+# Usage: [BENCH_TAG=label] ./bench.sh [extra go-test-bench args]
 #
-# Results land in BENCH_<date>.json (the `go test -json` event stream, which
-# preserves every benchmark line and metric for later diffing) next to a
-# plain-text twin BENCH_<date>.txt for human eyes.
+# Results land in BENCH_<date>[_<label>].json (the `go test -json` event
+# stream, which preserves every benchmark line and metric for later diffing
+# with benchstat) next to a plain-text twin BENCH_<date>[_<label>].txt for
+# human eyes. Set BENCH_TAG to keep several recordings from the same day,
+# e.g. a before/after pair around an optimization.
 set -eu
 
 cd "$(dirname "$0")"
 
 date="$(date -u +%Y-%m-%d)"
-json_out="BENCH_${date}.json"
-txt_out="BENCH_${date}.txt"
+stem="BENCH_${date}${BENCH_TAG:+_${BENCH_TAG}}"
+json_out="${stem}.json"
+txt_out="${stem}.txt"
 
-go test -run '^$' -bench 'E[0-9]+|BenchmarkTrials(Sequential|Parallel)' -benchmem -json "$@" . >"$json_out"
+go test -run '^$' -bench 'E[0-9]+|BenchmarkTrials(Sequential|Parallel)|BenchmarkArenaTrial' -benchmem -json "$@" . >"$json_out"
 
 # The JSON stream is the artifact; derive the human-readable summary from it
 # rather than running the suite twice.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/randfunc"
 	"repro/internal/ring"
 	"repro/internal/shamir"
+	"repro/internal/sim"
 	"repro/internal/simgraph"
 	"repro/internal/syncnet"
 	"repro/internal/treeproto"
@@ -106,6 +107,43 @@ func BenchmarkTrialsSequential(b *testing.B) { benchTrialEngine(b, 1) }
 // BenchmarkTrialsParallel lets the engine use every CPU; on a 4+-core
 // machine it runs the same workload ≥ 2× faster than the sequential pin.
 func BenchmarkTrialsParallel(b *testing.B) { benchTrialEngine(b, 0) }
+
+// BenchmarkArenaTrial is the arena before/after pair at the trial level:
+// the same single-threaded honest-election trial, once rebuilding the whole
+// simulation per execution (fresh) and once on a recycled per-worker arena
+// (arena). Run with -benchmem; the arena side should show the allocs/op
+// floor pinned by TestArenaTrialAllocBudget.
+func BenchmarkArenaTrial(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		proto ring.Protocol
+		n     int
+	}{
+		{"alead/n=64", alead.New(), 64},
+		{"phaselead/n=64", phaselead.NewDefault(), 64},
+	} {
+		spec := ring.Spec{N: cfg.n, Protocol: cfg.proto}
+		b.Run(cfg.name+"/fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec.Seed = int64(i)
+				if _, err := ring.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(cfg.name+"/arena", func(b *testing.B) {
+			b.ReportAllocs()
+			arena := sim.NewArena()
+			for i := 0; i < b.N; i++ {
+				spec.Seed = int64(i)
+				if _, err := ring.RunArena(spec, arena); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // benchProtocol runs one honest election per iteration and reports the
 // message throughput.

@@ -33,7 +33,13 @@ const (
 // leader's low bit (leaders 1..n map to 0,1,0,1,…). Returns TossFail if the
 // election fails.
 func Toss(spec ring.Spec) (int, error) {
-	res, err := ring.Run(spec)
+	return TossArena(spec, nil)
+}
+
+// TossArena is Toss on a recycled per-worker simulation arena (nil falls
+// back to fresh allocations with an identical result).
+func TossArena(spec ring.Spec, arena *sim.Arena) (int, error) {
+	res, err := ring.RunArena(spec, arena)
 	if err != nil {
 		return TossFail, err
 	}
@@ -43,34 +49,36 @@ func Toss(spec ring.Spec) (int, error) {
 	return int((res.Output - 1) & 1), nil
 }
 
-// Tosser produces the b-th independent coin toss of a composite run. Trial
+// Tosser produces the b-th independent coin toss of a composite run, running
+// the underlying election on the given arena (which may be nil). Trial
 // batches call tossers (and the factories handed to ElectTrials) from
-// multiple goroutines, so they must be safe for concurrent use — true of
-// any tosser that, like ProtocolTosser, derives a per-instance seed and
-// runs a fresh election.
-type Tosser func(instance int) (int, error)
+// multiple goroutines with per-worker arenas, so they must be safe for
+// concurrent use — true of any tosser that, like ProtocolTosser, derives a
+// per-instance seed and keeps all mutable state on the arena.
+type Tosser func(instance int, arena *sim.Arena) (int, error)
 
 // ProtocolTosser builds independent coin instances from a ring protocol:
 // instance i runs on its own ring with an independently mixed seed.
 func ProtocolTosser(n int, protocol ring.Protocol, baseSeed int64) Tosser {
-	return func(instance int) (int, error) {
+	return func(instance int, arena *sim.Arena) (int, error) {
 		seed := int64(sim.Mix64(uint64(baseSeed), uint64(instance)+0xc01f))
-		return Toss(ring.Spec{N: n, Protocol: protocol, Seed: seed})
+		return TossArena(ring.Spec{N: n, Protocol: protocol, Seed: seed}, arena)
 	}
 }
 
 // Elect implements the coin→FLE reduction: log₂(n) independent tosses,
 // concatenated MSB-first, elect leader index+1. n must be a power of two
 // (the paper's simplifying assumption). A failed toss fails the election
-// (leader 0, ok=false).
-func Elect(n int, toss Tosser) (leader int64, ok bool, err error) {
+// (leader 0, ok=false). The tosses run sequentially on the given arena
+// (nil = fresh allocations per toss).
+func Elect(n int, toss Tosser, arena *sim.Arena) (leader int64, ok bool, err error) {
 	bits, err := log2(n)
 	if err != nil {
 		return 0, false, err
 	}
 	idx := int64(0)
 	for b := 0; b < bits; b++ {
-		bit, err := toss(b)
+		bit, err := toss(b, arena)
 		if err != nil {
 			return 0, false, err
 		}
@@ -148,8 +156,8 @@ func Trials(toss Tosser, trials int) (CoinStats, error) {
 
 // TrialsOpts is Trials with a context and engine options.
 func TrialsOpts(ctx context.Context, toss Tosser, trials int, opts Options) (CoinStats, error) {
-	job := engine.JobFunc(func(t int) (sim.Result, error) {
-		bit, err := toss(t)
+	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
+		bit, err := toss(t, arena)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -211,8 +219,8 @@ func ElectTrialsOpts(ctx context.Context, n int, mkTosser func(trial int) Tosser
 	if mkTosser == nil {
 		return nil, errors.New("cointoss: nil tosser factory")
 	}
-	job := engine.JobFunc(func(t int) (sim.Result, error) {
-		leader, ok, err := Elect(n, mkTosser(t))
+	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
+		leader, ok, err := Elect(n, mkTosser(t), arena)
 		if err != nil {
 			return sim.Result{}, err
 		}

@@ -30,13 +30,13 @@ func TestAttackedElectionBiasesCoin(t *testing.T) {
 	// coin, saturating Theorem 8.1's ½·n·ε bound.
 	const n = 16
 	attack := attacks.BasicSingle{}
-	toss := func(instance int) (int, error) {
+	toss := func(instance int, arena *sim.Arena) (int, error) {
 		seed := int64(sim.Mix64(77, uint64(instance)))
 		dev, err := attack.Plan(n, 4, seed) // leader 4 → low bit 1
 		if err != nil {
 			return TossFail, err
 		}
-		return Toss(ring.Spec{N: n, Protocol: basiclead.New(), Deviation: dev, Seed: seed})
+		return TossArena(ring.Spec{N: n, Protocol: basiclead.New(), Deviation: dev, Seed: seed}, arena)
 	}
 	s, err := Trials(toss, 200)
 	if err != nil {
@@ -76,21 +76,21 @@ func TestElectViaCoinsUniform(t *testing.T) {
 }
 
 func TestElectRejectsNonPowerOfTwo(t *testing.T) {
-	if _, _, err := Elect(6, func(int) (int, error) { return 0, nil }); err == nil {
+	if _, _, err := Elect(6, func(int, *sim.Arena) (int, error) { return 0, nil }, nil); err == nil {
 		t.Error("n=6 accepted")
 	}
-	if _, _, err := Elect(1, func(int) (int, error) { return 0, nil }); err == nil {
+	if _, _, err := Elect(1, func(int, *sim.Arena) (int, error) { return 0, nil }, nil); err == nil {
 		t.Error("n=1 accepted")
 	}
 }
 
 func TestElectPropagatesFailure(t *testing.T) {
-	leader, ok, err := Elect(8, func(i int) (int, error) {
+	leader, ok, err := Elect(8, func(i int, _ *sim.Arena) (int, error) {
 		if i == 1 {
 			return TossFail, nil
 		}
 		return 1, nil
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestElectPropagatesFailure(t *testing.T) {
 func TestElectIndexing(t *testing.T) {
 	// Bits are MSB-first: tosses (1,0,1) over n=8 elect leader 6.
 	bits := []int{1, 0, 1}
-	leader, ok, err := Elect(8, func(i int) (int, error) { return bits[i], nil })
+	leader, ok, err := Elect(8, func(i int, _ *sim.Arena) (int, error) { return bits[i], nil }, nil)
 	if err != nil || !ok {
 		t.Fatal(err, ok)
 	}

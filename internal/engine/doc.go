@@ -1,0 +1,47 @@
+// Package engine is the unified parallel Monte-Carlo trial runner behind
+// every experiment in the reproduction. All bias estimates (the ε of
+// Definition 2.3) are built from thousands of independent executions; the
+// engine shards that embarrassingly parallel workload across workers while
+// keeping the merged outcome bit-for-bit identical to a sequential run.
+//
+// # Design
+//
+//   - A Job runs one trial: it derives the trial's seed (via sim.Mix64 from
+//     a base seed), plans any per-trial deviation, executes on the worker's
+//     arena, and returns a sim.Result.
+//   - Trials are dispatched in fixed-size chunks claimed from a shared
+//     atomic cursor (dynamic work stealing of index ranges), so fast
+//     workers steal the load of slow ones without any per-trial locking.
+//   - Accumulation is sharded: every worker folds its results into a
+//     private shard (e.g. a ring.Distribution) supplied by a Sink; shards
+//     are merged once at the end. Because all shard operations are sums of
+//     counters, the merged value is independent of which worker ran which
+//     trial — for a fixed base seed the output is identical at any worker
+//     count. A regression test enforces this.
+//   - Every worker owns a sim.Arena, created when the worker starts and
+//     passed to each Trial call it claims. Jobs run their executions
+//     through the arena, so a batch of thousands of trials recycles a
+//     near-constant amount of simulation memory per worker instead of
+//     rebuilding networks, queues, and PRNGs per trial.
+//   - Optional adaptive early stopping evaluates a caller-supplied rule at
+//     deterministic chunk boundaries, in chunk order, so the stopping point
+//     is also independent of scheduling (see options.go).
+//   - The context cancels the whole batch between trials.
+//
+// # Invariants
+//
+//   - Determinism: for a fixed job and base seed, Run's merged shard is
+//     identical at every worker count (including 1) and every chunk size;
+//     with a Stop rule, the stopping point additionally depends on the
+//     chunk size but never on worker count or scheduling.
+//   - Jobs must derive all per-trial randomness from the trial index;
+//     sharing mutable state between trials breaks the determinism contract.
+//   - Arenas never cross worker boundaries: a Job's Trial receives the
+//     arena of exactly the goroutine invoking it, and the engine folds the
+//     returned Result into the worker's shard before the same arena runs
+//     the next trial, so Result memory recycled by the arena is never
+//     observed stale.
+//   - Errors are reported deterministically: the lowest-indexed failing
+//     trial wins, and the batch is abandoned without draining the
+//     remaining trials.
+package engine

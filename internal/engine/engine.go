@@ -1,27 +1,3 @@
-// Package engine is the unified parallel Monte-Carlo trial runner behind
-// every experiment in the reproduction. All bias estimates (the ε of
-// Definition 2.3) are built from thousands of independent executions; the
-// engine shards that embarrassingly parallel workload across workers while
-// keeping the merged outcome bit-for-bit identical to a sequential run.
-//
-// Design:
-//
-//   - A Job runs one trial: it derives the trial's seed (via sim.Mix64 from
-//     a base seed), plans any per-trial deviation, executes, and returns a
-//     sim.Result.
-//   - Trials are dispatched in fixed-size chunks claimed from a shared
-//     atomic cursor (dynamic work stealing of index ranges), so fast
-//     workers steal the load of slow ones without any per-trial locking.
-//   - Accumulation is sharded: every worker folds its results into a
-//     private shard (e.g. a ring.Distribution) supplied by a Sink; shards
-//     are merged once at the end. Because all shard operations are sums of
-//     counters, the merged value is independent of which worker ran which
-//     trial — for a fixed base seed the output is identical at any worker
-//     count. A regression test enforces this.
-//   - Optional adaptive early stopping evaluates a caller-supplied rule at
-//     deterministic chunk boundaries, in chunk order, so the stopping point
-//     is also independent of scheduling (see options.go).
-//   - The context cancels the whole batch between trials.
 package engine
 
 import (
@@ -40,14 +16,22 @@ import (
 // from it with sim.Mix64, never from shared mutable state).
 type Job interface {
 	// Trial runs the t-th trial (t in [0, trials)) and returns its outcome.
-	Trial(t int) (sim.Result, error)
+	//
+	// arena is the calling worker's recycled simulation workspace: run the
+	// trial's execution through it (sim.Arena.Run, ring.RunArena, …) and
+	// the batch stays near-allocation-free. It is never shared between
+	// workers, may be nil, and jobs that do not build sim networks simply
+	// ignore it. The returned Result may alias arena memory — the engine
+	// folds it into the worker's shard before the next Trial call, and
+	// sinks must not retain the Result's slices.
+	Trial(t int, arena *sim.Arena) (sim.Result, error)
 }
 
 // JobFunc adapts a function to the Job interface.
-type JobFunc func(t int) (sim.Result, error)
+type JobFunc func(t int, arena *sim.Arena) (sim.Result, error)
 
 // Trial implements Job.
-func (f JobFunc) Trial(t int) (sim.Result, error) { return f(t) }
+func (f JobFunc) Trial(t int, arena *sim.Arena) (sim.Result, error) { return f(t, arena) }
 
 // Sink tells the engine how to accumulate results into per-worker shards of
 // type S and merge them. All three functions must be deterministic; Add and
@@ -98,13 +82,14 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 		return runAdaptive(ctx, trials, chunk, workers, job, sink, opts, merged)
 	}
 	if workers == 1 {
-		// Sequential fast path: one shard, no goroutines.
+		// Sequential fast path: one shard, one arena, no goroutines.
+		arena := sim.NewArena()
 		for t := 0; t < trials; t++ {
 			if err := ctx.Err(); err != nil {
 				var zero S
 				return zero, err
 			}
-			res, err := job.Trial(t)
+			res, err := job.Trial(t, arena)
 			if err != nil {
 				var zero S
 				return zero, err
@@ -139,6 +124,9 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 			defer wg.Done()
 			shard := sink.New()
 			shards[w] = shard
+			// Each worker owns one arena; trials claimed by this worker
+			// recycle its network, RNGs, and scratch buffers.
+			arena := sim.NewArena()
 			for {
 				start := int(cursor.Add(int64(chunk))) - chunk
 				if start >= trials {
@@ -152,7 +140,7 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 					if ctx.Err() != nil {
 						return
 					}
-					res, err := job.Trial(t)
+					res, err := job.Trial(t, arena)
 					if err != nil {
 						fail(t, err)
 						return
@@ -227,6 +215,8 @@ func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker arena, exactly as in the non-adaptive path.
+			arena := sim.NewArena()
 			for {
 				c := int(cursor.Add(1)) - 1
 				if c >= numChunks || int64(c) >= stopAt.Load() {
@@ -241,7 +231,7 @@ func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job
 					if ctx.Err() != nil {
 						return
 					}
-					res, err := job.Trial(t)
+					res, err := job.Trial(t, arena)
 					if err != nil {
 						mu.Lock()
 						if firstER == nil || t < firstER.trial {

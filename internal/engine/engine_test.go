@@ -43,7 +43,7 @@ func tallySink() Sink[*tally] {
 // mixJob derives every trial's outcome purely from the trial index, like
 // every real job in the repository derives its seed via sim.Mix64.
 func mixJob(baseSeed uint64) Job {
-	return JobFunc(func(t int) (sim.Result, error) {
+	return JobFunc(func(t int, _ *sim.Arena) (sim.Result, error) {
 		h := sim.Mix64(baseSeed, uint64(t))
 		res := sim.Result{Output: int64(h % 17), Delivered: int(h % 97)}
 		if h%13 == 0 {
@@ -60,7 +60,7 @@ func sequentialBaseline(t *testing.T, job Job, trials int) *tally {
 	sink := tallySink()
 	acc := sink.New()
 	for i := 0; i < trials; i++ {
-		res, err := job.Trial(i)
+		res, err := job.Trial(i, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func TestRunZeroAndNegativeTrials(t *testing.T) {
 
 func TestRunPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	job := JobFunc(func(t int) (sim.Result, error) {
+	job := JobFunc(func(t int, _ *sim.Arena) (sim.Result, error) {
 		if t == 37 {
 			return sim.Result{}, fmt.Errorf("trial %d: %w", t, boom)
 		}
@@ -118,7 +118,7 @@ func TestRunPropagatesError(t *testing.T) {
 func TestRunCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var ran atomic.Int64
-	job := JobFunc(func(t int) (sim.Result, error) {
+	job := JobFunc(func(t int, _ *sim.Arena) (sim.Result, error) {
 		if ran.Add(1) == 10 {
 			cancel()
 		}
@@ -166,7 +166,7 @@ func TestAdaptiveStopIsDeterministic(t *testing.T) {
 func TestAdaptiveRunAbandonsBatchOnError(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int64
-	job := JobFunc(func(t int) (sim.Result, error) {
+	job := JobFunc(func(t int, _ *sim.Arena) (sim.Result, error) {
 		ran.Add(1)
 		if t == 0 {
 			return sim.Result{}, boom

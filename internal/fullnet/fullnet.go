@@ -48,8 +48,9 @@ func unpack(m int64) (kind, owner, value int64) {
 
 // Election configures fair leader election on the complete graph K_n.
 type Election struct {
-	n int
-	t int
+	n     int
+	t     int
+	edges []sim.Edge // the n·(n−1) directed links of K_n, built once
 }
 
 // New builds an election for n processors; threshold 0 picks ⌈n/2⌉.
@@ -66,31 +67,35 @@ func New(n, threshold int) (*Election, error) {
 	if threshold < 2 || threshold > n {
 		return nil, fmt.Errorf("fullnet: threshold %d out of range [2,%d]", threshold, n)
 	}
-	return &Election{n: n, t: threshold}, nil
-}
-
-// Threshold returns the reconstruction threshold t.
-func (e *Election) Threshold() int { return e.t }
-
-func (e *Election) edges() []sim.Edge {
-	edges := make([]sim.Edge, 0, e.n*(e.n-1))
-	for i := 1; i <= e.n; i++ {
-		for j := 1; j <= e.n; j++ {
+	// The complete-graph edge set is immutable and read-only during
+	// execution, so one copy serves every run and every trial worker.
+	edges := make([]sim.Edge, 0, n*(n-1))
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
 			if i != j {
 				edges = append(edges, sim.Edge{From: sim.ProcID(i), To: sim.ProcID(j)})
 			}
 		}
 	}
-	return edges
+	return &Election{n: n, t: threshold, edges: edges}, nil
 }
+
+// Threshold returns the reconstruction threshold t.
+func (e *Election) Threshold() int { return e.t }
 
 // Run executes one honest election.
 func (e *Election) Run(seed int64, sched sim.Scheduler) (sim.Result, error) {
-	strategies := make([]sim.Strategy, e.n)
+	return e.RunArena(seed, sched, nil)
+}
+
+// RunArena is Run on a recycled per-worker simulation arena (nil falls back
+// to fresh allocations with an identical result).
+func (e *Election) RunArena(seed int64, sched sim.Scheduler, arena *sim.Arena) (sim.Result, error) {
+	strategies := arena.Strategies(e.n)
 	for i := 1; i <= e.n; i++ {
 		strategies[i-1] = &participant{n: e.n, t: e.t, id: i}
 	}
-	return e.execute(strategies, seed, sched)
+	return e.execute(strategies, seed, sched, arena)
 }
 
 // RunAttack executes an election with a coalition of size k (occupying the
@@ -98,6 +103,12 @@ func (e *Election) Run(seed int64, sched sim.Scheduler) (sim.Result, error) {
 // threshold: the coalition cannot reconstruct any honest secret before its
 // last member commits, which is the resilience certificate.
 func (e *Election) RunAttack(k int, target int64, seed int64, sched sim.Scheduler) (sim.Result, error) {
+	return e.RunAttackArena(k, target, seed, sched, nil)
+}
+
+// RunAttackArena is RunAttack on a recycled per-worker simulation arena
+// (nil falls back to fresh allocations with an identical result).
+func (e *Election) RunAttackArena(k int, target int64, seed int64, sched sim.Scheduler, arena *sim.Arena) (sim.Result, error) {
 	if target < 1 || target > int64(e.n) {
 		return sim.Result{}, fmt.Errorf("fullnet: target %d out of range [1,%d]", target, e.n)
 	}
@@ -110,7 +121,7 @@ func (e *Election) RunAttack(k int, target int64, seed int64, sched sim.Schedule
 		return sim.Result{}, errors.New("fullnet: coalition covers the whole network")
 	}
 	closer := e.n // the last member commits last
-	strategies := make([]sim.Strategy, e.n)
+	strategies := arena.Strategies(e.n)
 	for i := 1; i <= e.n-k; i++ {
 		strategies[i-1] = &participant{n: e.n, t: e.t, id: i}
 	}
@@ -128,21 +139,17 @@ func (e *Election) RunAttack(k int, target int64, seed int64, sched sim.Schedule
 			}
 		}
 	}
-	return e.execute(strategies, seed, sched)
+	return e.execute(strategies, seed, sched, arena)
 }
 
-func (e *Election) execute(strategies []sim.Strategy, seed int64, sched sim.Scheduler) (sim.Result, error) {
-	net, err := sim.New(sim.Config{
+func (e *Election) execute(strategies []sim.Strategy, seed int64, sched sim.Scheduler, arena *sim.Arena) (sim.Result, error) {
+	return arena.Run(sim.Config{
 		Strategies: strategies,
-		Edges:      e.edges(),
+		Edges:      e.edges,
 		Seed:       seed,
 		Scheduler:  sched,
 		StepLimit:  8*e.n*e.n*e.n + 4096,
 	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return net.Run(), nil
 }
 
 // participant is the honest strategy.

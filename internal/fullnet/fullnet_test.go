@@ -130,7 +130,7 @@ func TestTamperedShareAborts(t *testing.T) {
 		strategies[i-1] = &participant{n: n, t: e.t, id: i}
 	}
 	strategies[3] = &tamperer{participant{n: n, t: e.t, id: 4}}
-	res, err := e.execute(strategies, 1, nil)
+	res, err := e.execute(strategies, 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+// Package harness defines the experiment suite: one reproducible experiment
+// per theorem-level claim of the paper, each regenerating a table for
+// EXPERIMENTS.md. The cmd/experiments binary runs the registry; the
+// repository's bench harness wraps the same functions as benchmarks
+// (BenchmarkE1..E15 in the root package).
+//
+// # Structure
+//
+// All() returns the registry in ID order (E1..E15). Each Experiment.Run
+// takes a Config — Quick shrinks sweeps to CI scale, Seed pins the whole
+// suite, Workers threads a trial-engine worker count through every batch —
+// and returns a Table ready to render as markdown.
+//
+// # Invariants
+//
+//   - Determinism: for a fixed Config (Quick, Seed), a table is
+//     byte-identical across runs, worker counts, and machines. This is the
+//     property that lets EXPERIMENTS.md be regenerated rather than
+//     maintained, and it is what the arena refactor was verified against.
+//   - Every trial batch inside an experiment runs on the parallel
+//     Monte-Carlo engine, most of them as thin lookups into the scenario
+//     registry (scenarioDist); experiments add only sweep shapes, derived
+//     statistics, and formatting.
+//   - Experiments never mutate shared state; they may run concurrently.
+package harness

@@ -1,12 +1,3 @@
-// Package harness defines the experiment suite: one reproducible experiment
-// per theorem-level claim of the paper, each regenerating a table for
-// EXPERIMENTS.md. The cmd/experiments binary runs the registry; the
-// repository's bench harness wraps the same functions as benchmarks.
-//
-// Every trial batch inside an experiment runs on the parallel Monte-Carlo
-// engine (internal/engine): Config.Workers threads a worker count through
-// to ring.TrialsOpts/AttackTrialsOpts and the cointoss runners, and the
-// tables are bit-for-bit identical at any worker count for a fixed seed.
 package harness
 
 import (
@@ -23,7 +14,7 @@ import (
 
 // Table is one experiment's output.
 type Table struct {
-	// ID is the experiment identifier (E1..E14).
+	// ID is the experiment identifier (E1..E15).
 	ID string
 	// Title is a one-line description.
 	Title string

@@ -45,13 +45,13 @@ func RunE10Reductions(cfg Config) (*Table, error) {
 
 	// Fully attacked election → fully biased coin, inside the bound.
 	attack := attacks.BasicSingle{}
-	biased := func(instance int) (int, error) {
+	biased := func(instance int, arena *sim.Arena) (int, error) {
 		seed := int64(sim.Mix64(uint64(cfg.Seed), uint64(instance)))
 		dev, err := attack.Plan(n, 4, seed)
 		if err != nil {
 			return cointoss.TossFail, err
 		}
-		return cointoss.Toss(ring.Spec{N: n, Protocol: basiclead.New(), Deviation: dev, Seed: seed})
+		return cointoss.TossArena(ring.Spec{N: n, Protocol: basiclead.New(), Deviation: dev, Seed: seed}, arena)
 	}
 	s, err = cointoss.TrialsOpts(context.Background(), biased, trials/4, cfg.coinOpts())
 	if err != nil {

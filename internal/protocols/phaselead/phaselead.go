@@ -136,9 +136,24 @@ func (p Protocol) Strategies(n int) ([]sim.Strategy, error) {
 		return nil, err
 	}
 	strategies := make([]sim.Strategy, n)
-	strategies[0] = &origin{cfg: cfg}
+	// One backing array serves every processor's data/vals tables: a single
+	// allocation per trial instead of 2n, which matters because trial
+	// batches rebuild the strategy vector for every execution. The backing
+	// is freshly zeroed, exactly like the per-processor make calls it
+	// replaces.
+	backing := make([]int64, 2*n*(n+1))
+	carve := func() (data, vals []int64) {
+		data, vals = backing[:n+1:n+1], backing[n+1:2*(n+1):2*(n+1)]
+		backing = backing[2*(n+1):]
+		return data, vals
+	}
+	o := &origin{cfg: cfg}
+	o.data, o.vals = carve()
+	strategies[0] = o
 	for i := 1; i < n; i++ {
-		strategies[i] = &normal{cfg: cfg, id: i + 1}
+		p := &normal{cfg: cfg, id: i + 1}
+		p.data, p.vals = carve()
+		strategies[i] = p
 	}
 	return strategies, nil
 }
@@ -153,6 +168,7 @@ type normal struct {
 	buffer   int64
 	round    int
 	received int
+	inited   bool
 	data     []int64 // by label, 1..n
 	vals     []int64 // by round, 1..n
 }
@@ -163,8 +179,20 @@ func (p *normal) Init(ctx *sim.Context) {
 	p.d = ctx.Rand().Int63n(int64(p.cfg.N))
 	p.v = ctx.Rand().Int63n(p.cfg.M)
 	p.buffer = p.d
-	p.data = make([]int64, p.cfg.N+1)
-	p.vals = make([]int64, p.cfg.N+1)
+	if p.data == nil {
+		// Strategies built outside Protocol.Strategies (tests, deviations)
+		// have no pre-carved tables.
+		p.data = make([]int64, p.cfg.N+1)
+		p.vals = make([]int64, p.cfg.N+1)
+	} else if p.inited {
+		// Init must be idempotent: a strategy object re-run on a Reset
+		// network starts from zeroed state, exactly like a fresh one.
+		// First-time Inits skip this — carved tables arrive zeroed.
+		clear(p.data)
+		clear(p.vals)
+		p.round, p.received = 0, 0
+	}
+	p.inited = true
 	p.data[p.id] = p.d
 }
 
@@ -224,6 +252,7 @@ type origin struct {
 	buffer   int64
 	round    int
 	received int
+	inited   bool
 	data     []int64
 	vals     []int64
 }
@@ -233,8 +262,16 @@ var _ sim.Strategy = (*origin)(nil)
 func (o *origin) Init(ctx *sim.Context) {
 	o.d = ctx.Rand().Int63n(int64(o.cfg.N))
 	o.v = ctx.Rand().Int63n(o.cfg.M)
-	o.data = make([]int64, o.cfg.N+1)
-	o.vals = make([]int64, o.cfg.N+1)
+	if o.data == nil {
+		o.data = make([]int64, o.cfg.N+1)
+		o.vals = make([]int64, o.cfg.N+1)
+	} else if o.inited {
+		// See normal.Init: idempotence under strategy reuse.
+		clear(o.data)
+		clear(o.vals)
+		o.buffer, o.received = 0, 0
+	}
+	o.inited = true
 	o.data[1] = o.d
 	o.vals[1] = o.v
 	o.round = 1

@@ -99,6 +99,17 @@ type Spec struct {
 
 // Run executes one ring election and returns its result.
 func Run(spec Spec) (sim.Result, error) {
+	return RunArena(spec, nil)
+}
+
+// RunArena is Run on a recycled per-worker simulation arena: the network,
+// the ring edge set, the per-processor PRNGs and the result buffers are all
+// reused across calls, so a trial batch allocates little beyond the
+// protocol's own strategy objects. A nil arena falls back to fresh
+// allocations with an identical result. The returned Result may alias arena
+// memory; it is invalidated by the arena's next run (sim.Result.Clone copies
+// it out).
+func RunArena(spec Spec, arena *sim.Arena) (sim.Result, error) {
 	if spec.N < 2 {
 		return sim.Result{}, fmt.Errorf("ring: need n ≥ 2, got %d", spec.N)
 	}
@@ -121,16 +132,12 @@ func Run(spec Spec) (sim.Result, error) {
 			strategies[p-1] = s
 		}
 	}
-	net, err := sim.New(sim.Config{
+	return arena.Run(sim.Config{
 		Strategies: strategies,
-		Edges:      sim.RingEdges(spec.N),
+		Edges:      arena.RingEdges(spec.N),
 		Seed:       spec.Seed,
 		Scheduler:  spec.Scheduler,
 		Tracer:     spec.Tracer,
 		StepLimit:  spec.StepLimit,
 	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return net.Run(), nil
 }

@@ -180,17 +180,22 @@ func Trials(spec Spec, trials int) (*Distribution, error) {
 }
 
 // TrialsOpts is Trials with a context and engine options. Specs with a
-// Scheduler or Tracer run on a single worker regardless of opts.Workers
-// (the interfaces make no concurrency promise); everything else in the
-// batch is safe to shard because each trial builds a fresh network.
+// Scheduler, Tracer, or Deviation run on a single worker regardless of
+// opts.Workers: the interfaces make no concurrency promise, and a
+// Deviation's strategy objects are shared across every trial of the batch
+// (they must therefore fully re-establish their state in Init — prefer
+// AttackTrials, which plans a fresh deviation per trial). Everything else
+// in the batch is safe to shard because each trial runs on its worker's
+// private arena, whose recycled network reproduces a fresh one
+// bit-for-bit.
 func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (*Distribution, error) {
-	if spec.Scheduler != nil || spec.Tracer != nil {
+	if spec.Scheduler != nil || spec.Tracer != nil || spec.Deviation != nil {
 		opts.Workers = 1
 	}
-	job := engine.JobFunc(func(t int) (sim.Result, error) {
+	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
 		trialSpec := spec
 		trialSpec.Seed = TrialSeed(spec.Seed, t)
-		res, err := Run(trialSpec)
+		res, err := RunArena(trialSpec, arena)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
 		}
@@ -209,13 +214,13 @@ func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSee
 
 // AttackTrialsOpts is AttackTrials with a context and engine options.
 func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int, opts TrialOptions) (*Distribution, error) {
-	job := engine.JobFunc(func(t int) (sim.Result, error) {
+	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
 		seed := int64(sim.Mix64(uint64(baseSeed), uint64(t)+0x9e37))
 		dev, err := attack.Plan(n, target, seed)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", attack.Name(), n, err)
 		}
-		res, err := Run(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed})
+		res, err := RunArena(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed}, arena)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
 		}

@@ -28,21 +28,21 @@ import (
 // bit-identical to ring.TrialsOpts (same seed derivation, same engine).
 func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
 	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
-		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+		return engineTrials(ctx, p, func(t int, arena *sim.Arena) (sim.Result, error) {
 			ts := trialSeed(seed, t)
-			sc, err := newScheduler(sched, ts)
+			sc, err := newScheduler(sched, ts, arena)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			res, err := ring.Run(ring.Spec{N: p.N, Protocol: proto, Seed: ts, Scheduler: sc})
+			res, err := ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Seed: ts, Scheduler: sc}, arena)
 			if err != nil {
 				return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
 			}
 			return res, nil
 		})
 	}
-	single := func(seed int64, sc sim.Scheduler, p params) (sim.Result, error) {
-		return ring.Run(ring.Spec{N: p.N, Protocol: proto, Seed: seed, Scheduler: sc})
+	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
+		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Seed: seed, Scheduler: sc}, arena)
 	}
 	return run, single
 }
@@ -56,13 +56,13 @@ func ringAttack(proto ring.Protocol, mk func(p params) ring.Attack) (runFunc, si
 		return ring.AttackTrialsOpts(ctx, p.N, proto, mk(p), p.Target, seed, p.Trials,
 			ring.TrialOptions{Workers: p.Workers})
 	}
-	single := func(seed int64, sc sim.Scheduler, p params) (sim.Result, error) {
+	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		atk := mk(p)
 		dev, err := atk.Plan(p.N, p.Target, seed)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", atk.Name(), p.N, err)
 		}
-		return ring.Run(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc})
+		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc}, arena)
 	}
 	return run, single
 }
@@ -79,13 +79,13 @@ func wakeupAttack() (runFunc, singleFunc) {
 		return ring.AttackTrialsOpts(ctx, p.N, proto, atk, p.Target, seed, p.Trials,
 			ring.TrialOptions{Workers: p.Workers})
 	}
-	single := func(seed int64, sc sim.Scheduler, p params) (sim.Result, error) {
+	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		proto, atk := mk(p)
 		dev, err := atk.Plan(p.N, p.Target, seed)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", atk.Name(), p.N, err)
 		}
-		return ring.Run(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc})
+		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc}, arena)
 	}
 	return run, single
 }
@@ -103,12 +103,12 @@ func completeRun(attack bool) runFunc {
 		if attack && k <= 0 {
 			k = e.Threshold()
 		}
-		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+		return engineTrials(ctx, p, func(t int, arena *sim.Arena) (sim.Result, error) {
 			ts := trialSeed(seed, t)
 			if attack {
-				return e.RunAttack(k, p.Target, ts, nil)
+				return e.RunAttackArena(k, p.Target, ts, nil, arena)
 			}
-			return e.Run(ts, nil)
+			return e.RunArena(ts, nil, arena)
 		})
 	}
 }
@@ -125,18 +125,18 @@ func treeRun(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int,
 		if err != nil {
 			return nil, err
 		}
-		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+		return engineTrials(ctx, p, func(t int, arena *sim.Arena) (sim.Result, error) {
 			ts := trialSeed(seed, t)
-			sc, err := newScheduler(sched, ts)
+			sc, err := newScheduler(sched, ts, arena)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			return proto.Run(treeproto.Spec{
+			return proto.RunArena(treeproto.Spec{
 				Seed:          ts,
 				Scheduler:     sc,
 				AdversaryRoot: adversary,
 				Target:        p.Target,
-			})
+			}, arena)
 		})
 	}
 }
@@ -150,7 +150,9 @@ func syncCompleteRun() runFunc {
 		if k < 0 {
 			k = p.N - 1
 		}
-		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+		// The synchronous runtime is not sim.Network-based; it ignores
+		// the worker arena.
+		return engineTrials(ctx, p, func(t int, _ *sim.Arena) (sim.Result, error) {
 			procs, err := syncnet.NewCompleteElection(p.N, k, trialSeed(seed, t))
 			if err != nil {
 				return sim.Result{}, err
@@ -164,7 +166,7 @@ func syncCompleteRun() runFunc {
 // perturbs every forwarded value — the deviation whose only power is FAIL.
 func syncRingRun(tamper bool) runFunc {
 	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
-		return engineTrials(ctx, p, func(t int) (sim.Result, error) {
+		return engineTrials(ctx, p, func(t int, _ *sim.Arena) (sim.Result, error) {
 			ts := trialSeed(seed, t)
 			procs := make([]syncnet.Processor, p.N)
 			for i := 1; i <= p.N; i++ {

@@ -1,17 +1,3 @@
-// Package scenario is the catalog of runnable configurations: every point of
-// the protocol × topology × scheduler × adversary space studied by the
-// reproduction is a named, self-describing value with a uniform way to run
-// it and a uniform outcome. The registry is the substrate of the
-// cross-protocol differential tests (any two uniform-election scenarios must
-// produce statistically indistinguishable leader distributions), of the
-// schedule-independence property tests, and of the cmd/scenarios matrix
-// runner; the harness experiments are thin lookups into it.
-//
-// Every scenario's trial batch routes through the parallel Monte-Carlo
-// engine (internal/engine): for a fixed seed the outcome is bit-for-bit
-// identical at any worker count. Ring scenarios reuse the exact seed
-// derivation of ring.Trials/AttackTrials, so a registry run reproduces the
-// corresponding harness experiment byte-identically.
 package scenario
 
 import (
@@ -34,17 +20,18 @@ const (
 	SchedLockstep = "lockstep" // synchronous topologies: rounds, no scheduler
 )
 
-// newScheduler builds a fresh scheduler for one execution. FIFO is the
+// newScheduler builds the scheduler for one execution. FIFO is the
 // simulator default (nil); the random scheduler is seeded per execution so
-// trial batches stay deterministic and shard-safe.
-func newScheduler(kind string, seed int64) (sim.Scheduler, error) {
+// trial batches stay deterministic and shard-safe, and recycled on the
+// worker's arena so the reseeding does not allocate per trial.
+func newScheduler(kind string, seed int64, arena *sim.Arena) (sim.Scheduler, error) {
 	switch kind {
 	case SchedFIFO, SchedLockstep, "":
 		return nil, nil
 	case SchedLIFO:
 		return sim.LIFOScheduler{}, nil
 	case SchedRandom:
-		return sim.NewRandomScheduler(seed), nil
+		return arena.RandomScheduler(seed), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown scheduler %q", kind)
 	}
@@ -80,10 +67,10 @@ type params struct {
 type (
 	// runFunc runs the scenario's trial batch on the engine.
 	runFunc func(ctx context.Context, seed int64, p params) (*ring.Distribution, error)
-	// singleFunc runs one execution under an explicit scheduler; only
-	// ring-topology scenarios provide it (the schedule-independence
-	// property is a ring claim).
-	singleFunc func(seed int64, sched sim.Scheduler, p params) (sim.Result, error)
+	// singleFunc runs one execution under an explicit scheduler and an
+	// optional recycled arena; only ring-topology scenarios provide it
+	// (the schedule-independence property is a ring claim).
+	singleFunc func(seed int64, sched sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error)
 )
 
 // Scenario is one named, runnable configuration.
@@ -212,7 +199,7 @@ func (s Scenario) SingleRun(seed int64, sched sim.Scheduler, o Opts) (res sim.Re
 	if p.N < s.MinN {
 		return sim.Result{}, true, fmt.Errorf("scenario: %s needs n ≥ %d, got %d", s.Name, s.MinN, p.N)
 	}
-	res, err = s.single(seed, sched, p)
+	res, err = s.single(seed, sched, p, nil)
 	return res, true, err
 }
 
@@ -258,8 +245,9 @@ func distSink(n int) engine.Sink[*ring.Distribution] {
 	}
 }
 
-// engineTrials runs one job per trial on the parallel engine.
-func engineTrials(ctx context.Context, p params, job func(t int) (sim.Result, error)) (*ring.Distribution, error) {
+// engineTrials runs one job per trial on the parallel engine; the engine
+// hands every job invocation its worker's recycled arena.
+func engineTrials(ctx context.Context, p params, job func(t int, arena *sim.Arena) (sim.Result, error)) (*ring.Distribution, error) {
 	return engine.Run(ctx, p.Trials, engine.JobFunc(job), distSink(p.N),
 		engine.Options[*ring.Distribution]{Workers: p.Workers})
 }

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drawer exercises the per-processor PRNG: it draws on wake-up and on every
+// receive, so any divergence between a fresh and a reseeded RNG stream shows
+// up in the outputs.
+type drawer struct {
+	n     int
+	draws int64
+}
+
+func (d *drawer) Init(ctx *Context) {
+	d.draws = ctx.Rand().Int63n(1 << 30)
+	if ctx.Self() == 1 {
+		ctx.Send(d.draws % 997)
+	}
+}
+
+func (d *drawer) Receive(ctx *Context, _ ProcID, value int64) {
+	d.draws += ctx.Rand().Int63n(1 << 30)
+	if int(value)%d.n == int(ctx.Self())%d.n {
+		ctx.Terminate(d.draws % 1009)
+		return
+	}
+	ctx.Send(value + d.draws%31 + 1)
+}
+
+func newDrawerRing(n int) []Strategy {
+	strategies := make([]Strategy, n)
+	for i := 0; i < n; i++ {
+		strategies[i] = &drawer{n: n}
+	}
+	return strategies
+}
+
+func drawerConfig(n int, seed int64) Config {
+	return Config{Strategies: newDrawerRing(n), Edges: RingEdges(n), Seed: seed, StepLimit: 4096}
+}
+
+// TestResetMatchesFresh is the arena determinism contract: a reset-then-run
+// network must reproduce a freshly constructed network bit for bit — same
+// outputs, statuses, counters and failure classification — across seeds and
+// across topology changes on the same recycled Network.
+func TestResetMatchesFresh(t *testing.T) {
+	net := &Network{}
+	// Walk sizes up and down so the recycled network both grows and
+	// shrinks, and interleave seeds so every run reseeds mid-stream.
+	sizes := []int{4, 7, 4, 12, 3, 12, 8}
+	for _, n := range sizes {
+		for seed := int64(0); seed < 20; seed++ {
+			cfg := drawerConfig(n, seed)
+			fresh, err := New(drawerConfig(n, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Run().Clone()
+			if err := net.Reset(cfg); err != nil {
+				t.Fatalf("Reset(n=%d seed=%d): %v", n, seed, err)
+			}
+			got := net.Run().Clone()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d seed=%d: reset run %+v differs from fresh run %+v", n, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestResetWithSchedulers pins the reset equivalence under non-FIFO
+// schedules, where the pending-deque recycling is actually stressed.
+func TestResetWithSchedulers(t *testing.T) {
+	const n = 9
+	net := &Network{}
+	for seed := int64(0); seed < 10; seed++ {
+		for _, mk := range []func() Scheduler{
+			func() Scheduler { return nil },
+			func() Scheduler { return LIFOScheduler{} },
+			func() Scheduler { return NewRandomScheduler(seed) },
+		} {
+			cfg := drawerConfig(n, seed)
+			cfg.Scheduler = mk()
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Run().Clone()
+			cfg2 := drawerConfig(n, seed)
+			cfg2.Scheduler = mk()
+			if err := net.Reset(cfg2); err != nil {
+				t.Fatal(err)
+			}
+			if got := net.Run().Clone(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d sched=%T: reset run differs from fresh run", seed, cfg.Scheduler)
+			}
+		}
+	}
+}
+
+func TestResetRejectsBadConfig(t *testing.T) {
+	net, err := New(drawerConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	bad := drawerConfig(4, 1)
+	bad.Edges = []Edge{{From: 1, To: 1}}
+	if err := net.Reset(bad); err == nil {
+		t.Fatal("self-loop accepted by Reset")
+	}
+	// A failed Reset installs nothing (validation precedes mutation); a
+	// subsequent good Reset must behave exactly like a fresh construction.
+	if err := net.Reset(drawerConfig(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(drawerConfig(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := net.Run().Clone(), fresh.Run().Clone(); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered network differs from fresh network")
+	}
+}
+
+func TestContextReseedReproducesFreshStream(t *testing.T) {
+	backend, err := New(drawerConfig(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		fresh := NewContext(backend, 2, seed)
+		reused := NewContext(backend, 2, 999)
+		reused.Rand().Int63() // advance, then rewind
+		reused.Reseed(seed)
+		for i := 0; i < 64; i++ {
+			if f, r := fresh.Rand().Int63(), reused.Rand().Int63(); f != r {
+				t.Fatalf("seed=%d draw %d: fresh %d != reseeded %d", seed, i, f, r)
+			}
+		}
+	}
+}
+
+func TestRandomSchedulerReseed(t *testing.T) {
+	s := NewRandomScheduler(11)
+	for i := 0; i < 10; i++ {
+		s.Pick(5) // advance
+	}
+	s.Reseed(42)
+	fresh := NewRandomScheduler(42)
+	for i := 0; i < 64; i++ {
+		if f, r := fresh.Pick(7), s.Pick(7); f != r {
+			t.Fatalf("pick %d: fresh %d != reseeded %d", i, f, r)
+		}
+	}
+}
+
+func TestArenaRunMatchesFresh(t *testing.T) {
+	arena := NewArena()
+	for _, n := range []int{4, 4, 9, 5} {
+		for seed := int64(0); seed < 8; seed++ {
+			fresh, err := New(drawerConfig(n, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fresh.Run().Clone()
+			res, err := arena.Run(drawerConfig(n, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Clone(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d seed=%d: arena run differs from fresh run", n, seed)
+			}
+		}
+	}
+}
+
+func TestNilArenaFallbacks(t *testing.T) {
+	var a *Arena
+	if _, err := a.Run(drawerConfig(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RingEdges(5); len(got) != 5 {
+		t.Fatalf("nil-arena RingEdges returned %d edges", len(got))
+	}
+	if s := a.RandomScheduler(1); s == nil {
+		t.Fatal("nil-arena RandomScheduler returned nil")
+	}
+	if s := a.Strategies(6); len(s) != 6 {
+		t.Fatalf("nil-arena Strategies returned len %d", len(s))
+	}
+}
+
+func TestArenaStrategiesScratchIsZeroed(t *testing.T) {
+	a := NewArena()
+	s := a.Strategies(4)
+	for i := range s {
+		s[i] = &drawer{n: 4}
+	}
+	s = a.Strategies(3)
+	for i, v := range s {
+		if v != nil {
+			t.Fatalf("slot %d not zeroed on reuse", i)
+		}
+	}
+}
+
+// BenchmarkArenaNetworkReuse is the sim-core half of the arena story: one
+// Reset/Run cycle against the cost of building a fresh network per
+// execution. Run with -benchmem; the reuse side should report near-zero
+// allocations beyond the strategy vector.
+func BenchmarkArenaNetworkReuse(b *testing.B) {
+	const n = 64
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net, err := New(drawerConfig(n, int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Run()
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		arena := NewArena()
+		for i := 0; i < b.N; i++ {
+			cfg := Config{Strategies: newDrawerRing(n), Edges: arena.RingEdges(n), Seed: int64(i), StepLimit: 4096}
+			if _, err := arena.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

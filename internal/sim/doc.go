@@ -22,4 +22,17 @@
 // The simulator is deterministic: the same configuration, seed and scheduler
 // always produce the same execution, which makes attacks and resilience
 // experiments exactly reproducible.
+//
+// # Arenas
+//
+// Monte-Carlo workloads run thousands of executions of near-identical
+// configurations. To keep that hot path allocation-free, a Network supports
+// Reset — reinstating a configuration's initial state on the existing
+// backing memory (processor slots, link queues, PRNG state, result buffers)
+// — and Arena bundles a recycled Network with the per-trial scratch
+// structures (edge sets, schedulers, strategy slices) a trial batch needs.
+// Each trial-engine worker owns one arena; determinism is preserved because
+// Reset plus reseeding reproduces a fresh construction bit for bit, a
+// property pinned by the arena test suites here and in internal/scenario.
+// See Arena for the ownership and aliasing rules.
 package sim

@@ -41,6 +41,11 @@ type Edge struct {
 // Config describes one execution of a protocol (or adversarial deviation).
 type Config struct {
 	// Strategies[i] drives processor i+1. Its length determines n.
+	// Strategy objects carry per-execution state, so build a fresh vector
+	// for every configuration (as every Protocol.Strategies call does);
+	// passing objects that already ran an execution — including to a
+	// Network Reset — yields undefined behaviour unless their Init fully
+	// re-establishes initial state.
 	Strategies []Strategy
 
 	// Edges are the directed FIFO links. Use RingEdges for the
@@ -92,8 +97,11 @@ type procState struct {
 	received int
 }
 
-// Network is a single-use executor for one configuration. Build with New,
-// run with Run.
+// Network is an executor for one configuration. Build with New, run with
+// Run. A Network is single-use per configuration: Run executes at most once
+// until Reset reinstates a (possibly different) configuration on the same
+// backing memory, which is how trial arenas run thousands of executions
+// without rebuilding the network each time.
 type Network struct {
 	n        int
 	procs    []procState // index by ProcID; slot 0 unused
@@ -113,6 +121,11 @@ type Network struct {
 	dropped    int
 	terminated int
 	ran        bool
+
+	// outBuf and statBuf back the Result of a reused network, so repeated
+	// Reset/Run cycles do not allocate fresh result slices. See result().
+	outBuf  []int64
+	statBuf []Status
 }
 
 // RingEdges returns the edge set of the unidirectional ring 1→2→…→n→1.
@@ -127,52 +140,161 @@ func RingEdges(n int) []Edge {
 
 // New validates the configuration and builds an executable network.
 func New(cfg Config) (*Network, error) {
+	net := &Network{}
+	if err := net.configure(cfg); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Reset reinstates the initial state of cfg on the network's existing
+// backing memory: processor slots, link queues, the pending deque, the
+// per-processor PRNGs and the result buffers are all recycled instead of
+// reallocated, and only a topology change (different size or edge set)
+// rebuilds the link structures. A Reset network runs cfg exactly as a
+// freshly constructed one would — bit-for-bit, including every PRNG stream —
+// which is what lets trial arenas recycle one Network across thousands of
+// trials (enforced by TestResetMatchesFresh and the scenario-wide property
+// test).
+//
+// Two caveats, both consequences of the recycling:
+//
+//   - The Result of a previous Run on this network aliases the recycled
+//     buffers; it is invalidated by Reset. Copy it first (Result.Clone) if
+//     it must outlive the next trial.
+//   - Reset validates the whole configuration before mutating anything, so
+//     on error the network keeps its previous configuration (including the
+//     already-ran flag); the failed configuration is simply not installed.
+func (net *Network) Reset(cfg Config) error {
+	return net.configure(cfg)
+}
+
+// configure is the shared implementation of New and Reset: it validates cfg
+// before mutating anything, then (re)initializes the network in place,
+// reusing existing allocations wherever capacities allow.
+func (net *Network) configure(cfg Config) error {
 	n := len(cfg.Strategies)
 	if n == 0 {
-		return nil, errors.New("sim: no strategies")
+		return errors.New("sim: no strategies")
 	}
 	for i, s := range cfg.Strategies {
 		if s == nil {
-			return nil, fmt.Errorf("sim: nil strategy for processor %d", i+1)
+			return fmt.Errorf("sim: nil strategy for processor %d", i+1)
 		}
 	}
-	net := &Network{
-		n:        n,
-		procs:    make([]procState, n+1),
-		links:    make([]link, 0, len(cfg.Edges)),
-		outLinks: make([][]int, n+1),
-		sched:    cfg.Scheduler,
-		tracer:   cfg.Tracer,
+	if net.sameTopology(n, cfg.Edges) {
+		// Same communication graph as the previous configuration: keep the
+		// link structures, just drain the queues.
+		for i := range net.links {
+			l := &net.links[i]
+			l.queue = l.queue[:0]
+			l.head = 0
+		}
+	} else if err := net.buildTopology(n, cfg.Edges); err != nil {
+		return err
 	}
+	net.n = n
+	net.sched = cfg.Scheduler
 	if net.sched == nil {
 		net.sched = FIFOScheduler{}
 	}
+	net.tracer = cfg.Tracer
 	net.stepLimit = cfg.StepLimit
 	if net.stepLimit <= 0 {
 		net.stepLimit = 64*n*n + 4096
 	}
-	seen := make(map[Edge]bool, len(cfg.Edges))
-	for _, e := range cfg.Edges {
-		if e.From < 1 || int(e.From) > n || e.To < 1 || int(e.To) > n {
-			return nil, fmt.Errorf("sim: edge %d→%d out of range [1,%d]", e.From, e.To, n)
-		}
-		if e.From == e.To {
-			return nil, fmt.Errorf("sim: self-loop on processor %d", e.From)
-		}
-		if seen[e] {
-			return nil, fmt.Errorf("sim: duplicate edge %d→%d", e.From, e.To)
-		}
-		seen[e] = true
-		net.links = append(net.links, link{from: e.From, to: e.To})
-		net.outLinks[e.From] = append(net.outLinks[e.From], len(net.links)-1)
+	net.pending = net.pending[:0]
+	net.pendHead = 0
+	net.steps, net.delivered, net.dropped, net.terminated = 0, 0, 0, 0
+	net.ran = false
+	if cap(net.procs) < n+1 {
+		procs := make([]procState, n+1)
+		// Carry over existing slots: their contexts hold reusable PRNG
+		// state, reseeded below.
+		copy(procs, net.procs)
+		net.procs = procs
+	} else {
+		net.procs = net.procs[:n+1]
 	}
 	for i := 1; i <= n; i++ {
 		p := &net.procs[i]
 		p.strategy = cfg.Strategies[i-1]
 		p.status = StatusRunning
-		p.ctx = NewContext(net, ProcID(i), cfg.Seed)
+		p.output = 0
+		p.sent = 0
+		p.received = 0
+		if p.ctx.rng == nil {
+			p.ctx = NewContext(net, ProcID(i), cfg.Seed)
+		} else {
+			// Recycled slot: the context already points at this network
+			// and holds an allocated PRNG; reseeding reproduces exactly
+			// the stream a fresh NewContext would draw.
+			p.ctx.backend = net
+			p.ctx.Reseed(cfg.Seed)
+		}
 	}
-	return net, nil
+	return nil
+}
+
+// sameTopology reports whether the network's current link structures encode
+// exactly the given configuration (same size, same edges in the same order),
+// in which case a Reset can skip edge validation and rebuild entirely.
+func (net *Network) sameTopology(n int, edges []Edge) bool {
+	if n != net.n || len(edges) != len(net.links) {
+		return false
+	}
+	for i, e := range edges {
+		if net.links[i].from != e.From || net.links[i].to != e.To {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTopology validates the edge set and rebuilds the link structures,
+// reusing slice capacity from any previous configuration.
+func (net *Network) buildTopology(n int, edges []Edge) error {
+	seen := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		if e.From < 1 || int(e.From) > n || e.To < 1 || int(e.To) > n {
+			return fmt.Errorf("sim: edge %d→%d out of range [1,%d]", e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("sim: self-loop on processor %d", e.From)
+		}
+		if seen[e] {
+			return fmt.Errorf("sim: duplicate edge %d→%d", e.From, e.To)
+		}
+		seen[e] = true
+	}
+	// Rewrite link slots in place so queue capacity grown by previous
+	// configurations survives a topology rebuild.
+	old := net.links[:cap(net.links)]
+	if len(old) < len(edges) {
+		grown := make([]link, len(edges))
+		copy(grown, old)
+		old = grown
+	}
+	net.links = old[:len(edges)]
+	for i, e := range edges {
+		l := &net.links[i]
+		l.from, l.to = e.From, e.To
+		l.queue = l.queue[:0]
+		l.head = 0
+	}
+	if cap(net.outLinks) < n+1 {
+		net.outLinks = make([][]int, n+1)
+	} else {
+		net.outLinks = net.outLinks[:n+1]
+	}
+	for i := range net.outLinks {
+		net.outLinks[i] = net.outLinks[i][:0]
+	}
+	for idx := range net.links {
+		from := net.links[idx].from
+		net.outLinks[from] = append(net.outLinks[from], idx)
+	}
+	return nil
 }
 
 var _ Backend = (*Network)(nil)
@@ -250,7 +372,8 @@ func (net *Network) popPending(offset int) int {
 }
 
 // Run executes the configuration to completion and reports the outcome.
-// A Network is single-use; calling Run twice returns the first result.
+// A Network is single-use per configuration; calling Run twice without an
+// intervening Reset returns the first result.
 func (net *Network) Run() Result {
 	if net.ran {
 		return net.result()

@@ -48,9 +48,12 @@ type Result struct {
 	// Output is the common output of all processors when Failed is false.
 	Output int64
 	// Outputs[i] is processor i's output (meaningful where Statuses[i] is
-	// StatusTerminated). Index 0 is unused.
+	// StatusTerminated). Index 0 is unused. On a Network reused via Reset,
+	// Outputs aliases the network's recycled result buffer and is
+	// invalidated by the next Reset; Clone the result to keep it.
 	Outputs []int64
 	// Statuses[i] is processor i's final lifecycle state. Index 0 unused.
+	// The aliasing caveat of Outputs applies.
 	Statuses []Status
 	// Delivered counts messages processed by running processors.
 	Delivered int
@@ -61,10 +64,30 @@ type Result struct {
 	Steps int
 }
 
+// Clone returns a deep copy of the result whose slices do not alias any
+// network-owned buffer, safe to retain across a Network Reset.
+func (r Result) Clone() Result {
+	c := r
+	c.Outputs = append([]int64(nil), r.Outputs...)
+	c.Statuses = append([]Status(nil), r.Statuses...)
+	return c
+}
+
 func (net *Network) result() Result {
+	// The per-processor slices live on the network so that a Reset/Run
+	// cycle recycles them; they are fully overwritten below. Both caps are
+	// checked so the buffers cannot drift apart if one is ever resized
+	// elsewhere.
+	if cap(net.outBuf) < net.n+1 || cap(net.statBuf) < net.n+1 {
+		net.outBuf = make([]int64, net.n+1)
+		net.statBuf = make([]Status, net.n+1)
+	}
+	net.outBuf = net.outBuf[:net.n+1]
+	net.statBuf = net.statBuf[:net.n+1]
+	net.outBuf[0], net.statBuf[0] = 0, 0
 	res := Result{
-		Outputs:   make([]int64, net.n+1),
-		Statuses:  make([]Status, net.n+1),
+		Outputs:   net.outBuf,
+		Statuses:  net.statBuf,
 		Delivered: net.delivered,
 		Dropped:   net.dropped,
 		Steps:     net.steps,

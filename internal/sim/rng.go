@@ -20,9 +20,15 @@ func Mix64(a, b uint64) uint64 {
 	return splitMix64(splitMix64(a) ^ (b + 0x632be59bd9b4e019))
 }
 
+// deriveSeed is the single copy of the processor-stream derivation recipe,
+// shared by DeriveRand (fresh construction) and Context.Reseed (arena
+// recycling) so the two can never drift apart.
+func deriveSeed(seed int64, id ProcID) int64 {
+	return int64(Mix64(uint64(seed), uint64(id)))
+}
+
 // DeriveRand returns a deterministic PRNG for the given processor in the
 // given trial. Distinct (seed, id) pairs yield decorrelated streams.
 func DeriveRand(seed int64, id ProcID) *rand.Rand {
-	derived := Mix64(uint64(seed), uint64(id))
-	return rand.New(rand.NewSource(int64(derived)))
+	return rand.New(rand.NewSource(deriveSeed(seed, id)))
 }

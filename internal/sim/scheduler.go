@@ -38,10 +38,24 @@ type RandomScheduler struct {
 	rng *rand.Rand
 }
 
+// schedSeed is the single copy of the scheduler-stream derivation recipe,
+// shared by NewRandomScheduler and Reseed so the two can never drift apart.
+func schedSeed(seed int64) int64 {
+	return int64(Mix64(uint64(seed), 0x5c4ed))
+}
+
 // NewRandomScheduler returns a RandomScheduler with the given seed.
 func NewRandomScheduler(seed int64) *RandomScheduler {
-	return &RandomScheduler{rng: rand.New(rand.NewSource(int64(Mix64(uint64(seed), 0x5c4ed))))}
+	return &RandomScheduler{rng: rand.New(rand.NewSource(schedSeed(seed)))}
 }
 
 // Pick implements Scheduler.
 func (s *RandomScheduler) Pick(k int) int { return s.rng.Intn(k) }
+
+// Reseed rewinds the scheduler to the choice sequence a fresh
+// NewRandomScheduler with the same seed would produce, reusing the allocated
+// generator state. Trial arenas use it to run one scheduler object across a
+// whole batch without per-trial allocation.
+func (s *RandomScheduler) Reseed(seed int64) {
+	s.rng.Seed(schedSeed(seed))
+}

@@ -58,6 +58,14 @@ func NewContext(backend Backend, self ProcID, seed int64) Context {
 	return Context{backend: backend, self: self, rng: DeriveRand(seed, self)}
 }
 
+// Reseed rewinds the context's PRNG to the start of the stream a fresh
+// NewContext with the same trial seed would draw, reusing the allocated
+// generator state. It is the arena primitive that lets a recycled network
+// reproduce a fresh network's randomness bit-for-bit.
+func (c *Context) Reseed(seed int64) {
+	c.rng.Seed(deriveSeed(seed, c.self))
+}
+
 // Self returns the processor's own id.
 func (c *Context) Self() ProcID { return c.self }
 

@@ -1,0 +1,28 @@
+// Package stats provides the statistical machinery behind every experiment:
+// binomial confidence intervals, chi-square tests, total variation distance,
+// and summary helpers. Only the standard library is used; the chi-square
+// p-value comes from the regularized incomplete gamma function evaluated by
+// series/continued fraction.
+//
+// # How the suite uses it
+//
+//   - WilsonInterval backs the adaptive early-stopping rules of the trial
+//     engine (ring.StopWhenResolved): a batch halts once the empirical ε
+//     estimate of Definition 2.3 is resolved to a target half-width.
+//   - ChiSquareUniform checks honest leader distributions against the
+//     uniform fairness claim of the paper's protocols.
+//   - ChiSquareHomogeneity drives the scenario differential matrix: any
+//     two uniform-election scenarios must be statistically
+//     indistinguishable, whatever their protocol, topology or scheduler.
+//   - TotalVariationFromUniform quantifies attack strength in the
+//     experiment tables.
+//
+// # Invariants
+//
+//   - Everything is deterministic pure computation: no randomness, no
+//     global state, safe for concurrent use.
+//   - Functions taking count slices treat them as read-only.
+//   - P-value helpers are accurate to a few ulps over the df ranges the
+//     experiments use (df ≤ a few hundred); they are not a general-purpose
+//     special-function library.
+package stats

@@ -1,8 +1,3 @@
-// Package stats provides the statistical machinery behind every experiment:
-// binomial confidence intervals, chi-square uniformity tests, total
-// variation distance, and summary helpers. Only the standard library is
-// used; the chi-square p-value comes from the regularized incomplete gamma
-// function evaluated by series/continued fraction.
 package stats
 
 import (

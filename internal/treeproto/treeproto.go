@@ -29,6 +29,7 @@ type Protocol struct {
 	root     int
 	parent   []int
 	children [][]int
+	edges    []sim.Edge // both directions of every tree edge, built once
 }
 
 // New validates the tree and orients it at the given root.
@@ -61,6 +62,14 @@ func New(tree *simgraph.Graph, root int) (*Protocol, error) {
 			}
 		}
 	}
+	// The (bidirectional) link set is immutable and read-only during
+	// execution; one copy serves every run and every trial worker.
+	p.edges = make([]sim.Edge, 0, 2*(tree.N-1))
+	for _, e := range tree.Edges() {
+		p.edges = append(p.edges,
+			sim.Edge{From: sim.ProcID(e[0]), To: sim.ProcID(e[1])},
+			sim.Edge{From: sim.ProcID(e[1]), To: sim.ProcID(e[0])})
+	}
 	return p, nil
 }
 
@@ -80,8 +89,14 @@ type Spec struct {
 
 // Run executes one election.
 func (p *Protocol) Run(spec Spec) (sim.Result, error) {
+	return p.RunArena(spec, nil)
+}
+
+// RunArena is Run on a recycled per-worker simulation arena (nil falls back
+// to fresh allocations with an identical result).
+func (p *Protocol) RunArena(spec Spec, arena *sim.Arena) (sim.Result, error) {
 	n := p.tree.N
-	strategies := make([]sim.Strategy, n)
+	strategies := arena.Strategies(n)
 	for v := 1; v <= n; v++ {
 		node := &node{
 			n:        n,
@@ -97,22 +112,12 @@ func (p *Protocol) Run(spec Spec) (sim.Result, error) {
 			strategies[v-1] = node
 		}
 	}
-	edges := make([]sim.Edge, 0, 2*(n-1))
-	for _, e := range p.tree.Edges() {
-		edges = append(edges,
-			sim.Edge{From: sim.ProcID(e[0]), To: sim.ProcID(e[1])},
-			sim.Edge{From: sim.ProcID(e[1]), To: sim.ProcID(e[0])})
-	}
-	net, err := sim.New(sim.Config{
+	return arena.Run(sim.Config{
 		Strategies: strategies,
-		Edges:      edges,
+		Edges:      p.edges,
 		Seed:       spec.Seed,
 		Scheduler:  spec.Scheduler,
 	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return net.Run(), nil
 }
 
 // node is one honest participant: it draws a secret, accumulates its

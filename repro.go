@@ -198,5 +198,5 @@ func ExpectedUtility(dist *Distribution, u Utility) (float64, error) {
 	return core.ExpectedUtility(dist, u)
 }
 
-// Experiments returns the full reproduction suite (E1..E14).
+// Experiments returns the full reproduction suite (E1..E15).
 func Experiments() []Experiment { return harness.All() }
