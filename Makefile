@@ -25,6 +25,15 @@ docs-check:
 
 check: build docs-check test race
 
+# service-smoke is the daemon's end-to-end acceptance run: build the real
+# fleserve binary, boot it on an ephemeral port, drive a 100-job concurrent
+# batch (20 distinct scenarios × 5 copies), and verify completion, a cache
+# hit-rate ≥ 0.8, byte-identical replays, and agreement with direct
+# in-process scenario runs. CI runs this on every push.
+service-smoke:
+	$(GO) build -o bin/fleserve ./cmd/fleserve
+	$(GO) run ./internal/tools/servicesmoke -bin bin/fleserve
+
 # bench records the benchmark suite to BENCH_<date>.json/.txt (see
 # bench.sh); bench-tagged keeps several recordings from one day apart, e.g.
 # `make bench-tagged TAG=arena`.

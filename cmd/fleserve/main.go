@@ -1,0 +1,71 @@
+// Command fleserve runs the fair-leader-election simulation service: a
+// resident HTTP daemon over the scenario registry that batches, dedupes,
+// caches, and streams Monte-Carlo trial work.
+//
+// Usage:
+//
+//	fleserve [-addr HOST:PORT] [-workers W] [-parallel P] [-cache N]
+//
+// Endpoints:
+//
+//	GET    /scenarios     the registry catalog
+//	POST   /jobs          submit a batch: {"jobs":[{"scenario":...,"seed":...},...]}
+//	GET    /jobs/{id}     one job's state; ?watch=1 streams NDJSON progress
+//	DELETE /jobs/{id}     cancel a queued or running job
+//	GET    /healthz       liveness
+//	GET    /statz         cache hit rate, worker utilization, trials/sec
+//
+// Identical jobs — same scenario, parameters, seed, and code version —
+// share one computation: concurrent duplicates join the in-flight run, and
+// later ones replay the cached result byte-for-byte (deterministic seeding
+// makes the replay exact). The daemon exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fleserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("fleserve", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+		workers  = fs.Int("workers", 0, "engine workers per job (0 = all CPUs); results are identical for any value")
+		parallel = fs.Int("parallel", 0, "concurrent engine runs (0 = 2); additional jobs queue")
+		cache    = fs.Int("cache", 0, "result cache capacity in entries (0 = 4096)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := service.New(service.Config{
+		Addr:      *addr,
+		Workers:   *workers,
+		Parallel:  *parallel,
+		CacheSize: *cache,
+	})
+	ln, err := srv.Listen()
+	if err != nil {
+		return err
+	}
+	// The listening line is machine-read by the smoke harness: with -addr
+	// :0 it is the only way to learn where the kernel put the daemon.
+	fmt.Fprintf(out, "fleserve: listening on %s (version %s)\n", srv.Addr(), srv.Scheduler().Version())
+	return srv.Serve(ctx, ln)
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port, drives
+// one cached round trip through the real TCP listener, and checks the
+// context-driven shutdown path the signal handler uses.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-parallel", "1"}, &out, &out)
+	}()
+
+	addr := waitForAddr(t, &out)
+	client := service.NewClient("http://" + addr)
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	req := service.JobRequest{Scenario: "ring/basic-lead/fifo", N: 8, Trials: 64, Seed: 7}
+	states, err := client.Submit(ctx, []service.JobRequest{req})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := client.Wait(ctx, states[0].ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Status != service.StatusDone || len(final.Result) == 0 {
+		t.Fatalf("job finished %s (result %d bytes), want done with result", final.Status, len(final.Result))
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after context cancel")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out, &out); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+// waitForAddr polls the daemon's stdout for the listening line.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no listening line; output: %q", out.String())
+	return ""
+}
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write while
+// the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -78,12 +78,15 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
-	if opts.Stop != nil {
+	if opts.Stop != nil || opts.Observe != nil {
+		// Observers ride the same chunk-ordered frontier machinery as
+		// stopping rules: both need deterministic prefixes.
 		return runAdaptive(ctx, trials, chunk, workers, job, sink, opts, merged)
 	}
 	if workers == 1 {
 		// Sequential fast path: one shard, one arena, no goroutines.
-		arena := sim.NewArena()
+		arena := opts.Arenas.Get()
+		defer opts.Arenas.Put(arena)
 		for t := 0; t < trials; t++ {
 			if err := ctx.Err(); err != nil {
 				var zero S
@@ -124,9 +127,12 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 			defer wg.Done()
 			shard := sink.New()
 			shards[w] = shard
-			// Each worker owns one arena; trials claimed by this worker
-			// recycle its network, RNGs, and scratch buffers.
-			arena := sim.NewArena()
+			// Each worker owns one arena for the duration of the batch;
+			// trials claimed by this worker recycle its network, RNGs,
+			// and scratch buffers. With opts.Arenas the arena outlives
+			// the batch on the shared pool.
+			arena := opts.Arenas.Get()
+			defer opts.Arenas.Put(arena)
 			for {
 				start := int(cursor.Add(int64(chunk))) - chunk
 				if start >= trials {
@@ -169,10 +175,11 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 }
 
 // runAdaptive executes the batch with per-chunk shards and an in-order
-// frontier merge, so the early-stopping rule is evaluated on deterministic
-// prefixes (chunks 0..i) regardless of which workers ran which chunks.
-// Chunks completed beyond the stopping point are discarded: wasted work,
-// never nondeterminism.
+// frontier merge, so the early-stopping rule and the Observe hook both see
+// deterministic prefixes (chunks 0..i) regardless of which workers ran
+// which chunks. Chunks completed beyond the stopping point are discarded:
+// wasted work, never nondeterminism. With only an Observe hook (Stop nil)
+// the batch always runs to completion.
 func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job, sink Sink[S], opts Options[S], merged S) (S, error) {
 	numChunks := (trials + chunk - 1) / chunk
 	var (
@@ -205,7 +212,10 @@ func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job
 			if prefixTrials > trials {
 				prefixTrials = trials
 			}
-			if opts.Stop(merged, prefixTrials) {
+			if opts.Observe != nil {
+				opts.Observe(merged, prefixTrials)
+			}
+			if opts.Stop != nil && opts.Stop(merged, prefixTrials) {
 				stopped = true
 				stopAt.Store(int64(frontier))
 			}
@@ -216,7 +226,8 @@ func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job
 		go func() {
 			defer wg.Done()
 			// Per-worker arena, exactly as in the non-adaptive path.
-			arena := sim.NewArena()
+			arena := opts.Arenas.Get()
+			defer opts.Arenas.Put(arena)
 			for {
 				c := int(cursor.Add(1)) - 1
 				if c >= numChunks || int64(c) >= stopAt.Load() {

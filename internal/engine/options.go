@@ -31,4 +31,23 @@ type Options[S any] struct {
 	// Use stats.WilsonInterval to build rules that stop once a rate
 	// estimate is resolved to a target half-width.
 	Stop func(prefix S, trials int) bool
+	// Observe, if non-nil, receives the same deterministic prefixes a
+	// Stop rule would see — the merge of chunks 0..i, in chunk order,
+	// under a lock — without any power to stop the batch. It is the
+	// progress hook behind streaming consumers (the service daemon's
+	// NDJSON job streams): the sequence of snapshots depends only on
+	// (base seed, trials, Chunk), never on worker count or scheduling,
+	// and the final call always covers the whole batch. The callback
+	// must not retain prefix (it aliases the engine's merge target) and
+	// should be cheap: it runs under the engine's merge lock.
+	Observe func(prefix S, trials int)
+	// Arenas, if non-nil, supplies worker arenas from a shared pool
+	// instead of constructing fresh ones per Run, and returns them when
+	// the batch ends. A resident process that runs many batches points
+	// them all at one pool so per-worker simulation workspaces persist
+	// across jobs, not just across the trials of one job. Results are
+	// identical with or without a pool. Nil means no pooling: workers
+	// get fresh arenas, exactly the pre-pool behaviour (ArenaPool's
+	// methods are nil-safe, so the engine calls them unconditionally).
+	Arenas *ArenaPool
 }

@@ -123,11 +123,23 @@ type TrialOptions struct {
 	// Stop, if non-nil, halts the batch early once the rule returns true
 	// on a deterministic prefix of the distribution (see engine.Options).
 	Stop func(prefix *Distribution) bool
+	// Observe, if non-nil, receives each deterministic chunk-ordered
+	// prefix of the accumulating distribution as the batch runs (see
+	// engine.Options.Observe). The callback must not retain prefix.
+	Observe func(prefix *Distribution, trials int)
+	// Arenas, if non-nil, draws worker arenas from a shared pool so
+	// simulation workspaces persist across batches (see engine.ArenaPool).
+	Arenas *engine.ArenaPool
 }
 
 // engineOptions lowers TrialOptions onto the engine.
 func (o TrialOptions) engineOptions() engine.Options[*Distribution] {
-	opts := engine.Options[*Distribution]{Workers: o.Workers, Chunk: o.Chunk}
+	opts := engine.Options[*Distribution]{
+		Workers: o.Workers,
+		Chunk:   o.Chunk,
+		Observe: o.Observe,
+		Arenas:  o.Arenas,
+	}
 	if o.Stop != nil {
 		stop := o.Stop
 		opts.Stop = func(prefix *Distribution, _ int) bool { return stop(prefix) }

@@ -54,7 +54,7 @@ func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
 func ringAttack(proto ring.Protocol, mk func(p params) ring.Attack) (runFunc, singleFunc) {
 	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
 		return ring.AttackTrialsOpts(ctx, p.N, proto, mk(p), p.Target, seed, p.Trials,
-			ring.TrialOptions{Workers: p.Workers})
+			p.trialOptions())
 	}
 	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		atk := mk(p)
@@ -77,7 +77,7 @@ func wakeupAttack() (runFunc, singleFunc) {
 	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
 		proto, atk := mk(p)
 		return ring.AttackTrialsOpts(ctx, p.N, proto, atk, p.Target, seed, p.Trials,
-			ring.TrialOptions{Workers: p.Workers})
+			p.trialOptions())
 	}
 	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		proto, atk := mk(p)

@@ -1,0 +1,31 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// jobKeyFormat is the canonical encoding hashed by JobKey. Bump the leading
+// schema tag if the encoding ever changes shape, so old and new keys can
+// never collide.
+const jobKeyFormat = "flejob-v1|version=%s|scenario=%s|n=%d|trials=%d|k=%d|target=%d|seed=%d"
+
+// JobKey returns the stable content address of one scenario run: the
+// SHA-256 of a canonical encoding of (code version, scenario name, resolved
+// n/trials/k/target, seed). Two runs with the same key produce bit-identical
+// distributions — trial seeds derive deterministically from (seed, t) and
+// results are independent of worker count and scheduling — which is what
+// lets a result cache keyed by JobKey return exact replays rather than
+// approximations.
+//
+// version names the code revision the result was computed by; it is part of
+// the address so results never survive a rebuild that may have changed the
+// simulation. Opts.Workers, Opts.Progress, and Opts.Arenas are deliberately
+// excluded: none of them affect the result.
+func (s Scenario) JobKey(version string, seed int64, o Opts) string {
+	p := s.params(o)
+	h := sha256.New()
+	fmt.Fprintf(h, jobKeyFormat, version, s.Name, p.N, p.Trials, p.K, p.Target, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestJobKeyStableAndSensitive(t *testing.T) {
+	s := MustFind("ring/a-lead/fifo")
+	base := s.JobKey("v1", 7, Opts{N: 16, Trials: 100})
+	if len(base) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", base)
+	}
+	if again := s.JobKey("v1", 7, Opts{N: 16, Trials: 100}); again != base {
+		t.Fatal("identical configuration hashed to different keys")
+	}
+
+	// Every identity-relevant dimension must move the key.
+	distinct := map[string]string{
+		"seed":     s.JobKey("v1", 8, Opts{N: 16, Trials: 100}),
+		"n":        s.JobKey("v1", 7, Opts{N: 18, Trials: 100}),
+		"trials":   s.JobKey("v1", 7, Opts{N: 16, Trials: 101}),
+		"version":  s.JobKey("v2", 7, Opts{N: 16, Trials: 100}),
+		"scenario": MustFind("ring/a-lead/lifo").JobKey("v1", 7, Opts{N: 16, Trials: 100}),
+	}
+	seen := map[string]string{base: "base"}
+	for dim, key := range distinct {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("varying %s collided with %s", dim, prev)
+		}
+		seen[key] = dim
+	}
+
+	// Attack scenarios also key on K and Target.
+	atk := MustFind("ring/a-lead/attack=rushing-equal")
+	if atk.JobKey("v1", 7, Opts{K: 3}) == atk.JobKey("v1", 7, Opts{K: 4}) {
+		t.Fatal("coalition size does not move the key")
+	}
+	if atk.JobKey("v1", 7, Opts{Target: 2}) == atk.JobKey("v1", 7, Opts{Target: 3}) {
+		t.Fatal("target does not move the key")
+	}
+
+	// Execution-only knobs must NOT move the key: the result is identical
+	// at any worker count, with or without a pool or progress hook.
+	if s.JobKey("v1", 7, Opts{N: 16, Trials: 100, Workers: 8}) != base {
+		t.Fatal("workers moved the key")
+	}
+	if s.JobKey("v1", 7, Opts{N: 16, Trials: 100, Progress: func(Snapshot) {}}) != base {
+		t.Fatal("progress hook moved the key")
+	}
+}
+
+func TestJobKeyResolvesDefaults(t *testing.T) {
+	s := MustFind("ring/basic-lead/fifo")
+	// Explicitly passing the registered defaults is the same job as
+	// passing zero overrides.
+	if s.JobKey("v", 1, Opts{}) != s.JobKey("v", 1, Opts{N: s.N, Trials: s.Trials}) {
+		t.Fatal("defaulted and explicit-default configurations hashed differently")
+	}
+}
+
+func TestRunOptsProgressSnapshots(t *testing.T) {
+	s := MustFind("ring/basic-lead/fifo")
+	const trials = 300
+
+	capture := func(workers int) ([]Snapshot, *Outcome) {
+		var snaps []Snapshot
+		out, err := s.RunOpts(context.Background(), 42, Opts{
+			N:        8,
+			Trials:   trials,
+			Workers:  workers,
+			Progress: func(snap Snapshot) { snaps = append(snaps, snap) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snaps, out
+	}
+
+	snaps, out := capture(1)
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	final := snaps[len(snaps)-1]
+	if final.Done != trials || final.Total != trials {
+		t.Fatalf("final snapshot %d/%d, want %d/%d", final.Done, final.Total, trials, trials)
+	}
+	if final.MaxWin.Trials != trials {
+		t.Fatalf("final rate snapshot over %d trials, want %d", final.MaxWin.Trials, trials)
+	}
+	// The final snapshot must agree with the outcome.
+	if final.MaxWinLeader != out.MaxWinLeader || final.MaxWin.Rate != out.MaxWinRate {
+		t.Fatalf("final snapshot (%d@%f) disagrees with outcome (%d@%f)",
+			final.MaxWinLeader, final.MaxWin.Rate, out.MaxWinLeader, out.MaxWinRate)
+	}
+	if final.Epsilon != out.Epsilon {
+		t.Fatalf("final epsilon %f != outcome epsilon %f", final.Epsilon, out.Epsilon)
+	}
+
+	// The whole snapshot sequence is deterministic at any worker count.
+	for _, workers := range []int{2, 5} {
+		got, _ := capture(workers)
+		if !reflect.DeepEqual(got, snaps) {
+			t.Fatalf("snapshot sequence at %d workers differs from sequential", workers)
+		}
+	}
+
+	// A run with a progress hook returns the same outcome as one without.
+	plain, err := s.RunOpts(context.Background(), 42, Opts{N: 8, Trials: trials})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Counts, out.Counts) {
+		t.Fatal("progress hook changed the outcome")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Scheduler kinds. On a unidirectional ring all three yield bit-identical
@@ -53,6 +54,18 @@ type Opts struct {
 	K int
 	// Target overrides the leader the coalition tries to force.
 	Target int64
+	// Progress, if non-nil, receives deterministic snapshots of the
+	// accumulating distribution as the batch runs: the engine delivers
+	// chunk-ordered prefixes, so the snapshot sequence depends only on
+	// (seed, trials, chunking), never on worker count or scheduling. The
+	// final snapshot always covers the whole batch. The callback runs
+	// under the engine's merge lock and must be cheap.
+	Progress func(Snapshot)
+	// Arenas, if non-nil, draws engine worker arenas from a shared pool
+	// so simulation workspaces persist across runs — the service
+	// daemon's resident mode (see engine.ArenaPool). Results are
+	// identical with or without it.
+	Arenas *engine.ArenaPool
 }
 
 // params is a scenario's fully resolved run configuration.
@@ -62,6 +75,9 @@ type params struct {
 	Workers int
 	K       int
 	Target  int64
+	// observe and arenas are carried to the engine by every run builder.
+	observe func(prefix *ring.Distribution, trials int)
+	arenas  *engine.ArenaPool
 }
 
 type (
@@ -112,7 +128,8 @@ type Scenario struct {
 // params resolves the run configuration from the scenario defaults and the
 // caller's overrides.
 func (s Scenario) params(o Opts) params {
-	p := params{N: s.N, Trials: s.Trials, Workers: o.Workers, K: s.K, Target: s.Target}
+	p := params{N: s.N, Trials: s.Trials, Workers: o.Workers, K: s.K, Target: s.Target,
+		arenas: o.Arenas}
 	if o.N > 0 {
 		p.N = o.N
 	}
@@ -124,6 +141,12 @@ func (s Scenario) params(o Opts) params {
 	}
 	if o.Target != 0 {
 		p.Target = o.Target
+	}
+	if o.Progress != nil {
+		progress, total := o.Progress, p.Trials
+		p.observe = func(prefix *ring.Distribution, trials int) {
+			progress(snapshot(prefix, trials, total))
+		}
 	}
 	return p
 }
@@ -246,8 +269,52 @@ func distSink(n int) engine.Sink[*ring.Distribution] {
 }
 
 // engineTrials runs one job per trial on the parallel engine; the engine
-// hands every job invocation its worker's recycled arena.
+// hands every job invocation its worker's recycled arena (drawn from the
+// caller's shared pool when one is set).
 func engineTrials(ctx context.Context, p params, job func(t int, arena *sim.Arena) (sim.Result, error)) (*ring.Distribution, error) {
 	return engine.Run(ctx, p.Trials, engine.JobFunc(job), distSink(p.N),
-		engine.Options[*ring.Distribution]{Workers: p.Workers})
+		engine.Options[*ring.Distribution]{Workers: p.Workers, Observe: p.observe, Arenas: p.arenas})
+}
+
+// trialOptions lowers the resolved params onto ring.TrialOptions, for the
+// run builders that route through ring.AttackTrialsOpts instead of
+// engineTrials.
+func (p params) trialOptions() ring.TrialOptions {
+	return ring.TrialOptions{Workers: p.Workers, Observe: p.observe, Arenas: p.arenas}
+}
+
+// Snapshot is one deterministic progress point of a running trial batch:
+// how far the batch has advanced and what the accumulating distribution
+// currently estimates. Snapshots are computed on chunk-ordered prefixes
+// (see engine.Options.Observe), so for a fixed seed the whole sequence is
+// reproducible at any worker count.
+type Snapshot struct {
+	// Done and Total count trials: completed so far vs the batch size.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Failures and Messages mirror the distribution's running counters.
+	Failures int `json:"failures"`
+	Messages int `json:"messages"`
+	// MaxWinLeader is the currently most-elected leader; MaxWin is its
+	// running rate estimate with a 95% Wilson interval — the same
+	// machinery the adaptive stopping rules use.
+	MaxWinLeader int64              `json:"max_win_leader"`
+	MaxWin       stats.RateSnapshot `json:"max_win"`
+	// Epsilon is the running Definition 2.3 bias point estimate
+	// (max-win rate − 1/n).
+	Epsilon float64 `json:"epsilon"`
+}
+
+// snapshot summarizes a prefix of the accumulating distribution.
+func snapshot(d *ring.Distribution, done, total int) Snapshot {
+	leader, rate := d.MaxWin()
+	return Snapshot{
+		Done:         done,
+		Total:        total,
+		Failures:     d.Failures(),
+		Messages:     d.Messages,
+		MaxWinLeader: leader,
+		MaxWin:       stats.NewRateSnapshot(d.Counts[leader], d.Trials, 1.96),
+		Epsilon:      rate - 1/float64(d.N),
+	}
 }

@@ -1,0 +1,91 @@
+package service
+
+import "sync"
+
+// Cache is the content-addressed result store: finished job results, as
+// exact wire bytes, keyed by scenario.JobKey. Because every key pins the
+// code version, seed derivation, and full run configuration, a hit is a
+// bit-for-bit replay of the first computation — the cache never serves an
+// approximation.
+//
+// Entries are evicted oldest-first once the configured capacity is
+// exceeded; an optional eviction hook lets the scheduler drop its job
+// metadata in step so the two views never disagree. All methods are safe
+// for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string][]byte
+	order   []string // insertion order; index 0 is evicted first
+	onEvict func(key string)
+	hits    int64
+	misses  int64
+}
+
+// DefaultCacheSize is the entry capacity used when Config leaves it zero.
+const DefaultCacheSize = 4096
+
+// NewCache returns an empty cache holding at most max entries (0 picks
+// DefaultCacheSize). onEvict, if non-nil, is called with each evicted key,
+// outside any per-entry work but under the cache lock — keep it cheap.
+func NewCache(max int, onEvict func(key string)) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[string][]byte),
+		onEvict: onEvict,
+	}
+}
+
+// Get returns the stored bytes for key. The returned slice is shared — the
+// whole point is byte identity — and must be treated as read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return b, ok
+}
+
+// Put stores val under key, evicting the oldest entries if the cache is
+// full. Re-putting an existing key is a no-op: the first computation's
+// bytes win, which keeps replays identical over the cache entry's lifetime.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return
+	}
+	c.entries[key] = val
+	c.order = append(c.order, key)
+	for len(c.entries) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		if c.onEvict != nil {
+			c.onEvict(oldest)
+		}
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Lookups returns the raw Get counters (hits, misses). These count cache
+// probes, not job outcomes; the scheduler's Stats reports the job-level
+// hit rate the acceptance checks care about.
+func (c *Cache) Lookups() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheEvictsOldestFirst(t *testing.T) {
+	var evicted []string
+	c := NewCache(2, func(key string) { evicted = append(evicted, key) })
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evicted)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("evicted entry still served")
+	}
+	if b, ok := c.Get("c"); !ok || !bytes.Equal(b, []byte("3")) {
+		t.Fatalf("newest entry lost: %q %v", b, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Lookups()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("lookups = %d/%d, want 1 hit 1 miss", hits, misses)
+	}
+}
+
+func TestCacheFirstPutWins(t *testing.T) {
+	c := NewCache(4, nil)
+	c.Put("k", []byte("first"))
+	c.Put("k", []byte("second"))
+	b, ok := c.Get("k")
+	if !ok || string(b) != "first" {
+		t.Fatalf("got %q, want the first computation's bytes", b)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after duplicate put, want 1", c.Len())
+	}
+}
+
+func TestCacheDefaultSize(t *testing.T) {
+	c := NewCache(0, nil)
+	for i := 0; i < DefaultCacheSize+5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != DefaultCacheSize {
+		t.Fatalf("len = %d, want the default capacity %d", c.Len(), DefaultCacheSize)
+	}
+}

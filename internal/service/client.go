@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Client is a typed HTTP client for a running daemon. The zero HTTP client
+// is used unless replaced; all methods honor their context.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+}
+
+// get issues one GET and decodes the JSON body into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// checkStatus turns a non-2xx response into an error carrying the server's
+// message.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	var e errorResponse
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+		if json.Unmarshal(b, &e) != nil || e.Error == "" {
+			e.Error = strings.TrimSpace(string(b))
+		}
+	}
+	return fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+}
+
+// drainClose discards the rest of a response body so the connection can be
+// reused, then closes it.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	_ = body.Close()
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]any
+	return c.get(ctx, "/healthz", &out)
+}
+
+// Scenarios fetches the registry catalog.
+func (c *Client) Scenarios(ctx context.Context) ([]scenario.Descriptor, error) {
+	var out []scenario.Descriptor
+	if err := c.get(ctx, "/scenarios", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the daemon's operational counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.get(ctx, "/statz", &out)
+	return out, err
+}
+
+// Submit posts a job batch and returns the accepted states, in request
+// order. Cached jobs come back already done, result included.
+func (c *Client) Submit(ctx context.Context, reqs []JobRequest) ([]JobState, error) {
+	body, err := json.Marshal(BatchRequest{Jobs: reqs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Job fetches one job's current state.
+func (c *Client) Job(ctx context.Context, id string) (JobState, error) {
+	var out JobState
+	err := c.get(ctx, "/jobs/"+id, &out)
+	return out, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	return checkStatus(resp)
+}
+
+// Watch follows a job's NDJSON progress stream, invoking fn (if non-nil)
+// on every line, and returns the terminal state.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobState)) (JobState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"?watch=1", nil)
+	if err != nil {
+		return JobState{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return JobState{}, err
+	}
+	defer drainClose(resp.Body)
+	if err := checkStatus(resp); err != nil {
+		return JobState{}, err
+	}
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var last JobState
+	seen := false
+	for scan.Scan() {
+		var st JobState
+		if err := json.Unmarshal(scan.Bytes(), &st); err != nil {
+			return last, fmt.Errorf("service: bad stream line: %w", err)
+		}
+		last, seen = st, true
+		if fn != nil {
+			fn(st)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return last, err
+	}
+	if !seen {
+		return last, fmt.Errorf("service: empty watch stream for %s", id)
+	}
+	if !last.Status.Terminal() {
+		return last, fmt.Errorf("service: watch stream for %s ended at status %s", id, last.Status)
+	}
+	return last, nil
+}
+
+// Wait blocks until the job reaches a terminal state and returns it.
+func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
+	return c.Watch(ctx, id, nil)
+}

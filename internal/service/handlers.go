@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// maxBatch bounds one POST /jobs submission; large experiment sweeps should
+// arrive as several batches rather than one unbounded allocation.
+const maxBatch = 10000
+
+// watchPollInterval is how often a watch stream re-checks a job for
+// progress between event wakeups.
+const watchPollInterval = 100 * time.Millisecond
+
+// BatchRequest is the POST /jobs payload.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchResponse answers POST /jobs: one state per submitted job, in
+// request order. Jobs resolved from the cache arrive already done, result
+// included.
+type BatchResponse struct {
+	Jobs []JobState `json:"jobs"`
+}
+
+// errorResponse is the uniform error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// routes assembles the daemon's HTTP surface.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /statz", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleStats)
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error payload.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.sched.Version()})
+}
+
+// handleScenarios serves the registry catalog.
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	all := scenario.All()
+	descs := make([]scenario.Descriptor, len(all))
+	for i, sc := range all {
+		descs[i] = sc.Describe()
+	}
+	writeJSON(w, http.StatusOK, descs)
+}
+
+// handleSubmit accepts a job batch. Jobs run on the scheduler's own
+// lifetime, not the request's: a client that disconnects after submitting
+// still gets its results computed (and cached) for the next asker.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch: %v", err)
+		return
+	}
+	if len(batch.Jobs) > maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds the %d-job limit", len(batch.Jobs), maxBatch)
+		return
+	}
+	jobs, err := s.sched.Submit(batch.Jobs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := BatchResponse{Jobs: make([]JobState, len(jobs))}
+	for i, j := range jobs {
+		resp.Jobs[i] = j.State()
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleJob serves one job's state; with ?watch=1 it streams NDJSON
+// progress lines — one JobState per change, ending with the terminal state
+// (result included) — until the job finishes or the client goes away.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if watch := r.URL.Query().Get("watch"); watch != "1" && watch != "true" {
+		writeJSON(w, http.StatusOK, j.State())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	ticker := time.NewTicker(watchPollInterval)
+	defer ticker.Stop()
+	var last []byte
+	for {
+		st := j.State()
+		line, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		if string(line) != string(last) {
+			last = line
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+		if st.Status.Terminal() {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCancel cancels a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.sched.Cancel(id) {
+		writeJSON(w, http.StatusOK, map[string]any{"canceled": true})
+		return
+	}
+	if j, ok := s.sched.Job(id); ok {
+		writeError(w, http.StatusConflict, "job is already %s", j.State().Status)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no such job")
+}
+
+// handleStats serves the scheduler's operational counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}

@@ -1,0 +1,582 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+// JobRequest describes one unit of trial work: a registered scenario plus
+// the overrides and seed that pin its result. Zero overrides keep the
+// scenario's registered defaults, exactly as scenario.Opts does.
+type JobRequest struct {
+	// Scenario is the registered scenario name (see GET /scenarios).
+	Scenario string `json:"scenario"`
+	// N, Trials, K, and Target override the scenario defaults.
+	N      int   `json:"n,omitempty"`
+	Trials int   `json:"trials,omitempty"`
+	K      int   `json:"k,omitempty"`
+	Target int64 `json:"target,omitempty"`
+	// Seed is the batch base seed; it is part of the job's identity.
+	Seed int64 `json:"seed"`
+}
+
+// opts lowers the request onto scenario.Opts (identity-relevant fields
+// only; the scheduler adds workers/arenas/progress at run time).
+func (r JobRequest) opts() scenario.Opts {
+	return scenario.Opts{N: r.N, Trials: r.Trials, K: r.K, Target: r.Target}
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states. Queued and running jobs are in flight; done,
+// failed, and canceled are terminal.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobState is the wire representation of a job at one instant: what GET
+// /jobs/{id} returns and what each NDJSON stream line carries. Result holds
+// the exact cached bytes of the outcome, so byte identity survives the
+// round trip through the API.
+type JobState struct {
+	ID       string             `json:"id"`
+	Scenario string             `json:"scenario"`
+	Seed     int64              `json:"seed"`
+	Status   JobStatus          `json:"status"`
+	Cached   bool               `json:"cached,omitempty"`
+	Deduped  int                `json:"deduped,omitempty"`
+	Progress *scenario.Snapshot `json:"progress,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Result   json.RawMessage    `json:"result,omitempty"`
+}
+
+// Job is one scheduled unit of work. Its identity is its content address:
+// two requests with the same JobKey are the same job.
+type Job struct {
+	// ID is the job's content address (scenario.JobKey).
+	ID string
+	// Req is the request that first created the job.
+	Req JobRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	status   JobStatus
+	cached   bool
+	deduped  int
+	result   []byte
+	errMsg   string
+	snap     scenario.Snapshot
+	hasSnap  bool
+	lastDone int
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State captures the job's current wire state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobState{
+		ID:       j.ID,
+		Scenario: j.Req.Scenario,
+		Seed:     j.Req.Seed,
+		Status:   j.status,
+		Cached:   j.cached,
+		Deduped:  j.deduped,
+		Error:    j.errMsg,
+	}
+	if j.hasSnap {
+		snap := j.snap
+		st.Progress = &snap
+	}
+	if j.result != nil {
+		st.Result = json.RawMessage(j.result)
+	}
+	return st
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(status JobStatus, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.status = status
+	j.result = result
+	j.errMsg = errMsg
+	close(j.done)
+}
+
+// Config tunes one daemon instance.
+type Config struct {
+	// Addr is the HTTP listen address; "" picks "127.0.0.1:8080".
+	Addr string
+	// Workers is the engine worker count per job run; 0 picks
+	// runtime.NumCPU(). Results are identical for any value.
+	Workers int
+	// Parallel bounds the number of engine runs in flight at once; 0
+	// picks 2. Additional jobs queue.
+	Parallel int
+	// CacheSize is the result cache capacity in entries; 0 picks
+	// DefaultCacheSize. The same bound caps retained failed/canceled job
+	// records, so a resident daemon's memory stays bounded either way.
+	CacheSize int
+	// MaxTrials bounds a single job's trial count; 0 picks
+	// DefaultMaxTrials. A service must refuse a job that would occupy an
+	// engine slot effectively forever.
+	MaxTrials int
+	// Version names the code revision in every job key; "" picks
+	// BuildVersion(). Results computed by different versions never share
+	// cache entries.
+	Version string
+}
+
+// DefaultMaxTrials is the per-job trial ceiling used when Config leaves
+// MaxTrials zero — generous next to any registered scenario default (≤ 400)
+// while keeping one job from monopolizing an engine slot indefinitely.
+const DefaultMaxTrials = 1_000_000
+
+// BuildVersion returns the VCS revision baked into the running binary —
+// with a "-dirty" suffix when the working tree had uncommitted changes, so
+// two dirty builds of the same commit never share cache identities as if
+// their physics were proven equal — or "dev" when no revision is recorded
+// (go test, go run without VCS stamping). It is the default code-version
+// component of every job key.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	revision, modified := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if revision == "" {
+		return "dev"
+	}
+	if modified {
+		return revision + "-dirty"
+	}
+	return revision
+}
+
+// Scheduler accepts job batches, deduplicates them against in-flight and
+// cached work, and multiplexes fresh jobs onto a bounded set of engine
+// runs. One engine.ArenaPool is shared by every run it starts, so worker
+// simulation workspaces persist for the scheduler's whole lifetime.
+type Scheduler struct {
+	cfg     Config
+	version string
+	cache   *Cache
+	arenas  *engine.ArenaPool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	sem        chan struct{}
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	retired []*Job // failed/canceled records, oldest first, capped at retiredCap
+
+	retiredCap int
+
+	start      time.Time
+	submitted  atomic.Int64
+	runsFresh  atomic.Int64 // jobs that required an engine run
+	hitsCache  atomic.Int64 // jobs replayed from the cache or a finished twin
+	hitsDedup  atomic.Int64 // jobs folded into an in-flight twin
+	completed  atomic.Int64
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	trialsDone atomic.Int64
+	busy       atomic.Int64
+}
+
+// NewScheduler returns a running scheduler. Close releases it.
+func NewScheduler(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 2
+	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = DefaultMaxTrials
+	}
+	version := cfg.Version
+	if version == "" {
+		version = BuildVersion()
+	}
+	retiredCap := cfg.CacheSize
+	if retiredCap <= 0 {
+		retiredCap = DefaultCacheSize
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		version:    version,
+		arenas:     engine.NewArenaPool(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		sem:        make(chan struct{}, cfg.Parallel),
+		jobs:       make(map[string]*Job),
+		retiredCap: retiredCap,
+		start:      time.Now(),
+	}
+	// Cache eviction drops the matching job record so the two stores
+	// cannot disagree about what is replayable.
+	s.cache = NewCache(cfg.CacheSize, func(key string) {
+		delete(s.jobs, key) // called under cache lock; jobs map guarded by s.mu — see Put call sites
+	})
+	return s
+}
+
+// Version returns the code-version component of this scheduler's job keys.
+func (s *Scheduler) Version() string { return s.version }
+
+// Submit registers a batch of job requests and returns one *Job per
+// request, in order. Identical requests — in this batch, in flight from
+// earlier batches, or already cached — resolve to the same job. The batch
+// is rejected whole if any request names an unknown scenario or resolves
+// to invalid parameters (size below the scenario's minimum, non-positive
+// or over-bound trials), so a typo cannot half-run a batch. Attack-plan
+// feasibility (coalition sizes) is still a run-time concern: those
+// failures surface as a failed job, not a rejected batch.
+func (s *Scheduler) Submit(reqs []JobRequest) ([]*Job, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("service: empty batch")
+	}
+	// Validate every request before creating any job.
+	scs := make([]scenario.Scenario, len(reqs))
+	for i, req := range reqs {
+		sc, ok := scenario.Find(req.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("service: job %d: no registered scenario %q", i, req.Scenario)
+		}
+		if err := s.validate(sc, req); err != nil {
+			return nil, fmt.Errorf("service: job %d: %w", i, err)
+		}
+		scs[i] = sc
+	}
+	out := make([]*Job, len(reqs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseCtx.Err() != nil {
+		return nil, errors.New("service: scheduler is closed")
+	}
+	for i, req := range reqs {
+		s.submitted.Add(1)
+		id := scs[i].JobKey(s.version, req.Seed, req.opts())
+		if j, ok := s.jobs[id]; ok {
+			st := func() JobStatus { j.mu.Lock(); defer j.mu.Unlock(); return j.status }()
+			switch {
+			case st == StatusDone:
+				s.hitsCache.Add(1)
+				out[i] = j
+				continue
+			case !st.Terminal():
+				s.hitsDedup.Add(1)
+				j.mu.Lock()
+				j.deduped++
+				j.mu.Unlock()
+				out[i] = j
+				continue
+			}
+			// Failed or canceled: fall through and schedule a fresh run
+			// under the same identity.
+		}
+		if b, ok := s.cache.Get(id); ok {
+			j := s.newJob(id, req)
+			j.cached = true
+			j.status = StatusDone
+			j.result = b
+			close(j.done)
+			j.cancel() // born terminal: release the context immediately
+			s.jobs[id] = j
+			s.hitsCache.Add(1)
+			out[i] = j
+			continue
+		}
+		j := s.newJob(id, req)
+		s.jobs[id] = j
+		s.runsFresh.Add(1)
+		s.wg.Add(1)
+		go s.run(j, scs[i])
+		out[i] = j
+	}
+	return out, nil
+}
+
+// validate applies the submit-time checks that make batch rejection whole:
+// the request's resolved parameters must be runnable at all and its trial
+// count bounded, mirroring the size/trial validation RunOpts would fail
+// with mid-batch.
+func (s *Scheduler) validate(sc scenario.Scenario, req JobRequest) error {
+	n, trials := sc.N, sc.Trials
+	if req.N > 0 {
+		n = req.N
+	}
+	if req.Trials > 0 {
+		trials = req.Trials
+	}
+	switch {
+	case req.N < 0 || req.Trials < 0:
+		return fmt.Errorf("%s: negative override (n=%d trials=%d)", sc.Name, req.N, req.Trials)
+	case n < sc.MinN:
+		return fmt.Errorf("%s needs n ≥ %d, got %d", sc.Name, sc.MinN, n)
+	case trials < 1:
+		return fmt.Errorf("%s needs ≥ 1 trial, got %d", sc.Name, trials)
+	case trials > s.cfg.MaxTrials:
+		return fmt.Errorf("%s: %d trials exceeds the per-job bound %d", sc.Name, trials, s.cfg.MaxTrials)
+	}
+	return nil
+}
+
+// retire records a failed or canceled job in the bounded terminal list;
+// beyond the cap the oldest retired record is dropped from the jobs map
+// (unless a fresh run has already replaced it under the same identity).
+// Done jobs are instead governed by the cache's eviction hook.
+func (s *Scheduler) retire(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = append(s.retired, j)
+	for len(s.retired) > s.retiredCap {
+		old := s.retired[0]
+		s.retired[0] = nil
+		s.retired = s.retired[1:]
+		if cur, ok := s.jobs[old.ID]; ok && cur == old {
+			delete(s.jobs, old.ID)
+		}
+	}
+}
+
+// newJob builds a queued job wired to the scheduler's lifetime.
+func (s *Scheduler) newJob(id string, req JobRequest) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	return &Job{
+		ID:     id,
+		Req:    req,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: StatusQueued,
+	}
+}
+
+// run executes one job on the engine, respecting the Parallel bound.
+func (s *Scheduler) run(j *Job, sc scenario.Scenario) {
+	defer s.wg.Done()
+	defer j.cancel() // release the context once the job is terminal
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		// Canceled (or scheduler closed) while still queued.
+		s.canceled.Add(1)
+		j.finish(StatusCanceled, nil, context.Cause(j.ctx).Error())
+		s.retire(j)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+
+	opts := j.Req.opts()
+	opts.Workers = s.cfg.Workers
+	opts.Arenas = s.arenas
+	opts.Progress = func(snap scenario.Snapshot) {
+		j.mu.Lock()
+		j.snap, j.hasSnap = snap, true
+		delta := snap.Done - j.lastDone
+		j.lastDone = snap.Done
+		j.mu.Unlock()
+		s.trialsDone.Add(int64(delta))
+	}
+	out, err := sc.RunOpts(j.ctx, j.Req.Seed, opts)
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || j.ctx.Err() != nil):
+		s.canceled.Add(1)
+		j.finish(StatusCanceled, nil, err.Error())
+		s.retire(j)
+	case err != nil:
+		s.failed.Add(1)
+		j.finish(StatusFailed, nil, err.Error())
+		s.retire(j)
+	default:
+		b, merr := json.Marshal(out)
+		if merr != nil {
+			s.failed.Add(1)
+			j.finish(StatusFailed, nil, merr.Error())
+			s.retire(j)
+			return
+		}
+		s.mu.Lock()
+		s.cache.Put(j.ID, b)
+		s.mu.Unlock()
+		s.completed.Add(1)
+		j.finish(StatusDone, b, "")
+	}
+}
+
+// Job returns the job with the given content address.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job. It reports whether a cancelation
+// was delivered; terminal and unknown jobs return false.
+//
+// Jobs are content-addressed, so a cancelation reaches every submitter of
+// the identical request: deduped watchers observe status "canceled" and
+// must resubmit (which schedules a fresh run) if they still want the
+// result. That is deliberate — the job's identity, not its first
+// submitter, owns the computation.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.status.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// Close cancels every in-flight job and waits for their goroutines. The
+// scheduler accepts no further submissions afterwards. The cancel happens
+// under s.mu: Submit holds the lock from its closed-check through its last
+// wg.Add, so Close can never start waiting on a counter a racing Submit is
+// about to bump from zero.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.baseCancel()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats is the daemon's operational snapshot, served by /statz.
+type Stats struct {
+	// Version is the job-key code version.
+	Version string `json:"version"`
+	// UptimeSeconds is the scheduler's age.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Scenarios is the registry size.
+	Scenarios int `json:"scenarios"`
+	// Jobs counts submissions by resolution.
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Fresh     int64 `json:"fresh"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		InFlight  int64 `json:"in_flight"`
+	} `json:"jobs"`
+	// Cache reports the job-level hit accounting: Hits counts
+	// submissions resolved without an engine run (cache replays plus
+	// in-flight dedup joins), Misses counts submissions that required
+	// one. HitRate is Hits/(Hits+Misses).
+	Cache struct {
+		Hits         int64   `json:"hits"`
+		DedupHits    int64   `json:"dedup_hits"`
+		Misses       int64   `json:"misses"`
+		HitRate      float64 `json:"hit_rate"`
+		Entries      int     `json:"entries"`
+		LookupHits   int64   `json:"lookup_hits"`
+		LookupMisses int64   `json:"lookup_misses"`
+	} `json:"cache"`
+	// Workers reports engine-run concurrency and arena reuse.
+	Workers struct {
+		Parallel        int     `json:"parallel"`
+		PerJob          int     `json:"per_job"`
+		Busy            int64   `json:"busy"`
+		Utilization     float64 `json:"utilization"`
+		ArenasAllocated int     `json:"arenas_allocated"`
+		ArenasIdle      int     `json:"arenas_idle"`
+	} `json:"workers"`
+	// Trials reports cumulative trial throughput.
+	Trials struct {
+		Completed int64   `json:"completed"`
+		PerSecond float64 `json:"per_second"`
+	} `json:"trials"`
+}
+
+// Stats captures the scheduler's current counters.
+func (s *Scheduler) Stats() Stats {
+	var st Stats
+	st.Version = s.version
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	st.Scenarios = len(scenario.All())
+
+	st.Jobs.Submitted = s.submitted.Load()
+	st.Jobs.Fresh = s.runsFresh.Load()
+	st.Jobs.Completed = s.completed.Load()
+	st.Jobs.Failed = s.failed.Load()
+	st.Jobs.Canceled = s.canceled.Load()
+	st.Jobs.InFlight = st.Jobs.Fresh - st.Jobs.Completed - st.Jobs.Failed - st.Jobs.Canceled
+
+	cacheHits, dedupHits := s.hitsCache.Load(), s.hitsDedup.Load()
+	st.Cache.Hits = cacheHits + dedupHits
+	st.Cache.DedupHits = dedupHits
+	st.Cache.Misses = st.Jobs.Fresh
+	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+		st.Cache.HitRate = float64(st.Cache.Hits) / float64(total)
+	}
+	st.Cache.Entries = s.cache.Len()
+	st.Cache.LookupHits, st.Cache.LookupMisses = s.cache.Lookups()
+
+	st.Workers.Parallel = s.cfg.Parallel
+	st.Workers.PerJob = s.cfg.Workers
+	st.Workers.Busy = s.busy.Load()
+	st.Workers.Utilization = float64(st.Workers.Busy) / float64(s.cfg.Parallel)
+	st.Workers.ArenasAllocated = s.arenas.Allocated()
+	st.Workers.ArenasIdle = s.arenas.Idle()
+
+	st.Trials.Completed = s.trialsDone.Load()
+	if up := st.UptimeSeconds; up > 0 {
+		st.Trials.PerSecond = float64(st.Trials.Completed) / up
+	}
+	return st
+}

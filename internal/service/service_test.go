@@ -1,0 +1,449 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// newTestServer boots a daemon on an httptest listener with a single
+// engine-run slot, so queueing and dedup behaviour is deterministic.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.Parallel == 0 {
+		cfg.Parallel = 1
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, NewClient(ts.URL)
+}
+
+// slowJob is big enough to stay in flight while the test races a duplicate
+// submission against it.
+var slowJob = JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 4000, Seed: 99}
+
+// quickJob finishes in well under a second.
+var quickJob = JobRequest{Scenario: "ring/basic-lead/fifo", N: 8, Trials: 120, Seed: 5}
+
+func TestDedupIdenticalConcurrentJobs(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	// Occupy the single engine slot so the jobs under test stay queued
+	// for as long as this test needs.
+	blocker := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 6000, Seed: 1}
+	first, err := client.Submit(ctx, []JobRequest{blocker})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+
+	// Two identical jobs in one batch, then the same job again in a
+	// second batch: all three must resolve to one content address and
+	// one engine run.
+	batch, err := client.Submit(ctx, []JobRequest{slowJob, slowJob})
+	if err != nil {
+		t.Fatalf("submit pair: %v", err)
+	}
+	again, err := client.Submit(ctx, []JobRequest{slowJob})
+	if err != nil {
+		t.Fatalf("submit again: %v", err)
+	}
+	if batch[0].ID != batch[1].ID || batch[0].ID != again[0].ID {
+		t.Fatalf("identical jobs got distinct ids: %s %s %s", batch[0].ID, batch[1].ID, again[0].ID)
+	}
+	if batch[0].ID == first[0].ID {
+		t.Fatal("distinct jobs share an id")
+	}
+
+	st := srv.Scheduler().Stats()
+	if st.Jobs.Fresh != 2 {
+		t.Fatalf("fresh engine runs = %d, want 2 (blocker + one shared run)", st.Jobs.Fresh)
+	}
+	if st.Cache.DedupHits != 2 {
+		t.Fatalf("dedup hits = %d, want 2", st.Cache.DedupHits)
+	}
+
+	final, err := client.Wait(ctx, batch[0].ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", final.Status, final.Error)
+	}
+	if final.Deduped != 2 {
+		t.Fatalf("final state records %d dedup joins, want 2", final.Deduped)
+	}
+}
+
+func TestCacheReplayByteIdentity(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	states, err := client.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	first, err := client.Wait(ctx, states[0].ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if first.Status != StatusDone || len(first.Result) == 0 {
+		t.Fatalf("first run finished %s with %d result bytes", first.Status, len(first.Result))
+	}
+
+	// Resubmit after completion: must be a cache replay with the exact
+	// first-run bytes.
+	replayStates, err := client.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	replay := replayStates[0]
+	if replay.Status != StatusDone {
+		t.Fatalf("replay status %s, want immediate done", replay.Status)
+	}
+	if !bytes.Equal(replay.Result, first.Result) {
+		t.Fatalf("replay bytes differ:\n first: %s\nreplay: %s", first.Result, replay.Result)
+	}
+
+	// The cached bytes are an exact marshal of a direct registry run.
+	sc, _ := scenario.Find(quickJob.Scenario)
+	direct, err := sc.RunOpts(ctx, quickJob.Seed, scenario.Opts{N: quickJob.N, Trials: quickJob.Trials})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Result, want) {
+		t.Fatalf("service bytes differ from direct run:\nservice: %s\n direct: %s", first.Result, want)
+	}
+}
+
+func TestCancelMidFlightBatch(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	// One running job holding the single slot, then one queued behind it
+	// (submitted second, so it cannot win the slot).
+	running := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 200000, Seed: 3}
+	queued := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 200000, Seed: 4}
+	states, err := client.Submit(ctx, []JobRequest{running})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitStatus(t, srv, states[0].ID, StatusRunning)
+	queuedStates, err := client.Submit(ctx, []JobRequest{queued})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	states = append(states, queuedStates...)
+	for _, st := range states {
+		if err := client.Cancel(ctx, st.ID); err != nil {
+			t.Fatalf("cancel %s: %v", st.ID, err)
+		}
+	}
+	for _, st := range states {
+		final, err := client.Wait(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("wait %s: %v", st.ID, err)
+		}
+		if final.Status != StatusCanceled {
+			t.Fatalf("job %s finished %s, want canceled", st.ID, final.Status)
+		}
+	}
+	// Canceling a terminal job is a conflict, not a success.
+	if err := client.Cancel(ctx, states[0].ID); err == nil {
+		t.Fatal("second cancel succeeded, want conflict")
+	}
+
+	// The daemon still works after cancellations, and a resubmission of
+	// a canceled identity reruns rather than replaying nothing.
+	redo, err := client.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+	final, err := client.Wait(ctx, redo[0].ID)
+	if err != nil {
+		t.Fatalf("wait after cancel: %v", err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("post-cancel job finished %s: %s", final.Status, final.Error)
+	}
+	st := srv.Scheduler().Stats()
+	if st.Jobs.Canceled != 2 {
+		t.Fatalf("canceled = %d, want 2", st.Jobs.Canceled)
+	}
+}
+
+func TestWatchStreamsProgress(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	job := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 20000, Seed: 11}
+	states, err := client.Submit(ctx, []JobRequest{job})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var lines []JobState
+	final, err := client.Watch(ctx, states[0].ID, func(st JobState) { lines = append(lines, st) })
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("watched job finished %s: %s", final.Status, final.Error)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream carried %d lines, want at least a progress line and the terminal line", len(lines))
+	}
+	lastDone := -1
+	for _, st := range lines {
+		if st.Progress == nil {
+			continue
+		}
+		if st.Progress.Done < lastDone {
+			t.Fatalf("progress went backwards: %d after %d", st.Progress.Done, lastDone)
+		}
+		lastDone = st.Progress.Done
+		if st.Progress.Total != job.Trials {
+			t.Fatalf("progress total %d, want %d", st.Progress.Total, job.Trials)
+		}
+		if st.Progress.MaxWin.Lo > st.Progress.MaxWin.Rate || st.Progress.MaxWin.Hi < st.Progress.MaxWin.Rate {
+			t.Fatalf("Wilson interval [%f, %f] does not bracket rate %f",
+				st.Progress.MaxWin.Lo, st.Progress.MaxWin.Hi, st.Progress.MaxWin.Rate)
+		}
+	}
+	if lastDone != job.Trials {
+		t.Fatalf("final progress covers %d trials, want %d", lastDone, job.Trials)
+	}
+}
+
+func TestScenariosEndpointMatchesRegistry(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	descs, err := client.Scenarios(context.Background())
+	if err != nil {
+		t.Fatalf("scenarios: %v", err)
+	}
+	all := scenario.All()
+	if len(descs) != len(all) {
+		t.Fatalf("endpoint lists %d scenarios, registry has %d", len(descs), len(all))
+	}
+	for i, d := range descs {
+		if d != all[i].Describe() {
+			t.Fatalf("descriptor %d differs: %+v vs %+v", i, d, all[i].Describe())
+		}
+	}
+}
+
+func TestSubmitRejectsUnknownScenarioWhole(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	_, err := client.Submit(context.Background(), []JobRequest{quickJob, {Scenario: "no/such/thing", Seed: 1}})
+	if err == nil {
+		t.Fatal("batch with unknown scenario accepted")
+	}
+	if st := srv.Scheduler().Stats(); st.Jobs.Submitted != 0 {
+		t.Fatalf("rejected batch still recorded %d submissions", st.Jobs.Submitted)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	// 1 fresh + 4 duplicates in one batch, then 5 replays after it
+	// lands: 9 hits / 10 submissions.
+	batch := make([]JobRequest, 5)
+	for i := range batch {
+		batch[i] = quickJob
+	}
+	states, err := client.Submit(ctx, batch)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := client.Wait(ctx, states[0].ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if _, err := client.Submit(ctx, batch); err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Jobs.Submitted != 10 || st.Jobs.Fresh != 1 {
+		t.Fatalf("submitted=%d fresh=%d, want 10/1", st.Jobs.Submitted, st.Jobs.Fresh)
+	}
+	if st.Cache.Hits != 9 || st.Cache.HitRate != 0.9 {
+		t.Fatalf("hits=%d rate=%f, want 9 at 0.9", st.Cache.Hits, st.Cache.HitRate)
+	}
+	if st.Workers.ArenasAllocated == 0 {
+		t.Fatal("no arenas recorded as allocated after an engine run")
+	}
+	_ = srv
+}
+
+func TestSchedulerClosedRejectsSubmissions(t *testing.T) {
+	srv := New(Config{Parallel: 1})
+	srv.Close()
+	if _, err := srv.Scheduler().Submit([]JobRequest{quickJob}); err == nil {
+		t.Fatal("closed scheduler accepted a batch")
+	}
+}
+
+// TestShutdownDrainsActiveWatchStream pins the graceful-shutdown ordering:
+// an open ?watch=1 stream on an in-flight job must not stall Shutdown for
+// the full grace period — closing the scheduler first terminates the job,
+// the stream drains, and Serve returns promptly and cleanly.
+func TestShutdownDrainsActiveWatchStream(t *testing.T) {
+	srv := New(Config{Addr: "127.0.0.1:0", Parallel: 1, Workers: 2})
+	ln, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln) }()
+
+	client := NewClient("http://" + srv.Addr())
+	long := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 500000, Seed: 8}
+	states, err := client.Submit(context.Background(), []JobRequest{long})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitStatus(t, srv, states[0].ID, StatusRunning)
+
+	watchDone := make(chan JobState, 1)
+	go func() {
+		final, _ := client.Wait(context.Background(), states[0].ID)
+		watchDone <- final
+	}()
+	// Give the watcher time to attach before pulling the plug.
+	time.Sleep(200 * time.Millisecond)
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want clean shutdown", err)
+		}
+	case <-time.After(2 * shutdownGrace):
+		t.Fatal("Serve did not return after context cancel")
+	}
+	if took := time.Since(start); took >= shutdownGrace {
+		t.Fatalf("shutdown took %v — the watch stream stalled the drain past the %v grace", took, shutdownGrace)
+	}
+	if final := <-watchDone; final.Status == StatusRunning || final.Status == StatusQueued {
+		t.Fatalf("watcher observed non-terminal final state %s", final.Status)
+	}
+}
+
+// TestSubmitRejectsInvalidParamsWhole pins the whole-batch validation: a
+// request whose resolved parameters cannot run (size below MinN, bad or
+// over-bound trial counts) rejects the batch at submit time instead of
+// half-running it.
+func TestSubmitRejectsInvalidParamsWhole(t *testing.T) {
+	srv, client := newTestServer(t, Config{MaxTrials: 500})
+	ctx := context.Background()
+	bad := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"n below MinN", JobRequest{Scenario: "ring/a-lead/attack=rushing-equal", N: 4, Trials: 10, Seed: 1}},
+		{"trials over bound", JobRequest{Scenario: "ring/basic-lead/fifo", N: 8, Trials: 501, Seed: 1}},
+		{"negative trials", JobRequest{Scenario: "ring/basic-lead/fifo", N: 8, Trials: -5, Seed: 1}},
+		{"negative n", JobRequest{Scenario: "ring/basic-lead/fifo", N: -8, Trials: 10, Seed: 1}},
+	}
+	for _, tc := range bad {
+		if _, err := client.Submit(ctx, []JobRequest{quickJob, tc.req}); err == nil {
+			t.Fatalf("%s: batch accepted", tc.name)
+		}
+	}
+	if st := srv.Scheduler().Stats(); st.Jobs.Submitted != 0 {
+		t.Fatalf("rejected batches still recorded %d submissions", st.Jobs.Submitted)
+	}
+}
+
+// TestRetiredJobsAreBounded pins the resident-daemon memory bound: failed
+// and canceled job records are dropped oldest-first once the retention cap
+// (the cache capacity) is exceeded.
+func TestRetiredJobsAreBounded(t *testing.T) {
+	srv, client := newTestServer(t, Config{CacheSize: 2})
+	ctx := context.Background()
+	sched := srv.Scheduler()
+
+	// Hold the single engine slot so the jobs under test stay queued and
+	// cancel deterministically.
+	blocker := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 500000, Seed: 77}
+	blockerStates, err := client.Submit(ctx, []JobRequest{blocker})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	waitStatus(t, srv, blockerStates[0].ID, StatusRunning)
+
+	var ids []string
+	for seed := int64(0); seed < 3; seed++ {
+		states, err := client.Submit(ctx, []JobRequest{{Scenario: "ring/basic-lead/fifo", N: 8, Trials: 50, Seed: seed}})
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		id := states[0].ID
+		if !sched.Cancel(id) {
+			t.Fatalf("cancel seed %d", seed)
+		}
+		j, _ := sched.Job(id)
+		<-j.Done()
+		ids = append(ids, id)
+	}
+	// Cap 2: the first canceled record must be gone, the last two kept.
+	// (Retirement runs just after the job's done channel closes, so poll.)
+	evicted := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if _, ok := sched.Job(ids[0]); !ok {
+			evicted = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !evicted {
+		t.Fatal("oldest retired job still retained beyond the cap")
+	}
+	for _, id := range ids[1:] {
+		j, ok := sched.Job(id)
+		if !ok {
+			t.Fatalf("job %s dropped while under the cap", id)
+		}
+		if st := j.State().Status; st != StatusCanceled {
+			t.Fatalf("retained job has status %s", st)
+		}
+	}
+	if !sched.Cancel(blockerStates[0].ID) {
+		t.Fatal("cancel blocker")
+	}
+}
+
+// waitStatus polls until the job reports the wanted status.
+func waitStatus(t *testing.T, srv *Server, id string, want JobStatus) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := srv.Scheduler().Job(id)
+		if ok && j.State().Status == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}

@@ -1,0 +1,41 @@
+package stats
+
+import "testing"
+
+func TestRateSnapshot(t *testing.T) {
+	s := NewRateSnapshot(30, 100, 1.96)
+	if s.Rate != 0.3 {
+		t.Fatalf("rate = %f, want 0.3", s.Rate)
+	}
+	lo, hi := WilsonInterval(30, 100, 1.96)
+	if s.Lo != lo || s.Hi != hi {
+		t.Fatalf("interval (%f, %f) != WilsonInterval (%f, %f)", s.Lo, s.Hi, lo, hi)
+	}
+	if s.Lo > s.Rate || s.Hi < s.Rate {
+		t.Fatal("interval does not bracket the point estimate")
+	}
+	if s.Resolved(0.01) {
+		t.Fatal("wide interval reported resolved at half-width 0.01")
+	}
+	if !s.Resolved(0.5) {
+		t.Fatal("interval not resolved at half-width 0.5")
+	}
+
+	empty := NewRateSnapshot(0, 0, 1.96)
+	if empty.Rate != 0 || empty.Lo != 0 || empty.Hi != 1 {
+		t.Fatalf("empty snapshot = %+v, want rate 0 over [0,1]", empty)
+	}
+	if empty.Resolved(0.4) {
+		t.Fatal("empty snapshot cannot be resolved")
+	}
+
+	// Snapshots tighten monotonically as trials accumulate at a fixed rate.
+	prev := NewRateSnapshot(3, 10, 1.96)
+	for _, trials := range []int{100, 1000, 10000} {
+		next := NewRateSnapshot(3*trials/10, trials, 1.96)
+		if next.Hi-next.Lo >= prev.Hi-prev.Lo {
+			t.Fatalf("interval did not tighten at %d trials", trials)
+		}
+		prev = next
+	}
+}

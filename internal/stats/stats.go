@@ -29,6 +29,41 @@ func WilsonInterval(wins, trials int, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// RateSnapshot is one incremental estimate of a binomial proportion: the
+// observed rate after Trials observations together with its Wilson score
+// interval. Streaming consumers (the service daemon's NDJSON job streams)
+// emit a sequence of snapshots as a trial batch accumulates; because each is
+// computed on a deterministic chunk-ordered prefix, the sequence itself is
+// reproducible, not just the final value.
+type RateSnapshot struct {
+	// Wins and Trials are the raw counts behind the estimate.
+	Wins   int `json:"wins"`
+	Trials int `json:"trials"`
+	// Rate is Wins/Trials (0 before any observation).
+	Rate float64 `json:"rate"`
+	// Lo and Hi bound the Wilson score interval at the snapshot's z.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// NewRateSnapshot captures the estimate after wins successes in trials
+// observations, with a Wilson interval at the given z (1.96 for 95%).
+func NewRateSnapshot(wins, trials int, z float64) RateSnapshot {
+	s := RateSnapshot{Wins: wins, Trials: trials}
+	if trials > 0 {
+		s.Rate = float64(wins) / float64(trials)
+	}
+	s.Lo, s.Hi = WilsonInterval(wins, trials, z)
+	return s
+}
+
+// Resolved reports whether the interval is narrower than halfWidth on both
+// sides of the point estimate — the same criterion the adaptive stopping
+// rules use.
+func (s RateSnapshot) Resolved(halfWidth float64) bool {
+	return s.Rate-s.Lo < halfWidth && s.Hi-s.Rate < halfWidth
+}
+
 // ChiSquareUniform computes the chi-square statistic and p-value for the
 // hypothesis that counts were drawn uniformly over their cells.
 func ChiSquareUniform(counts []int) (statistic, pValue float64, err error) {

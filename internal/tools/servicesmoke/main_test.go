@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSmokeEndToEnd builds the real fleserve binary and runs the full smoke
+// sequence against it — the same check `make service-smoke` performs in CI.
+func TestSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "fleserve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/fleserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build fleserve: %v\n%s", err, out)
+	}
+	if err := run([]string{"-bin", bin}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmokeBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestSmokeMissingBinary(t *testing.T) {
+	if err := run([]string{"-bin", filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("want start error for missing binary")
+	}
+}

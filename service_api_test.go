@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestServicePublicAPI drives the exported service surface end to end: an
+// embedded daemon via NewServiceServer, the typed client, a pooled direct
+// run, and the version helper.
+func TestServicePublicAPI(t *testing.T) {
+	ctx := context.Background()
+	srv := NewServiceServer(ServiceConfig{Parallel: 1, Version: "test-api"})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	client := NewServiceClient(ts.URL)
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	descs, err := client.Scenarios(ctx)
+	if err != nil {
+		t.Fatalf("scenarios: %v", err)
+	}
+	if len(descs) != len(Scenarios()) {
+		t.Fatalf("service lists %d scenarios, registry has %d", len(descs), len(Scenarios()))
+	}
+
+	req := ServiceJobRequest{Scenario: "ring/basic-lead/fifo", N: 8, Trials: 80, Seed: 12}
+	states, err := client.Submit(ctx, []ServiceJobRequest{req})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := client.Wait(ctx, states[0].ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Status != "done" {
+		t.Fatalf("job finished %s: %s", final.Status, final.Error)
+	}
+	got, err := client.Job(ctx, states[0].ID)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if string(got.Result) != string(final.Result) {
+		t.Fatal("GET /jobs/{id} result differs from the streamed terminal state")
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Version != "test-api" || stats.Jobs.Submitted != 1 {
+		t.Fatalf("stats = version %q, submitted %d", stats.Version, stats.Jobs.Submitted)
+	}
+	if ServiceBuildVersion() == "" {
+		t.Fatal("empty build version")
+	}
+}
+
+// TestServeLifecycle runs the one-call daemon entrypoint on an ephemeral
+// port and shuts it down through its context.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(ctx, ServiceConfig{Addr: "127.0.0.1:0", Parallel: 1}) }()
+	// Serve owns the resolved address internally; the lifecycle is what
+	// this test pins — bind, run, and exit nil on cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Serve returned %v after cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+}
+
+// TestTrialArenaPoolPublicAPI reuses one pool across public trial batches
+// and checks results are unchanged.
+func TestTrialArenaPoolPublicAPI(t *testing.T) {
+	pool := NewTrialArenaPool()
+	spec := Spec{N: 16, Protocol: NewALead(), Seed: 5}
+	want, err := Trials(spec, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := TrialsOpts(context.Background(), spec, 200, TrialOptions{Arenas: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pooled batch %d differs from fresh batch", i)
+		}
+	}
+	if pool.Allocated() == 0 {
+		t.Fatal("pool was never used")
+	}
+}
