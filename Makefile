@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race check docs-check bench bench-tagged
+.PHONY: build test race check docs-check bench bench-tagged certify-smoke certify-golden
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,21 @@ check: build docs-check test race
 service-smoke:
 	$(GO) build -o bin/fleserve ./cmd/fleserve
 	$(GO) run ./internal/tools/servicesmoke -bin bin/fleserve
+
+# certify-smoke is the certification layer's end-to-end acceptance run:
+# boot the real fleserve binary, drive a 10-scenario POST /certify batch,
+# and verify streamed per-candidate progress, decisive verdicts, and
+# byte-identical certificate cache replays. CI runs this on every push.
+certify-smoke:
+	$(GO) build -o bin/fleserve ./cmd/fleserve
+	$(GO) run ./internal/tools/certsmoke -bin bin/fleserve
+
+# certify-golden regenerates the committed full-catalog certification
+# table. The sweep is deterministic (fixed seed, worker-independent
+# stopping points), so the nightly pipeline diffs a fresh run against the
+# committed file byte-for-byte.
+certify-golden:
+	$(GO) run ./cmd/flecert -seed 20180516 -format markdown > CERTIFICATES.md
 
 # bench records the benchmark suite to BENCH_<date>.json/.txt (see
 # bench.sh); bench-tagged keeps several recordings from one day apart, e.g.

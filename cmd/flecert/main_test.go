@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files:
+//
+//	go test ./cmd/flecert -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, byte for byte. The
+// golden files pin the certification surface on a fixed seed: the swept
+// candidate spaces, the early-stopping points, the certified gains and the
+// verdicts are all deterministic, so any diff is a real behaviour change.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\n(refresh with: go test ./cmd/flecert -run Golden -update)",
+			name, got, want)
+	}
+}
+
+// TestGoldenPhaseLeadCSV pins the Section 6 tightness table: per-scenario
+// certified gains for every phase-lead attack scenario at n=64, in
+// byte-reproducible CSV. The arg-max column must recover the steering
+// PhaseRushing deviation — the regression the golden file freezes.
+func TestGoldenPhaseLeadCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase sweeps are the expensive ones")
+	}
+	var out, errOut bytes.Buffer
+	args := []string{
+		"-match", "^ring/phase-lead/attack=",
+		"-n", "64", "-trials", "400", "-seed", "20180516",
+		"-format", "csv",
+	}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, name := range []string{"phase-rushing", "phase-chase", "phase-nosteer"} {
+		line := ""
+		for _, l := range strings.Split(got, "\n") {
+			if strings.Contains(l, "attack="+name+",") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no row for attack=%s in:\n%s", name, got)
+		}
+		if !strings.Contains(line, "exploitable") {
+			t.Errorf("attack=%s row not exploitable: %s", name, line)
+		}
+		if !strings.Contains(line, "phase-rushing/steer") {
+			t.Errorf("attack=%s arg-max did not recover the steering PhaseRushing: %s", name, line)
+		}
+	}
+	checkGolden(t, "certify_phaselead.csv.golden", out.Bytes())
+}
+
+// TestGoldenBasicLeadTable pins the quick certification table for the
+// Basic-LEAD scenarios: the honest runs certify fair, the Claim B.1 attack
+// certifies exploitable.
+func TestGoldenBasicLeadTable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-match", "^ring/basic-lead/", "-seed", "20180516", "-format", "table", "-v"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "certify_basiclead.table.golden", out.Bytes())
+}
+
+// TestWorkersDoNotMoveOutput is the CLI-level determinism check: the same
+// sweep at -workers 1 and -workers 3 renders byte-identical output.
+func TestWorkersDoNotMoveOutput(t *testing.T) {
+	render := func(workers string) string {
+		var out, errOut bytes.Buffer
+		args := []string{"-match", "^ring/basic-lead/attack=", "-seed", "7", "-trials", "300",
+			"-workers", workers, "-format", "json"}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render("1"), render("3"); a != b {
+		t.Errorf("output differs between worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestBadFlags exercises the CLI's validation surface.
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-format", "yaml"}, &out, &errOut); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run([]string{"-match", "["}, &out, &errOut); err == nil {
+		t.Error("bad regexp should fail")
+	}
+	if err := run([]string{"-match", "^no-such-scenario$"}, &out, &errOut); err == nil {
+		t.Error("empty match should fail")
+	}
+}

@@ -12,6 +12,9 @@
 //	POST   /jobs          submit a batch: {"jobs":[{"scenario":...,"seed":...},...]}
 //	GET    /jobs/{id}     one job's state; ?watch=1 streams NDJSON progress
 //	DELETE /jobs/{id}     cancel a queued or running job
+//	POST   /certify       submit a certification batch: {"certs":[{"scenario":...,"seed":...},...]}
+//	GET    /certify/{id}  one sweep's state; ?watch=1 streams per-candidate NDJSON progress
+//	DELETE /certify/{id}  cancel a queued or running sweep
 //	GET    /healthz       liveness
 //	GET    /statz         cache hit rate, worker utilization, trials/sec
 //

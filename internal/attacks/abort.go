@@ -1,0 +1,68 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Abort is the destructive control deviation: a coalition of k consecutive
+// processors (positions 2..k+1, the origin stays honest) that silently drops
+// every message it receives. It can only ever force the FAIL outcome — no
+// honest processor completes its receives, so the execution stalls — which
+// makes it the canonical "can destroy, cannot profit" baseline of the
+// utility model (Definition 2.1 assigns FAIL zero utility): any protocol's
+// equilibrium certificate should find its gain at or below zero.
+//
+// It is registered as a deviation family against every ring protocol, so
+// best-response sweeps always probe at least one real (if unprofitable)
+// deviation inside the resilience bound rather than certifying fairness
+// against an empty space.
+type Abort struct {
+	// K is the coalition size; 0 picks 1.
+	K int
+}
+
+var _ ring.Attack = Abort{}
+
+// Name implements ring.Attack.
+func (Abort) Name() string { return "abort" }
+
+// Plan implements ring.Attack.
+func (a Abort) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("attacks: target %d out of range [1,%d]", target, n)
+	}
+	k := a.K
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("attacks: abort coalition k=%d out of range [1,%d]", k, n-1)
+	}
+	dev := &ring.Deviation{
+		Coalition:  make([]sim.ProcID, k),
+		Strategies: make(map[sim.ProcID]sim.Strategy, k),
+	}
+	for i := 0; i < k; i++ {
+		pos := sim.ProcID(i + 2)
+		dev.Coalition[i] = pos
+		dev.Strategies[pos] = &abortAdversary{}
+	}
+	return dev, nil
+}
+
+// abortAdversary drops its first receive and ends the execution as failed
+// (outcome ⊥). Aborting on receipt, rather than staying silent forever,
+// keeps attack trials cheap: the simulator does not have to deliver the
+// whole backlog before detecting the stall.
+type abortAdversary struct{}
+
+var _ sim.Strategy = (*abortAdversary)(nil)
+
+func (*abortAdversary) Init(*sim.Context) {}
+
+func (*abortAdversary) Receive(ctx *sim.Context, _ sim.ProcID, _ int64) {
+	ctx.Abort()
+}

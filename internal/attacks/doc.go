@@ -18,6 +18,9 @@
 //   - SumPhase: the k = 4 attack against the sum-based phase protocol
 //     (Appendix E.4), piggybacking partial sums on adversary-validated
 //     phase rounds.
+//   - Abort: the destructive control — k silent processors that can only
+//     force FAIL, the "can destroy, cannot profit" baseline every
+//     equilibrium certificate sweeps.
 //
 // All attacks are deterministic deviations (WLOG per Appendix D): given the
 // honest processors' randomness, the execution is fully determined. That

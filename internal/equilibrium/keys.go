@@ -1,0 +1,89 @@
+package equilibrium
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Key formats, in the scenario.JobKey style: a schema tag leads each
+// canonical encoding so reshaped encodings can never collide with old ones,
+// and the code version is part of every address so results never survive a
+// rebuild.
+const (
+	certKeyFormat = "flecert-v1|version=%s|scenario=%s|n=%d|trials=%d|min=%d|maxk=%d|eps=%g|alpha=%g|nostop=%t|targets=%v|seed=%d"
+	devKeyFormat  = "fledev-v2|version=%s|scenario=%s|n=%d|trials=%d|min=%d|eps=%g|alpha=%g|m=%d|nostop=%t|family=%s|k=%d|mode=%s|target=%d|seed=%d"
+)
+
+// certIdentity is the resolved sweep configuration a certificate key pins:
+// everything that shapes the deviation space or the stopping rule.
+type certIdentity struct {
+	N, Trials, MinTrials, MaxK int
+	Epsilon, Alpha             float64
+	NoStop                     bool
+	Targets                    []int64
+}
+
+// Key returns the content address of the certificate Certify(sc, seed, o)
+// will produce, without running the sweep: the scheduler's dedup and cache
+// lookups address certificates by it. Workers, Arenas and Progress are
+// excluded — none of them affect the certificate.
+func Key(sc scenario.Scenario, seed int64, o Options) string {
+	o = o.withDefaults()
+	n := sc.N
+	if o.N > 0 {
+		n = o.N
+	}
+	// Mirror Certify's normalization: the bound is inert for attack
+	// scenarios, so it must not split their cache identities.
+	maxK := 0
+	if sc.Attack == "" {
+		maxK = o.MaxK
+		if maxK <= 0 {
+			maxK = sc.ResilientK(n)
+		}
+	}
+	return CertificateKey(o.Version, sc.Name, seed, certIdentity{
+		N: n, Trials: o.Trials, MinTrials: o.MinTrials, MaxK: maxK,
+		Epsilon: o.Epsilon, Alpha: o.Alpha, NoStop: o.NoStop, Targets: o.Targets,
+	})
+}
+
+// CertificateKey returns the content address of one certification sweep:
+// the SHA-256 of a canonical encoding of (version, scenario, resolved sweep
+// configuration, seed). Two sweeps with the same key produce byte-identical
+// certificates, which is what lets the service daemon replay cached
+// certificates exactly.
+func CertificateKey(version, scenarioName string, seed int64, id certIdentity) string {
+	h := sha256.New()
+	fmt.Fprintf(h, certKeyFormat, version, scenarioName, id.N, id.Trials, id.MinTrials,
+		id.MaxK, id.Epsilon, id.Alpha, id.NoStop, id.Targets, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// devIdentity pins one candidate batch within a sweep: the candidate's
+// trial budget plus everything that shapes its early-stopping rule — the
+// earliest stopping point, ε, α, and the sweep's candidate count m (which
+// sets the Bonferroni-corrected z the rule evaluates). Two batches stopped
+// under different rules record different trial counts, so all of this
+// belongs to the address.
+type devIdentity struct {
+	N, Trials, MinTrials int
+	Epsilon, Alpha       float64
+	M                    int
+	NoStop               bool
+}
+
+// DeviationKey returns the content address of one deviation candidate's
+// trial batch: enough to re-run the certified arg-max exactly —
+// Scenario.RunDeviation with the same candidate and seed, under the same
+// stopping discipline, reproduces the batch bit for bit, and batches
+// stopped under different rules never share a digest.
+func DeviationKey(version, scenarioName string, seed int64, id devIdentity, c scenario.DeviationCandidate) string {
+	h := sha256.New()
+	fmt.Fprintf(h, devKeyFormat, version, scenarioName, id.N, id.Trials, id.MinTrials,
+		id.Epsilon, id.Alpha, id.M, id.NoStop, c.Family, c.K, c.Mode, c.Target, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}

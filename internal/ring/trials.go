@@ -216,6 +216,25 @@ func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (
 	return engine.Run(ctx, trials, job, distSink(spec.N), opts.engineOptions())
 }
 
+// PlanError marks a per-trial attack planning failure inside a trial
+// batch: the attack's Plan rejected the configuration for one trial seed.
+// Callers that sweep attack configurations (the equilibrium certifier)
+// unwrap it with errors.As to tell "this candidate is infeasible" apart
+// from genuine execution failures, which must not be swallowed.
+type PlanError struct {
+	// Attack and N identify the rejected plan.
+	Attack string
+	N      int
+	// Err is the planner's error.
+	Err error
+}
+
+// Error implements error.
+func (e *PlanError) Error() string { return fmt.Sprintf("plan %s (n=%d): %v", e.Attack, e.N, e.Err) }
+
+// Unwrap exposes the planner's error.
+func (e *PlanError) Unwrap() error { return e.Err }
+
 // AttackTrials plans the attack once per trial (attacks may randomize
 // placement from the trial seed) and aggregates outcomes. Trials run in
 // parallel on every CPU; use AttackTrialsOpts to tune workers,
@@ -230,7 +249,7 @@ func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Atta
 		seed := int64(sim.Mix64(uint64(baseSeed), uint64(t)+0x9e37))
 		dev, err := attack.Plan(n, target, seed)
 		if err != nil {
-			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", attack.Name(), n, err)
+			return sim.Result{}, &PlanError{Attack: attack.Name(), N: n, Err: err}
 		}
 		res, err := RunArena(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed}, arena)
 		if err != nil {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/attacks"
 	"repro/internal/classic"
 	"repro/internal/fullnet"
 	"repro/internal/protocols/alead"
@@ -47,40 +46,41 @@ func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
 	return run, single
 }
 
-// ringAttack runs a planned deviation against a ring protocol; the attack
-// may depend on the resolved parameters (coalition size K). The batch is
-// exactly ring.AttackTrialsOpts, so registry runs reproduce the harness
-// experiments byte-identically.
-func ringAttack(proto ring.Protocol, mk func(p params) ring.Attack) (runFunc, singleFunc) {
-	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
-		return ring.AttackTrialsOpts(ctx, p.N, proto, mk(p), p.Target, seed, p.Trials,
-			p.trialOptions())
-	}
-	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
-		atk := mk(p)
-		dev, err := atk.Plan(p.N, p.Target, seed)
-		if err != nil {
-			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", atk.Name(), p.N, err)
+// ringFamilyAttack runs a registered deviation family's attack against a
+// ring protocol at the resolved parameters (coalition size K, steering
+// mode). The batch is exactly ring.AttackTrialsOpts, so registry runs
+// reproduce the harness experiments byte-identically — and equilibrium
+// sweeps, which plan through the very same family, reproduce the registry
+// runs.
+func ringFamilyAttack(base ring.Protocol, family, mode string) (runFunc, singleFunc) {
+	plan := func(p params) (ring.Protocol, ring.Attack, error) {
+		fam, ok := FindFamily(family)
+		if !ok {
+			return nil, nil, fmt.Errorf("no registered deviation family %q", family)
 		}
-		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc}, arena)
-	}
-	return run, single
-}
-
-// wakeupAttack lifts the staggered rushing attack to the wake-up extension;
-// the combined protocol depends on n (ids pinned to positions).
-func wakeupAttack() (runFunc, singleFunc) {
-	mk := func(p params) (ring.Protocol, ring.Attack) {
-		a := attacks.WakeupRushing{Inner: attacks.Rushing{Place: attacks.PlaceStaggered, K: p.K}}
-		return a.Protocol(p.N), a
+		proto := base
+		if fam.Proto != nil {
+			proto = fam.Proto(p.N, proto)
+		}
+		atk, err := fam.Plan(proto, p.K, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		return proto, atk, nil
 	}
 	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
-		proto, atk := mk(p)
+		proto, atk, err := plan(p)
+		if err != nil {
+			return nil, err
+		}
 		return ring.AttackTrialsOpts(ctx, p.N, proto, atk, p.Target, seed, p.Trials,
 			p.trialOptions())
 	}
 	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
-		proto, atk := mk(p)
+		proto, atk, err := plan(p)
+		if err != nil {
+			return sim.Result{}, err
+		}
 		dev, err := atk.Plan(p.N, p.Target, seed)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("plan %s (n=%d): %w", atk.Name(), p.N, err)
@@ -228,16 +228,20 @@ func init() {
 				Trials:    400,
 				Uniform:   h.uniform,
 				Note:      h.note,
+				proto:     h.proto,
 			}, run, single)
 		}
 	}
 
-	// --- Asynchronous ring: every adversarial deviation of the paper.
+	// --- Asynchronous ring: every adversarial deviation of the paper,
+	// planned through the registered deviation families so equilibrium
+	// sweeps and registry runs share one planner.
 	type ringAtk struct {
 		protoSlug string
 		proto     ring.Protocol
 		attack    string
-		mk        func(p params) ring.Attack
+		family    string
+		mode      string
 		n, minN   int
 		trials    int
 		k         int
@@ -246,45 +250,30 @@ func init() {
 	}
 	phase := phaselead.NewDefault()
 	for _, a := range []ringAtk{
-		{"basic-lead", basiclead.New(), "basic-single",
-			func(params) ring.Attack { return attacks.BasicSingle{} },
+		{"basic-lead", basiclead.New(), "basic-single", "basic-single", "",
 			16, 4, 200, 0, 2, "Claim B.1: one adversary forces any target"},
-		{"a-lead", alead.New(), "rushing-equal",
-			func(p params) ring.Attack { return attacks.Rushing{Place: attacks.PlaceEqual, K: p.K} },
+		{"a-lead", alead.New(), "rushing-equal", "rushing", "equal",
 			64, 25, 25, 0, 3, "Theorem 4.2: ⌈√n⌉ equally spaced rushers control A-LEADuni"},
-		{"a-lead", alead.New(), "rushing-staggered",
-			func(p params) ring.Attack { return attacks.Rushing{Place: attacks.PlaceStaggered, K: p.K} },
+		{"a-lead", alead.New(), "rushing-staggered", "rushing", "staggered",
 			64, 27, 20, 0, 2, "Theorem 4.3: the cubic attack (staggered distances)"},
-		{"a-lead", alead.New(), "randomized-c3",
-			func(params) ring.Attack { return attacks.Randomized{C: 3} },
+		{"a-lead", alead.New(), "randomized-c3", "randomized", "c3",
 			256, 128, 60, 0, 7, "Theorem C.1: randomly located coalitions, C=3"},
-		{"a-lead", alead.New(), "randomized-c5",
-			func(params) ring.Attack { return attacks.Randomized{C: 5} },
+		{"a-lead", alead.New(), "randomized-c5", "randomized", "c5",
 			256, 128, 60, 0, 7, "Theorem C.1: randomly located coalitions, C=5"},
-		{"a-lead", alead.New(), "half-ring",
-			func(p params) ring.Attack { return attacks.HalfRing{K: p.K} },
+		{"a-lead", alead.New(), "half-ring", "half-ring", "",
 			64, 8, 20, 0, 2, "Theorem 7.2 on the ring: ⌈n/2⌉ consecutive coalition dictates"},
-		{"phase-lead", phase, "phase-rushing",
-			func(p params) ring.Attack { return attacks.PhaseRushing{Protocol: phase, K: p.K} },
+		{"phase-lead", phase, "phase-rushing", "phase-rushing", "steer",
 			100, 64, 15, 0, 9, "Section 6 tightness: k = √n+3 rushing controls PhaseAsyncLead"},
-		{"phase-lead", phase, "phase-chase",
-			func(p params) ring.Attack {
-				return attacks.PhaseRushing{Protocol: phase, K: p.K, Mode: attacks.PhaseChase}
-			},
+		{"phase-lead", phase, "phase-chase", "phase-rushing", "chase",
 			100, 64, 100, 8, 5, "chase mode: validity saved, bias provably lost (Theorem 6.1 mechanism)"},
-		{"phase-lead", phase, "phase-nosteer",
-			func(p params) ring.Attack {
-				return attacks.PhaseRushing{Protocol: phase, K: p.K, Mode: attacks.PhaseNoSteer}
-			},
+		{"phase-lead", phase, "phase-nosteer", "phase-rushing", "nosteer",
 			100, 64, 100, 4, 5, "rushing without steering: validity collapses, no bias"},
-		{"sum-phase", sumphase.New(), "sum-phase",
-			func(params) ring.Attack { return attacks.SumPhase{} },
+		{"sum-phase", sumphase.New(), "sum-phase", "sum-phase", "",
 			121, 16, 40, 0, 4, "Appendix E.4: four colluders control the sum-output variant"},
-		{"phase-lead", phase, "sum-phase",
-			func(params) ring.Attack { return attacks.SumPhase{} },
+		{"phase-lead", phase, "sum-phase", "sum-phase", "",
 			121, 16, 40, 0, 4, "control: the same four colluders are powerless against f"},
 	} {
-		run, single := ringAttack(a.proto, a.mk)
+		run, single := ringFamilyAttack(a.proto, a.family, a.mode)
 		registerRing(Scenario{
 			Name:      "ring/" + a.protoSlug + "/attack=" + a.attack,
 			Topology:  "ring",
@@ -297,12 +286,16 @@ func init() {
 			K:         a.k,
 			Target:    a.target,
 			Note:      a.note,
+			proto:     a.proto,
+			family:    a.family,
+			mode:      a.mode,
 		}, run, single)
 	}
 
 	// --- Wake-up extension (Appendix H): id exchange, then A-LEADuni.
 	for _, sched := range []string{SchedFIFO, SchedRandom} {
-		run, single := ringHonest(wakeup.New(), sched)
+		wk := wakeup.New()
+		run, single := ringHonest(wk, sched)
 		registerRing(Scenario{
 			Name:      "wakeup/a-lead/" + sched,
 			Topology:  "wakeup",
@@ -313,10 +306,12 @@ func init() {
 			Trials:    400,
 			Uniform:   true,
 			Note:      "wake-up id circulation then A-LEADuni re-indexed at the minimal id",
+			proto:     wk,
 		}, run, single)
 	}
 	{
-		run, single := wakeupAttack()
+		wk := wakeup.New()
+		run, single := ringFamilyAttack(wk, "wakeup-rushing", "")
 		registerRing(Scenario{
 			Name:      "wakeup/a-lead/attack=wakeup-rushing",
 			Topology:  "wakeup",
@@ -328,6 +323,8 @@ func init() {
 			Trials:    20,
 			Target:    2,
 			Note:      "Section 4 attacks survive the wake-up extension (Appendix H remark)",
+			proto:     wk,
+			family:    "wakeup-rushing",
 		}, run, single)
 	}
 

@@ -22,7 +22,11 @@ const jobKeyFormat = "flejob-v1|version=%s|scenario=%s|n=%d|trials=%d|k=%d|targe
 // version names the code revision the result was computed by; it is part of
 // the address so results never survive a rebuild that may have changed the
 // simulation. Opts.Workers, Opts.Progress, and Opts.Arenas are deliberately
-// excluded: none of them affect the result.
+// excluded: none of them affect the result. Opts.Stop is excluded too but
+// DOES affect it (an early-stopped run holds fewer trials), so results of
+// stopped runs must never be cached under a plain JobKey — callers that
+// cache them fold the stopping rule's parameters into their own key, as
+// the equilibrium certificates do (equilibrium.CertificateKey).
 func (s Scenario) JobKey(version string, seed int64, o Opts) string {
 	p := s.params(o)
 	h := sha256.New()

@@ -61,6 +61,16 @@ type Opts struct {
 	// final snapshot always covers the whole batch. The callback runs
 	// under the engine's merge lock and must be cheap.
 	Progress func(Snapshot)
+	// Stop, if non-nil, enables adaptive early stopping: it sees the same
+	// deterministic chunk-ordered prefixes Progress does and returns true
+	// to end the batch after that prefix (see engine.Options.Stop). The
+	// stopping point depends only on (seed, trials, chunking) — never on
+	// worker count — so stopped runs stay reproducible. Unlike the other
+	// overrides, Stop changes the result (fewer trials), so results of
+	// stopped runs must not be cached under the plain JobKey; callers that
+	// cache them (the equilibrium certifier) fold the stopping rule's
+	// parameters into their own key.
+	Stop func(prefix *ring.Distribution, trials int) bool
 	// Arenas, if non-nil, draws engine worker arenas from a shared pool
 	// so simulation workspaces persist across runs — the service
 	// daemon's resident mode (see engine.ArenaPool). Results are
@@ -75,8 +85,10 @@ type params struct {
 	Workers int
 	K       int
 	Target  int64
-	// observe and arenas are carried to the engine by every run builder.
+	// observe, stop and arenas are carried to the engine by every run
+	// builder.
 	observe func(prefix *ring.Distribution, trials int)
+	stop    func(prefix *ring.Distribution, trials int) bool
 	arenas  *engine.ArenaPool
 }
 
@@ -123,13 +135,24 @@ type Scenario struct {
 
 	run    runFunc
 	single singleFunc
+
+	// proto is the underlying ring protocol for ring-simulator topologies
+	// ("ring", "wakeup"); deviation sweeps plan attacks against it. Nil
+	// for topologies with their own runtimes (complete, trees,
+	// synchronous models).
+	proto ring.Protocol
+	// family and mode name the registered DeviationFamily (and its
+	// variant) behind an attack scenario's run; empty for honest
+	// scenarios and for non-ring attacks, which sweep through their own
+	// run function instead.
+	family, mode string
 }
 
 // params resolves the run configuration from the scenario defaults and the
 // caller's overrides.
 func (s Scenario) params(o Opts) params {
 	p := params{N: s.N, Trials: s.Trials, Workers: o.Workers, K: s.K, Target: s.Target,
-		arenas: o.Arenas}
+		stop: o.Stop, arenas: o.Arenas}
 	if o.N > 0 {
 		p.N = o.N
 	}
@@ -273,14 +296,19 @@ func distSink(n int) engine.Sink[*ring.Distribution] {
 // caller's shared pool when one is set).
 func engineTrials(ctx context.Context, p params, job func(t int, arena *sim.Arena) (sim.Result, error)) (*ring.Distribution, error) {
 	return engine.Run(ctx, p.Trials, engine.JobFunc(job), distSink(p.N),
-		engine.Options[*ring.Distribution]{Workers: p.Workers, Observe: p.observe, Arenas: p.arenas})
+		engine.Options[*ring.Distribution]{Workers: p.Workers, Stop: p.stop, Observe: p.observe, Arenas: p.arenas})
 }
 
 // trialOptions lowers the resolved params onto ring.TrialOptions, for the
 // run builders that route through ring.AttackTrialsOpts instead of
 // engineTrials.
 func (p params) trialOptions() ring.TrialOptions {
-	return ring.TrialOptions{Workers: p.Workers, Observe: p.observe, Arenas: p.arenas}
+	opts := ring.TrialOptions{Workers: p.Workers, Observe: p.observe, Arenas: p.arenas}
+	if p.stop != nil {
+		stop := p.stop
+		opts.Stop = func(prefix *ring.Distribution) bool { return stop(prefix, prefix.Trials) }
+	}
+	return opts
 }
 
 // Snapshot is one deterministic progress point of a running trial batch:

@@ -1,0 +1,340 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/equilibrium"
+	"repro/internal/scenario"
+)
+
+// CertRequest describes one certification sweep: a registered scenario plus
+// the sweep parameters that pin its certificate. Zero fields keep the
+// equilibrium defaults (2000-trial budget, ε = 0.05, α = 0.05, the
+// protocol's resilience bound).
+type CertRequest struct {
+	// Scenario is the registered scenario name.
+	Scenario string `json:"scenario"`
+	// N overrides the network size.
+	N int `json:"n,omitempty"`
+	// Trials is the per-candidate trial budget.
+	Trials int `json:"trials,omitempty"`
+	// MinTrials is the earliest early-stopping point.
+	MinTrials int `json:"min_trials,omitempty"`
+	// MaxK bounds honest sweeps' coalition sizes.
+	MaxK int `json:"max_k,omitempty"`
+	// Epsilon and Alpha are the certified threshold and error level.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	// Seed is the sweep's base seed; it is part of the certificate's
+	// identity.
+	Seed int64 `json:"seed"`
+}
+
+// options lowers the request onto equilibrium.Options (identity-relevant
+// fields only; the scheduler adds workers/arenas/progress at run time).
+func (r CertRequest) options(version string) equilibrium.Options {
+	return equilibrium.Options{
+		N: r.N, Trials: r.Trials, MinTrials: r.MinTrials, MaxK: r.MaxK,
+		Epsilon: r.Epsilon, Alpha: r.Alpha, Version: version,
+	}
+}
+
+// CertState is the wire representation of a certification job at one
+// instant. Result holds the exact cached certificate bytes, so byte
+// identity survives the round trip through the API.
+type CertState struct {
+	ID       string                `json:"id"`
+	Scenario string                `json:"scenario"`
+	Seed     int64                 `json:"seed"`
+	Status   JobStatus             `json:"status"`
+	Cached   bool                  `json:"cached,omitempty"`
+	Deduped  int                   `json:"deduped,omitempty"`
+	Progress *equilibrium.Progress `json:"progress,omitempty"`
+	Error    string                `json:"error,omitempty"`
+	Result   json.RawMessage       `json:"result,omitempty"`
+}
+
+// CertJob is one scheduled certification sweep; like Job, its identity is
+// its content address (equilibrium.Key), so identical requests share one
+// computation.
+type CertJob struct {
+	// ID is the certificate's content address.
+	ID string
+	// Req is the request that first created the job.
+	Req CertRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	status  JobStatus
+	cached  bool
+	deduped int
+	result  []byte
+	errMsg  string
+	prog    equilibrium.Progress
+	hasProg bool
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *CertJob) Done() <-chan struct{} { return j.done }
+
+// State captures the job's current wire state.
+func (j *CertJob) State() CertState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := CertState{
+		ID:       j.ID,
+		Scenario: j.Req.Scenario,
+		Seed:     j.Req.Seed,
+		Status:   j.status,
+		Cached:   j.cached,
+		Deduped:  j.deduped,
+		Error:    j.errMsg,
+	}
+	if j.hasProg {
+		prog := j.prog
+		st.Progress = &prog
+	}
+	if j.result != nil {
+		st.Result = json.RawMessage(j.result)
+	}
+	return st
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *CertJob) finish(status JobStatus, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.status = status
+	j.result = result
+	j.errMsg = errMsg
+	close(j.done)
+}
+
+// SubmitCerts registers a batch of certification requests and returns one
+// *CertJob per request, in order, with exactly the dedup semantics of
+// Submit: identical requests — in this batch, in flight, or already cached —
+// resolve to the same job, and the batch is rejected whole on any invalid
+// request.
+func (s *Scheduler) SubmitCerts(reqs []CertRequest) ([]*CertJob, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("service: empty certification batch")
+	}
+	scs := make([]scenario.Scenario, len(reqs))
+	for i, req := range reqs {
+		sc, ok := scenario.Find(req.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("service: cert %d: no registered scenario %q", i, req.Scenario)
+		}
+		if err := s.validateCert(sc, req); err != nil {
+			return nil, fmt.Errorf("service: cert %d: %w", i, err)
+		}
+		scs[i] = sc
+	}
+	out := make([]*CertJob, len(reqs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseCtx.Err() != nil {
+		return nil, errors.New("service: scheduler is closed")
+	}
+	for i, req := range reqs {
+		s.submitted.Add(1)
+		s.certsSubmitted.Add(1)
+		id := equilibrium.Key(scs[i], req.Seed, req.options(s.version))
+		if j, ok := s.certs[id]; ok {
+			st := func() JobStatus { j.mu.Lock(); defer j.mu.Unlock(); return j.status }()
+			switch {
+			case st == StatusDone:
+				s.hitsCache.Add(1)
+				out[i] = j
+				continue
+			case !st.Terminal():
+				s.hitsDedup.Add(1)
+				j.mu.Lock()
+				j.deduped++
+				j.mu.Unlock()
+				out[i] = j
+				continue
+			}
+			// Failed or canceled: schedule a fresh run under the same
+			// identity.
+		}
+		if b, ok := s.cache.Get(id); ok {
+			j := s.newCertJob(id, req)
+			j.cached = true
+			j.status = StatusDone
+			j.result = b
+			close(j.done)
+			j.cancel()
+			s.certs[id] = j
+			s.hitsCache.Add(1)
+			out[i] = j
+			continue
+		}
+		j := s.newCertJob(id, req)
+		s.certs[id] = j
+		s.runsFresh.Add(1)
+		s.wg.Add(1)
+		go s.runCert(j, scs[i])
+		out[i] = j
+	}
+	return out, nil
+}
+
+// validateCert applies the submit-time checks for a certification request.
+// A sweep occupies one engine slot for its whole duration, so the
+// MaxTrials bound applies to the sweep's worst case — the per-candidate
+// budget times the enumerated space — not to one candidate alone.
+func (s *Scheduler) validateCert(sc scenario.Scenario, req CertRequest) error {
+	n := sc.N
+	if req.N > 0 {
+		n = req.N
+	}
+	switch {
+	case req.N < 0 || req.Trials < 0 || req.MinTrials < 0 || req.MaxK < 0:
+		return fmt.Errorf("%s: negative override", sc.Name)
+	case req.Epsilon < 0 || req.Epsilon >= 1 || req.Alpha < 0 || req.Alpha >= 1:
+		return fmt.Errorf("%s: epsilon/alpha out of [0,1)", sc.Name)
+	case n < sc.MinN:
+		return fmt.Errorf("%s needs n ≥ %d, got %d", sc.Name, sc.MinN, n)
+	case req.Trials > s.cfg.MaxTrials:
+		// Checked first so the sweep-total product below cannot overflow.
+		return fmt.Errorf("%s: %d trials exceeds the per-job bound %d", sc.Name, req.Trials, s.cfg.MaxTrials)
+	}
+	trials := req.Trials
+	if trials <= 0 {
+		trials = equilibrium.DefaultTrials
+	}
+	candidates := len(sc.DeviationSpace(scenario.Opts{N: req.N, Trials: req.Trials, K: 0}, req.MaxK, nil))
+	if candidates < 1 {
+		candidates = 1
+	}
+	if total := trials * candidates; total > s.cfg.MaxTrials {
+		return fmt.Errorf("%s: sweep of %d candidates × %d trials = %d exceeds the per-job bound %d",
+			sc.Name, candidates, trials, total, s.cfg.MaxTrials)
+	}
+	return nil
+}
+
+// newCertJob builds a queued certification job wired to the scheduler's
+// lifetime.
+func (s *Scheduler) newCertJob(id string, req CertRequest) *CertJob {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	return &CertJob{
+		ID:     id,
+		Req:    req,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: StatusQueued,
+	}
+}
+
+// retireCert records a failed or canceled certification job in the bounded
+// terminal list, mirroring retire.
+func (s *Scheduler) retireCert(j *CertJob) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retiredCerts = append(s.retiredCerts, j)
+	for len(s.retiredCerts) > s.retiredCap {
+		old := s.retiredCerts[0]
+		s.retiredCerts[0] = nil
+		s.retiredCerts = s.retiredCerts[1:]
+		if cur, ok := s.certs[old.ID]; ok && cur == old {
+			delete(s.certs, old.ID)
+		}
+	}
+}
+
+// runCert executes one certification sweep on the engine, respecting the
+// Parallel bound: a sweep occupies one engine slot for its whole duration,
+// exactly like a trial job.
+func (s *Scheduler) runCert(j *CertJob, sc scenario.Scenario) {
+	defer s.wg.Done()
+	defer j.cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		s.canceled.Add(1)
+		j.finish(StatusCanceled, nil, context.Cause(j.ctx).Error())
+		s.retireCert(j)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+
+	opts := j.Req.options(s.version)
+	opts.Workers = s.cfg.Workers
+	opts.Arenas = s.arenas
+	opts.Progress = func(p equilibrium.Progress) {
+		j.mu.Lock()
+		j.prog, j.hasProg = p, true
+		j.mu.Unlock()
+		s.trialsDone.Add(int64(p.Trials))
+	}
+	cert, err := equilibrium.Certify(j.ctx, sc, j.Req.Seed, opts)
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || j.ctx.Err() != nil):
+		s.canceled.Add(1)
+		j.finish(StatusCanceled, nil, err.Error())
+		s.retireCert(j)
+	case err != nil:
+		s.failed.Add(1)
+		j.finish(StatusFailed, nil, err.Error())
+		s.retireCert(j)
+	default:
+		b, merr := json.Marshal(cert)
+		if merr != nil {
+			s.failed.Add(1)
+			j.finish(StatusFailed, nil, merr.Error())
+			s.retireCert(j)
+			return
+		}
+		s.mu.Lock()
+		s.cache.Put(j.ID, b)
+		s.mu.Unlock()
+		s.completed.Add(1)
+		j.finish(StatusDone, b, "")
+	}
+}
+
+// Cert returns the certification job with the given content address.
+func (s *Scheduler) Cert(id string) (*CertJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.certs[id]
+	return j, ok
+}
+
+// CancelCert cancels a queued or running certification job, with the same
+// content-addressed semantics as Cancel.
+func (s *Scheduler) CancelCert(id string) bool {
+	s.mu.Lock()
+	j, ok := s.certs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.status.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return false
+	}
+	j.cancel()
+	return true
+}

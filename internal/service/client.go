@@ -135,27 +135,28 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return checkStatus(resp)
 }
 
-// Watch follows a job's NDJSON progress stream, invoking fn (if non-nil)
-// on every line, and returns the terminal state.
-func (c *Client) Watch(ctx context.Context, id string, fn func(JobState)) (JobState, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"?watch=1", nil)
+// watchStream follows one NDJSON watch endpoint, invoking fn (if non-nil)
+// on every decoded line, and returns the last state seen. status extracts
+// the lifecycle status so the shared loop can demand a terminal ending.
+func watchStream[T any](ctx context.Context, c *Client, path, id string, fn func(T), status func(T) JobStatus) (T, error) {
+	var last T
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path+"/"+id+"?watch=1", nil)
 	if err != nil {
-		return JobState{}, err
+		return last, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return JobState{}, err
+		return last, err
 	}
 	defer drainClose(resp.Body)
 	if err := checkStatus(resp); err != nil {
-		return JobState{}, err
+		return last, err
 	}
 	scan := bufio.NewScanner(resp.Body)
 	scan.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	var last JobState
 	seen := false
 	for scan.Scan() {
-		var st JobState
+		var st T
 		if err := json.Unmarshal(scan.Bytes(), &st); err != nil {
 			return last, fmt.Errorf("service: bad stream line: %w", err)
 		}
@@ -170,13 +171,81 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(JobState)) (JobSt
 	if !seen {
 		return last, fmt.Errorf("service: empty watch stream for %s", id)
 	}
-	if !last.Status.Terminal() {
-		return last, fmt.Errorf("service: watch stream for %s ended at status %s", id, last.Status)
+	if !status(last).Terminal() {
+		return last, fmt.Errorf("service: watch stream for %s ended at status %s", id, status(last))
 	}
 	return last, nil
+}
+
+// Watch follows a job's NDJSON progress stream, invoking fn (if non-nil)
+// on every line, and returns the terminal state.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobState)) (JobState, error) {
+	return watchStream(ctx, c, "/jobs", id, fn, func(st JobState) JobStatus { return st.Status })
 }
 
 // Wait blocks until the job reaches a terminal state and returns it.
 func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 	return c.Watch(ctx, id, nil)
+}
+
+// SubmitCerts posts a certification batch and returns the accepted states,
+// in request order. Cached sweeps come back already done, certificate
+// included.
+func (c *Client) SubmitCerts(ctx context.Context, reqs []CertRequest) ([]CertState, error) {
+	body, err := json.Marshal(CertBatchRequest{Certs: reqs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/certify", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	var out CertBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Certs, nil
+}
+
+// Cert fetches one certification job's current state.
+func (c *Client) Cert(ctx context.Context, id string) (CertState, error) {
+	var out CertState
+	err := c.get(ctx, "/certify/"+id, &out)
+	return out, err
+}
+
+// CancelCert cancels a queued or running certification job.
+func (c *Client) CancelCert(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/certify/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	return checkStatus(resp)
+}
+
+// WatchCert follows a certification job's NDJSON progress stream —
+// one line per finished deviation candidate — invoking fn (if non-nil) on
+// every line, and returns the terminal state.
+func (c *Client) WatchCert(ctx context.Context, id string, fn func(CertState)) (CertState, error) {
+	return watchStream(ctx, c, "/certify", id, fn, func(st CertState) JobStatus { return st.Status })
+}
+
+// WaitCert blocks until the certification job reaches a terminal state and
+// returns it.
+func (c *Client) WaitCert(ctx context.Context, id string) (CertState, error) {
+	return c.WatchCert(ctx, id, nil)
 }

@@ -42,6 +42,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /certify", s.handleCertify)
+	mux.HandleFunc("GET /certify/{id}", s.handleCert)
+	mux.HandleFunc("DELETE /certify/{id}", s.handleCancelCert)
 	mux.HandleFunc("GET /statz", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleStats)
 	return mux
@@ -110,8 +113,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	serveWatchable(w, r, j.Done(), func() (any, bool) {
+		st := j.State()
+		return st, st.Status.Terminal()
+	})
+}
+
+// serveWatchable serves one watchable resource: plain JSON state without
+// ?watch=1, an NDJSON change stream with it. state returns the current wire
+// state and whether it is terminal; done wakes the stream when it is.
+func serveWatchable(w http.ResponseWriter, r *http.Request, done <-chan struct{}, state func() (any, bool)) {
 	if watch := r.URL.Query().Get("watch"); watch != "1" && watch != "true" {
-		writeJSON(w, http.StatusOK, j.State())
+		st, _ := state()
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -121,7 +135,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	defer ticker.Stop()
 	var last []byte
 	for {
-		st := j.State()
+		st, terminal := state()
 		line, err := json.Marshal(st)
 		if err != nil {
 			return
@@ -135,12 +149,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 		}
-		if st.Status.Terminal() {
+		if terminal {
 			return
 		}
 		select {
 		case <-ticker.C:
-		case <-j.Done():
+		case <-done:
 		case <-r.Context().Done():
 			return
 		}
@@ -159,6 +173,74 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusNotFound, "no such job")
+}
+
+// CertBatchRequest is the POST /certify payload.
+type CertBatchRequest struct {
+	Certs []CertRequest `json:"certs"`
+}
+
+// CertBatchResponse answers POST /certify: one state per submitted sweep,
+// in request order. Sweeps resolved from the cache arrive already done,
+// certificate included.
+type CertBatchResponse struct {
+	Certs []CertState `json:"certs"`
+}
+
+// handleCertify accepts a certification batch. Like trial jobs, sweeps run
+// on the scheduler's lifetime, and identical requests share one
+// computation whose cached certificate replays byte-for-byte.
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	var batch CertBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch: %v", err)
+		return
+	}
+	if len(batch.Certs) > maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds the %d-job limit", len(batch.Certs), maxBatch)
+		return
+	}
+	jobs, err := s.sched.SubmitCerts(batch.Certs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := CertBatchResponse{Certs: make([]CertState, len(jobs))}
+	for i, j := range jobs {
+		resp.Certs[i] = j.State()
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleCert serves one certification job's state; with ?watch=1 it streams
+// NDJSON progress — one CertState per finished deviation candidate — ending
+// with the terminal state, certificate included.
+func (s *Server) handleCert(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Cert(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such certification job")
+		return
+	}
+	serveWatchable(w, r, j.Done(), func() (any, bool) {
+		st := j.State()
+		return st, st.Status.Terminal()
+	})
+}
+
+// handleCancelCert cancels a queued or running certification job.
+func (s *Server) handleCancelCert(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.sched.CancelCert(id) {
+		writeJSON(w, http.StatusOK, map[string]any{"canceled": true})
+		return
+	}
+	if j, ok := s.sched.Cert(id); ok {
+		writeError(w, http.StatusConflict, "certification job is already %s", j.State().Status)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no such certification job")
 }
 
 // handleStats serves the scheduler's operational counters.

@@ -205,22 +205,25 @@ type Scheduler struct {
 	sem        chan struct{}
 	wg         sync.WaitGroup
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	retired []*Job // failed/canceled records, oldest first, capped at retiredCap
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	certs        map[string]*CertJob
+	retired      []*Job     // failed/canceled records, oldest first, capped at retiredCap
+	retiredCerts []*CertJob // same, for certification jobs
 
 	retiredCap int
 
-	start      time.Time
-	submitted  atomic.Int64
-	runsFresh  atomic.Int64 // jobs that required an engine run
-	hitsCache  atomic.Int64 // jobs replayed from the cache or a finished twin
-	hitsDedup  atomic.Int64 // jobs folded into an in-flight twin
-	completed  atomic.Int64
-	failed     atomic.Int64
-	canceled   atomic.Int64
-	trialsDone atomic.Int64
-	busy       atomic.Int64
+	start          time.Time
+	certsSubmitted atomic.Int64
+	submitted      atomic.Int64
+	runsFresh      atomic.Int64 // jobs that required an engine run
+	hitsCache      atomic.Int64 // jobs replayed from the cache or a finished twin
+	hitsDedup      atomic.Int64 // jobs folded into an in-flight twin
+	completed      atomic.Int64
+	failed         atomic.Int64
+	canceled       atomic.Int64
+	trialsDone     atomic.Int64
+	busy           atomic.Int64
 }
 
 // NewScheduler returns a running scheduler. Close releases it.
@@ -251,13 +254,17 @@ func NewScheduler(cfg Config) *Scheduler {
 		baseCancel: cancel,
 		sem:        make(chan struct{}, cfg.Parallel),
 		jobs:       make(map[string]*Job),
+		certs:      make(map[string]*CertJob),
 		retiredCap: retiredCap,
 		start:      time.Now(),
 	}
 	// Cache eviction drops the matching job record so the two stores
-	// cannot disagree about what is replayable.
+	// cannot disagree about what is replayable. Trial jobs and
+	// certificates share one cache — their content addresses live in
+	// disjoint key spaces — so one eviction hook covers both maps.
 	s.cache = NewCache(cfg.CacheSize, func(key string) {
-		delete(s.jobs, key) // called under cache lock; jobs map guarded by s.mu — see Put call sites
+		delete(s.jobs, key) // called under cache lock; maps guarded by s.mu — see Put call sites
+		delete(s.certs, key)
 	})
 	return s
 }
@@ -505,14 +512,16 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Scenarios is the registry size.
 	Scenarios int `json:"scenarios"`
-	// Jobs counts submissions by resolution.
+	// Jobs counts submissions by resolution; Certificates is the subset
+	// that were certification sweeps.
 	Jobs struct {
-		Submitted int64 `json:"submitted"`
-		Fresh     int64 `json:"fresh"`
-		Completed int64 `json:"completed"`
-		Failed    int64 `json:"failed"`
-		Canceled  int64 `json:"canceled"`
-		InFlight  int64 `json:"in_flight"`
+		Submitted    int64 `json:"submitted"`
+		Certificates int64 `json:"certificates"`
+		Fresh        int64 `json:"fresh"`
+		Completed    int64 `json:"completed"`
+		Failed       int64 `json:"failed"`
+		Canceled     int64 `json:"canceled"`
+		InFlight     int64 `json:"in_flight"`
 	} `json:"jobs"`
 	// Cache reports the job-level hit accounting: Hits counts
 	// submissions resolved without an engine run (cache replays plus
@@ -551,6 +560,7 @@ func (s *Scheduler) Stats() Stats {
 	st.Scenarios = len(scenario.All())
 
 	st.Jobs.Submitted = s.submitted.Load()
+	st.Jobs.Certificates = s.certsSubmitted.Load()
 	st.Jobs.Fresh = s.runsFresh.Load()
 	st.Jobs.Completed = s.completed.Load()
 	st.Jobs.Failed = s.failed.Load()

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalQuantileKnownValues pins the quantile against textbook critical
+// values.
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.9995, 3.2905267314919255},
+		{0.025, -1.959963984540054},
+		{0.841344746068543, 1}, // Φ(1)
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestNormalQuantileRoundTrip checks Φ(Φ⁻¹(p)) = p across the interval,
+// including deep tails where the Bonferroni corrections live.
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	for _, p := range []float64{1e-12, 1e-8, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-8} {
+		x := NormalQuantile(p)
+		if got := cdf(x); math.Abs(got-p) > 1e-10*math.Max(p, 1-p)+1e-15 {
+			t.Errorf("Φ(Φ⁻¹(%g)) = %g", p, got)
+		}
+	}
+}
+
+// TestNormalQuantileEdges checks the boundary conventions.
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("edges should be ±Inf")
+	}
+	if !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("NaN should propagate")
+	}
+}
+
+// TestBonferroniZ checks the corrected critical value grows with the number
+// of comparisons and degenerates to plain two-sided z at m = 1.
+func TestBonferroniZ(t *testing.T) {
+	if z := BonferroniZ(0.05, 1); math.Abs(z-1.959963984540054) > 1e-9 {
+		t.Errorf("BonferroniZ(0.05, 1) = %v", z)
+	}
+	prev := 0.0
+	for _, m := range []int{1, 2, 5, 20, 100, 1000} {
+		z := BonferroniZ(0.05, m)
+		if z <= prev {
+			t.Errorf("BonferroniZ not increasing at m=%d: %v ≤ %v", m, z, prev)
+		}
+		prev = z
+	}
+	// The correction must match the direct quantile.
+	if z, want := BonferroniZ(0.01, 40), NormalQuantile(1-0.01/80); math.Abs(z-want) > 1e-12 {
+		t.Errorf("BonferroniZ(0.01, 40) = %v, want %v", z, want)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestCertSmokeEndToEnd builds the real fleserve binary and runs the full
+// certification smoke sequence against it — the same check `make
+// certify-smoke` performs in CI.
+func TestCertSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "fleserve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/fleserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build fleserve: %v\n%s", err, out)
+	}
+	if err := run([]string{"-bin", bin}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertSmokeBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestCertSmokeMissingBinary(t *testing.T) {
+	if err := run([]string{"-bin", filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("want start error for missing binary")
+	}
+}
+
+// TestPickDistinct checks the batch builder finds enough cheap scenarios
+// and keeps their content addresses distinct.
+func TestPickDistinct(t *testing.T) {
+	reqs := pickDistinct()
+	if len(reqs) < distinctCount {
+		t.Fatalf("picked %d scenarios, want %d", len(reqs), distinctCount)
+	}
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		key := r.Scenario
+		if seen[key] {
+			t.Errorf("scenario %s picked twice", key)
+		}
+		seen[key] = true
+		if r.N > 24 {
+			t.Errorf("%s sized n=%d, too big for a smoke", r.Scenario, r.N)
+		}
+	}
+}
