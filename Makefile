@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race check docs-check bench bench-tagged certify-smoke certify-golden
+.PHONY: build test race check docs-check bench bench-tagged bench-gate certify-smoke certify-golden profile
 
 build:
 	$(GO) build ./...
@@ -57,3 +57,18 @@ bench:
 
 bench-tagged:
 	BENCH_TAG=$(TAG) ./bench.sh
+
+# bench-gate guards against performance regressions: it re-times the gate
+# benchmarks (E1, E9, E11) and fails if their ns/op geomean regressed more
+# than 15% against the committed BENCH baseline (BENCH_BASELINE overrides
+# the default, the newest committed BENCH_*.txt). CI runs it on every push.
+bench-gate:
+	$(GO) run ./internal/tools/benchgate -baseline "$(BENCH_BASELINE)"
+
+# profile captures a CPU profile of the live service daemon under an
+# E5-shaped load: build fleserve, boot it with -pprof, saturate the engine
+# with honest A-LEADuni batches at n=64, and pull /debug/pprof/profile into
+# bench/e5.cpu.pprof (inspect with `go tool pprof bench/e5.cpu.pprof`).
+profile:
+	$(GO) build -o bin/fleserve ./cmd/fleserve
+	$(GO) run ./internal/tools/profcapture -bin bin/fleserve -out bench/e5.cpu.pprof

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fleserve [-addr HOST:PORT] [-workers W] [-parallel P] [-cache N]
+//	fleserve [-addr HOST:PORT] [-workers W] [-parallel P] [-cache N] [-pprof]
 //
 // Endpoints:
 //
@@ -17,6 +17,7 @@
 //	DELETE /certify/{id}  cancel a queued or running sweep
 //	GET    /healthz       liveness
 //	GET    /statz         cache hit rate, worker utilization, trials/sec
+//	GET    /debug/pprof/  runtime profiles (only with -pprof)
 //
 // Identical jobs — same scenario, parameters, seed, and code version —
 // share one computation: concurrent duplicates join the in-flight run, and
@@ -53,6 +54,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		workers  = fs.Int("workers", 0, "engine workers per job (0 = all CPUs); results are identical for any value")
 		parallel = fs.Int("parallel", 0, "concurrent engine runs (0 = 2); additional jobs queue")
 		cache    = fs.Int("cache", 0, "result cache capacity in entries (0 = 4096)")
+		profiled = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap profiling of the live daemon)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +64,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		Workers:   *workers,
 		Parallel:  *parallel,
 		CacheSize: *cache,
+		Profiling: *profiled,
 	})
 	ln, err := srv.Listen()
 	if err != nil {

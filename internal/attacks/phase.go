@@ -172,6 +172,21 @@ func (a PhaseRushing) Plan(n int, target int64, _ int64) (*ring.Deviation, error
 		Coalition:  coalition,
 		Strategies: make(map[sim.ProcID]sim.Strategy, k),
 	}
+	// Attack trials plan a fresh deviation per trial, so per-member
+	// allocations multiply by k·trials: all k members' per-position tables
+	// come out of one backing array, the backward walks share one coalition
+	// membership table and one backing, and chase mode's long-segment walk —
+	// read-only during execution — is computed once and shared.
+	isAdv := make([]bool, n+1)
+	for _, c := range coalition {
+		isAdv[int(c)] = true
+	}
+	tabs := make([]int64, 3*k*(n+1))
+	walks := make([]int, 0, k*(n-k))
+	var backwardLong []int
+	if mode == PhaseChase {
+		backwardLong = fillBackward(longPos, n, isAdv, make([]int, 0, n-k))
+	}
 	for i, pos := range coalition {
 		adv := &phaseRushAdversary{
 			cfg:           cfg,
@@ -183,11 +198,17 @@ func (a PhaseRushing) Plan(n int, target int64, _ int64) (*ring.Deviation, error
 			steer:         mode == PhaseSteer || mode == PhaseBestEffort,
 			searchCap:     searchCap,
 			searchWorkers: a.SearchWorkers,
-			backward:      backwardHonest(int(pos), n, coalition),
 		}
+		adv.valueOf = tabs[0 : n+1 : n+1]
+		adv.sentData = tabs[n+1 : 2*(n+1) : 2*(n+1)]
+		adv.vhat = tabs[2*(n+1) : 3*(n+1) : 3*(n+1)]
+		tabs = tabs[3*(n+1):]
+		start := len(walks)
+		walks = fillBackward(int(pos), n, isAdv, walks)
+		adv.backward = walks[start:len(walks):len(walks)]
 		if mode == PhaseChase {
 			adv.longPos, adv.longLen = longPos, longLen
-			adv.backwardLong = backwardHonest(longPos, n, coalition)
+			adv.backwardLong = backwardLong
 			adv.steer = int(pos) != longPos
 		}
 		dev.Strategies[pos] = adv
@@ -195,27 +216,33 @@ func (a PhaseRushing) Plan(n int, target int64, _ int64) (*ring.Deviation, error
 	return dev, nil
 }
 
-// backwardHonest lists the honest positions encountered walking backward
-// (against the ring direction) from pos, in order. The j-th entry is the
-// originator of the j-th data value an all-piping coalition member at pos
-// receives.
-func backwardHonest(pos, n int, coalition []sim.ProcID) []int {
-	adv := make(map[int]bool, len(coalition))
-	for _, c := range coalition {
-		adv[int(c)] = true
-	}
-	out := make([]int, 0, n-len(coalition))
+// fillBackward appends to out the honest positions encountered walking
+// backward (against the ring direction) from pos, in order: the j-th
+// appended entry is the originator of the j-th data value an all-piping
+// coalition member at pos receives. isAdv marks coalition membership by
+// position.
+func fillBackward(pos, n int, isAdv []bool, out []int) []int {
 	p := pos
 	for i := 1; i < n; i++ {
 		p--
 		if p < 1 {
 			p += n
 		}
-		if !adv[p] {
+		if !isAdv[p] {
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// backwardHonest is fillBackward for one-off callers that hold a coalition
+// list rather than a membership table.
+func backwardHonest(pos, n int, coalition []sim.ProcID) []int {
+	isAdv := make([]bool, n+1)
+	for _, c := range coalition {
+		isAdv[int(c)] = true
+	}
+	return fillBackward(pos, n, isAdv, make([]int, 0, n-len(coalition)))
 }
 
 // phaseRushAdversary is one coalition member of PhaseRushing.
@@ -238,7 +265,7 @@ type phaseRushAdversary struct {
 
 	round    int
 	received int
-	valueOf  map[int]int64 // honest position → data value
+	valueOf  []int64       // by honest position, −1 = not yet heard
 	sentData []int64       // by round, what we sent (for f bookkeeping)
 	vhat     []int64       // validation values by round
 	steered  map[int]int64 // free round → chosen value (nil until computed)
@@ -250,9 +277,20 @@ var _ sim.Strategy = (*phaseRushAdversary)(nil)
 
 func (p *phaseRushAdversary) Init(*sim.Context) {
 	n := p.cfg.N
-	p.valueOf = make(map[int]int64, n-p.k)
-	p.sentData = make([]int64, n+1)
-	p.vhat = make([]int64, n+1)
+	if p.valueOf == nil {
+		// Members built outside Plan (tests) have no pre-carved tables.
+		p.valueOf = make([]int64, n+1)
+		p.sentData = make([]int64, n+1)
+		p.vhat = make([]int64, n+1)
+	}
+	for i := range p.valueOf {
+		p.valueOf[i] = -1
+	}
+	clear(p.sentData)
+	clear(p.vhat)
+	p.round, p.received = 0, 0
+	p.steered = nil
+	p.chase, p.hasChase = 0, false
 }
 
 // pipeEnd is the last round in which this member forwards its receive: the
@@ -393,7 +431,7 @@ func (p *phaseRushAdversary) longOutput() int64 {
 // search): the true value when the slot's label is honest, zero otherwise.
 func (p *phaseRushAdversary) blindValue(r int) int64 {
 	label := p.cfg.Label(p.pos + 1 - r)
-	if v, ok := p.valueOf[label]; ok {
+	if v := p.valueOf[label]; v >= 0 {
 		return v
 	}
 	return 0

@@ -57,13 +57,24 @@ func (a Randomized) Plan(n int, target int64, seed int64) (*ring.Deviation, erro
 		Coalition:  coalition,
 		Strategies: make(map[sim.ProcID]sim.Strategy, len(coalition)),
 	}
-	for _, pos := range coalition {
-		dev.Strategies[pos] = &randomizedAdversary{
+	// One allocation for all adversary structs and one for all their
+	// receive buffers: each adversary records at most 2n values before it
+	// detects circularity or bails out, so a k·2n backing array carves into
+	// per-adversary capacity without any append-time growth. Attack plans
+	// are built per trial, which makes this the allocation hot spot of the
+	// randomized-coalition experiments.
+	advs := make([]randomizedAdversary, len(coalition))
+	buf := make([]int64, len(coalition)*2*n)
+	targetSum := ring.SumForLeader(target, n)
+	for i, pos := range coalition {
+		advs[i] = randomizedAdversary{
 			n:         n,
 			c:         c,
 			target:    target,
-			targetSum: ring.SumForLeader(target, n),
+			targetSum: targetSum,
+			received:  buf[i*2*n : i*2*n : (i+1)*2*n],
 		}
+		dev.Strategies[pos] = &advs[i]
 	}
 	return dev, nil
 }

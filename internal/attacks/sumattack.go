@@ -88,15 +88,29 @@ func (SumPhase) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
 		Coalition:  coalition,
 		Strategies: make(map[sim.ProcID]sim.Strategy, sumPhaseK),
 	}
+	// One backing array serves the four members' position tables and one
+	// membership table their backward walks: attack trials plan a fresh
+	// deviation per trial, so per-member allocations multiply.
+	isAdv := make([]bool, n+1)
+	for _, c := range coalition {
+		isAdv[int(c)] = true
+	}
+	tabs := make([]int64, sumPhaseK*(n+1))
+	walks := make([]int, 0, sumPhaseK*(n-sumPhaseK))
 	for _, m := range members {
-		dev.Strategies[sim.ProcID(m.pos)] = &sumPhaseAdversary{
+		adv := &sumPhaseAdversary{
 			plan:      plan,
 			pos:       m.pos,
 			li:        m.li,
 			behindLen: m.behindLen,
 			role:      m.role,
-			backward:  backwardHonest(m.pos, n, coalition),
 		}
+		adv.valueOf = tabs[0 : n+1 : n+1]
+		tabs = tabs[n+1:]
+		start := len(walks)
+		walks = fillBackward(m.pos, n, isAdv, walks)
+		adv.backward = walks[start:len(walks):len(walks)]
+		dev.Strategies[sim.ProcID(m.pos)] = adv
 	}
 	return dev, nil
 }
@@ -144,14 +158,22 @@ type sumPhaseAdversary struct {
 	hasPart   bool
 	forwSum   int64 // accumulated forward-segment secrets
 	forwSeen  int
-	valueOf   map[int]int64
-	spareSum  int64 // spare values emitted so far (mod n)
+	valueOf   []int64 // by honest position; unheard positions read as 0, like the map this replaces
+	spareSum  int64   // spare values emitted so far (mod n)
 }
 
 var _ sim.Strategy = (*sumPhaseAdversary)(nil)
 
 func (a *sumPhaseAdversary) Init(*sim.Context) {
-	a.valueOf = make(map[int]int64, len(a.backward))
+	if a.valueOf == nil {
+		// Members built outside Plan (tests) have no pre-carved table.
+		a.valueOf = make([]int64, a.plan.n+1)
+	}
+	clear(a.valueOf)
+	a.round, a.received = 0, 0
+	a.behindSum, a.knowS, a.s = 0, false, 0
+	a.partial, a.hasPart = 0, false
+	a.forwSum, a.forwSeen, a.spareSum = 0, 0, 0
 }
 
 func (a *sumPhaseAdversary) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {

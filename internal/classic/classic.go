@@ -64,6 +64,10 @@ var _ ring.Protocol = ChangRoberts{}
 // Name implements ring.Protocol.
 func (ChangRoberts) Name() string { return "Chang-Roberts" }
 
+// BatchSafe marks the protocol's strategies as fully re-initialized by Init,
+// so one strategy vector can serve every trial of an engine chunk.
+func (ChangRoberts) BatchSafe() {}
+
 // Strategies implements ring.Protocol.
 func (c ChangRoberts) Strategies(n int) ([]sim.Strategy, error) {
 	if n < 2 {
@@ -94,6 +98,7 @@ type crProcessor struct {
 var _ sim.Strategy = (*crProcessor)(nil)
 
 func (p *crProcessor) Init(ctx *sim.Context) {
+	p.announced = 0                          // full state reset: objects are reused across batched trials
 	p.id = assignID(ctx, p.arrange, p.n) + 1 // keep ids strictly positive
 	ctx.Send(p.id)
 }
@@ -141,6 +146,10 @@ var _ ring.Protocol = Peterson{}
 // Name implements ring.Protocol.
 func (Peterson) Name() string { return "Peterson" }
 
+// BatchSafe marks the protocol's strategies as fully re-initialized by Init,
+// so one strategy vector can serve every trial of an engine chunk.
+func (Peterson) BatchSafe() {}
+
 // Strategies implements ring.Protocol.
 func (p Peterson) Strategies(n int) ([]sim.Strategy, error) {
 	if n < 2 {
@@ -178,6 +187,8 @@ type petersonProcessor struct {
 var _ sim.Strategy = (*petersonProcessor)(nil)
 
 func (p *petersonProcessor) Init(ctx *sim.Context) {
+	// Full state reset: strategy objects are reused across batched trials.
+	p.relay, p.done, p.first = false, false, 0
 	p.tid = assignID(ctx, p.arrange, p.n) + 1
 	p.phase = wantFirst
 	ctx.Send(p.tid)

@@ -154,16 +154,21 @@ func Trials(toss Tosser, trials int) (CoinStats, error) {
 	return TrialsOpts(context.Background(), toss, trials, Options{})
 }
 
-// TrialsOpts is Trials with a context and engine options.
+// TrialsOpts is Trials with a context and engine options. Tosses run
+// chunked (engine.RunBatch): each worker claims whole trial ranges, so the
+// tosser's per-instance work amortizes its arena's recycled state.
 func TrialsOpts(ctx context.Context, toss Tosser, trials int, opts Options) (CoinStats, error) {
-	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
-		bit, err := toss(t, arena)
-		if err != nil {
-			return sim.Result{}, err
+	job := engine.ChunkFunc(func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+		for t := start; t < end; t++ {
+			bit, err := toss(t, arena)
+			if err != nil {
+				return t, err
+			}
+			add(sim.Result{Output: int64(bit)})
 		}
-		return sim.Result{Output: int64(bit)}, nil
+		return 0, nil
 	})
-	s, err := engine.Run(ctx, trials, job, coinSink,
+	s, err := engine.RunBatch(ctx, trials, job, coinSink,
 		engine.Options[*CoinStats]{Workers: opts.Workers, Chunk: opts.Chunk})
 	if err != nil || s == nil {
 		return CoinStats{}, err
@@ -219,21 +224,25 @@ func ElectTrialsOpts(ctx context.Context, n int, mkTosser func(trial int) Tosser
 	if mkTosser == nil {
 		return nil, errors.New("cointoss: nil tosser factory")
 	}
-	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
-		leader, ok, err := Elect(n, mkTosser(t), arena)
-		if err != nil {
-			return sim.Result{}, err
+	job := engine.ChunkFunc(func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+		for t := start; t < end; t++ {
+			leader, ok, err := Elect(n, mkTosser(t), arena)
+			if err != nil {
+				return t, err
+			}
+			if !ok {
+				add(sim.Result{Failed: true, Reason: sim.FailAbort})
+				continue
+			}
+			add(sim.Result{Output: leader})
 		}
-		if !ok {
-			return sim.Result{Failed: true, Reason: sim.FailAbort}, nil
-		}
-		return sim.Result{Output: leader}, nil
+		return 0, nil
 	})
 	sink := engine.Sink[*ring.Distribution]{
 		New:   func() *ring.Distribution { return ring.NewDistribution(n) },
 		Add:   func(d *ring.Distribution, res sim.Result) { d.Add(res) },
 		Merge: func(dst, src *ring.Distribution) { _ = dst.Merge(src) },
 	}
-	return engine.Run(ctx, trials, job, sink,
+	return engine.RunBatch(ctx, trials, job, sink,
 		engine.Options[*ring.Distribution]{Workers: opts.Workers, Chunk: opts.Chunk})
 }

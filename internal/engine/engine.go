@@ -33,6 +33,43 @@ type JobFunc func(t int, arena *sim.Arena) (sim.Result, error)
 // Trial implements Job.
 func (f JobFunc) Trial(t int, arena *sim.Arena) (sim.Result, error) { return f(t, arena) }
 
+// ChunkJob produces trials a contiguous work-claim chunk at a time, the
+// batched form of Job: the engine hands a whole [start, end) range to one
+// worker so per-trial overheads — strategy-vector construction, scheduler
+// setup, bounds validation — amortize across the chunk. Implementations must
+// be safe for concurrent use on distinct ranges, and every per-trial result
+// must depend only on the trial index, exactly as for Job; the merged shard
+// is then identical for every worker count and chunk size.
+type ChunkJob interface {
+	// RunChunk runs trials [start, end) in ascending order on the worker's
+	// arena, calling add exactly once per completed trial, in trial order.
+	// On failure it returns the failing trial's index with the error;
+	// results added before the failure are discarded with the batch.
+	RunChunk(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error)
+}
+
+// ChunkFunc adapts a function to the ChunkJob interface.
+type ChunkFunc func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error)
+
+// RunChunk implements ChunkJob.
+func (f ChunkFunc) RunChunk(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+	return f(start, end, arena, add)
+}
+
+// jobChunks lowers a per-trial Job onto the chunked interface.
+type jobChunks struct{ job Job }
+
+func (j jobChunks) RunChunk(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+	for t := start; t < end; t++ {
+		res, err := j.job.Trial(t, arena)
+		if err != nil {
+			return t, err
+		}
+		add(res)
+	}
+	return 0, nil
+}
+
 // Sink tells the engine how to accumulate results into per-worker shards of
 // type S and merge them. All three functions must be deterministic; Add and
 // Merge must commute (counter sums do), which is what makes the merged
@@ -63,6 +100,15 @@ type trialError struct {
 // case — therefore report deterministically); on context cancellation,
 // ctx.Err() is returned.
 func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Options[S]) (S, error) {
+	return RunBatch(ctx, trials, jobChunks{job}, sink, opts)
+}
+
+// RunBatch is Run for chunked jobs: the unit of work claimed by a worker is
+// a whole contiguous trial range, so the job can thread batch state (a
+// reused strategy vector, a pre-validated configuration) through all trials
+// of the chunk. Cancellation is observed between chunks; a chunk in flight
+// runs to completion first.
+func RunBatch[S any](ctx context.Context, trials int, job ChunkJob, sink Sink[S], opts Options[S]) (S, error) {
 	merged := sink.New()
 	if trials <= 0 {
 		return merged, nil
@@ -87,17 +133,20 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 		// Sequential fast path: one shard, one arena, no goroutines.
 		arena := opts.Arenas.Get()
 		defer opts.Arenas.Put(arena)
-		for t := 0; t < trials; t++ {
+		add := func(res sim.Result) { sink.Add(merged, res) }
+		for start := 0; start < trials; start += chunk {
 			if err := ctx.Err(); err != nil {
 				var zero S
 				return zero, err
 			}
-			res, err := job.Trial(t, arena)
-			if err != nil {
+			end := start + chunk
+			if end > trials {
+				end = trials
+			}
+			if _, err := job.RunChunk(start, end, arena, add); err != nil {
 				var zero S
 				return zero, err
 			}
-			sink.Add(merged, res)
 		}
 		return merged, nil
 	}
@@ -127,6 +176,7 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 			defer wg.Done()
 			shard := sink.New()
 			shards[w] = shard
+			add := func(res sim.Result) { sink.Add(shard, res) }
 			// Each worker owns one arena for the duration of the batch;
 			// trials claimed by this worker recycle its network, RNGs,
 			// and scratch buffers. With opts.Arenas the arena outlives
@@ -142,16 +192,12 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 				if end > trials {
 					end = trials
 				}
-				for t := start; t < end; t++ {
-					if ctx.Err() != nil {
-						return
-					}
-					res, err := job.Trial(t, arena)
-					if err != nil {
-						fail(t, err)
-						return
-					}
-					sink.Add(shard, res)
+				if ctx.Err() != nil {
+					return
+				}
+				if t, err := job.RunChunk(start, end, arena, add); err != nil {
+					fail(t, err)
+					return
 				}
 				if failed() {
 					return
@@ -180,7 +226,7 @@ func Run[S any](ctx context.Context, trials int, job Job, sink Sink[S], opts Opt
 // which chunks. Chunks completed beyond the stopping point are discarded:
 // wasted work, never nondeterminism. With only an Observe hook (Stop nil)
 // the batch always runs to completion.
-func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job, sink Sink[S], opts Options[S], merged S) (S, error) {
+func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job ChunkJob, sink Sink[S], opts Options[S], merged S) (S, error) {
 	numChunks := (trials + chunk - 1) / chunk
 	var (
 		cursor   atomic.Int64
@@ -238,23 +284,20 @@ func runAdaptive[S any](ctx context.Context, trials, chunk, workers int, job Job
 				if end > trials {
 					end = trials
 				}
-				for t := start; t < end; t++ {
-					if ctx.Err() != nil {
-						return
+				if ctx.Err() != nil {
+					return
+				}
+				add := func(res sim.Result) { sink.Add(shard, res) }
+				if t, err := job.RunChunk(start, end, arena, add); err != nil {
+					mu.Lock()
+					if firstER == nil || t < firstER.trial {
+						firstER = &trialError{trial: t, err: err}
 					}
-					res, err := job.Trial(t, arena)
-					if err != nil {
-						mu.Lock()
-						if firstER == nil || t < firstER.trial {
-							firstER = &trialError{trial: t, err: err}
-						}
-						mu.Unlock()
-						// Abandon the batch: stop every worker from
-						// claiming further chunks.
-						stopAt.Store(0)
-						return
-					}
-					sink.Add(shard, res)
+					mu.Unlock()
+					// Abandon the batch: stop every worker from claiming
+					// further chunks.
+					stopAt.Store(0)
+					return
 				}
 				mu.Lock()
 				results[c], done[c] = shard, true

@@ -12,9 +12,12 @@ import (
 // canonical encoding so reshaped encodings can never collide with old ones,
 // and the code version is part of every address so results never survive a
 // rebuild.
+// Both encodings carry scenario.SimContract (the sim field): certificates
+// and deviation digests computed under an older simulation determinism
+// contract must never collide with current ones.
 const (
-	certKeyFormat = "flecert-v1|version=%s|scenario=%s|n=%d|trials=%d|min=%d|maxk=%d|eps=%g|alpha=%g|nostop=%t|targets=%v|seed=%d"
-	devKeyFormat  = "fledev-v2|version=%s|scenario=%s|n=%d|trials=%d|min=%d|eps=%g|alpha=%g|m=%d|nostop=%t|family=%s|k=%d|mode=%s|target=%d|seed=%d"
+	certKeyFormat = "flecert-v2|sim=%s|version=%s|scenario=%s|n=%d|trials=%d|min=%d|maxk=%d|eps=%g|alpha=%g|nostop=%t|targets=%v|seed=%d"
+	devKeyFormat  = "fledev-v3|sim=%s|version=%s|scenario=%s|n=%d|trials=%d|min=%d|eps=%g|alpha=%g|m=%d|nostop=%t|family=%s|k=%d|mode=%s|target=%d|seed=%d"
 )
 
 // certIdentity is the resolved sweep configuration a certificate key pins:
@@ -58,7 +61,7 @@ func Key(sc scenario.Scenario, seed int64, o Options) string {
 // certificates exactly.
 func CertificateKey(version, scenarioName string, seed int64, id certIdentity) string {
 	h := sha256.New()
-	fmt.Fprintf(h, certKeyFormat, version, scenarioName, id.N, id.Trials, id.MinTrials,
+	fmt.Fprintf(h, certKeyFormat, scenario.SimContract, version, scenarioName, id.N, id.Trials, id.MinTrials,
 		id.MaxK, id.Epsilon, id.Alpha, id.NoStop, id.Targets, seed)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -83,7 +86,7 @@ type devIdentity struct {
 // stopped under different rules never share a digest.
 func DeviationKey(version, scenarioName string, seed int64, id devIdentity, c scenario.DeviationCandidate) string {
 	h := sha256.New()
-	fmt.Fprintf(h, devKeyFormat, version, scenarioName, id.N, id.Trials, id.MinTrials,
+	fmt.Fprintf(h, devKeyFormat, scenario.SimContract, version, scenarioName, id.N, id.Trials, id.MinTrials,
 		id.Epsilon, id.Alpha, id.M, id.NoStop, c.Family, c.K, c.Mode, c.Target, seed)
 	return hex.EncodeToString(h.Sum(nil))
 }

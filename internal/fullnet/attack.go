@@ -18,15 +18,7 @@ type droneAdversary struct {
 var _ sim.Strategy = (*droneAdversary)(nil)
 
 func (d *droneAdversary) Init(ctx *sim.Context) {
-	d.myShares = make([]int64, d.n+1)
-	d.haveShare = make([]bool, d.n+1)
-	d.reveals = make([][]int64, d.n+1)
-	for o := 1; o <= d.n; o++ {
-		d.reveals[o] = make([]int64, d.n+1)
-		for h := range d.reveals[o] {
-			d.reveals[o][h] = -1
-		}
-	}
+	d.reset()
 	d.secret = 0 // coalition constant: the closer accounts for it
 	d.distribute(ctx, d.secret)
 }
@@ -58,16 +50,16 @@ type closerAdversary struct {
 var _ sim.Strategy = (*closerAdversary)(nil)
 
 func (c *closerAdversary) Init(ctx *sim.Context) {
-	c.myShares = make([]int64, c.n+1)
-	c.haveShare = make([]bool, c.n+1)
-	c.reveals = make([][]int64, c.n+1)
-	for o := 1; o <= c.n; o++ {
-		c.reveals[o] = make([]int64, c.n+1)
-		for h := range c.reveals[o] {
-			c.reveals[o][h] = -1
+	c.reset()
+	c.distributed = false
+	if c.pool == nil {
+		c.pool = make(map[int64]map[int64]int64, c.honestCount)
+	} else {
+		// Recycle the pooled-share maps across batched trials.
+		for _, holders := range c.pool {
+			clear(holders)
 		}
 	}
-	c.pool = make(map[int64]map[int64]int64, c.honestCount)
 	// Do NOT distribute yet: commitment is deferred until we know the
 	// honest sum. (Our own-secret validation in finish() is skipped by
 	// setting the secret after distribution.)

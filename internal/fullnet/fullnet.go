@@ -142,6 +142,67 @@ func (e *Election) RunAttackArena(k int, target int64, seed int64, sched sim.Sch
 	return e.execute(strategies, seed, sched, arena)
 }
 
+// Runner is a reusable trial runner: the participant (and coalition)
+// strategy objects are built and validated once and fully re-initialized in
+// place by every run — reset recycles the O(n²) share/reveal buffers — so a
+// chunked trial batch constructs nothing per trial. Each Runner serves one
+// goroutine; runs on it are bit-identical to RunArena/RunAttackArena calls
+// with the same seeds.
+type Runner struct {
+	e          *Election
+	strategies []sim.Strategy
+}
+
+// Runner returns a reusable runner for honest elections.
+func (e *Election) Runner() *Runner {
+	strategies := make([]sim.Strategy, e.n)
+	for i := 1; i <= e.n; i++ {
+		strategies[i-1] = &participant{n: e.n, t: e.t, id: i}
+	}
+	return &Runner{e: e, strategies: strategies}
+}
+
+// AttackRunner returns a reusable runner for coalition elections, validating
+// the configuration once with RunAttackArena's exact checks and errors.
+func (e *Election) AttackRunner(k int, target int64) (*Runner, error) {
+	if target < 1 || target > int64(e.n) {
+		return nil, fmt.Errorf("fullnet: target %d out of range [1,%d]", target, e.n)
+	}
+	if k < e.t {
+		return nil, fmt.Errorf(
+			"fullnet: coalition of %d holds fewer than t=%d shares per honest secret; early reconstruction impossible (resilient regime)",
+			k, e.t)
+	}
+	if k >= e.n {
+		return nil, errors.New("fullnet: coalition covers the whole network")
+	}
+	closer := e.n
+	strategies := make([]sim.Strategy, e.n)
+	for i := 1; i <= e.n-k; i++ {
+		strategies[i-1] = &participant{n: e.n, t: e.t, id: i}
+	}
+	for i := e.n - k + 1; i <= e.n; i++ {
+		if i == closer {
+			strategies[i-1] = &closerAdversary{
+				participant: participant{n: e.n, t: e.t, id: i},
+				honestCount: e.n - k,
+				targetSum:   ring.SumForLeader(target, e.n),
+			}
+		} else {
+			strategies[i-1] = &droneAdversary{
+				participant: participant{n: e.n, t: e.t, id: i},
+				closer:      sim.ProcID(closer),
+			}
+		}
+	}
+	return &Runner{e: e, strategies: strategies}, nil
+}
+
+// Run executes one election on the runner's strategy vector.
+func (r *Runner) Run(seed int64, sched sim.Scheduler, arena *sim.Arena) (sim.Result, error) {
+	return r.e.execute(r.strategies, seed, sched, arena)
+}
+
 func (e *Election) execute(strategies []sim.Strategy, seed int64, sched sim.Scheduler, arena *sim.Arena) (sim.Result, error) {
 	return arena.Run(sim.Config{
 		Strategies: strategies,
@@ -168,16 +229,36 @@ type participant struct {
 
 var _ sim.Strategy = (*participant)(nil)
 
-func (p *participant) Init(ctx *sim.Context) {
-	p.myShares = make([]int64, p.n+1)
-	p.haveShare = make([]bool, p.n+1)
-	p.reveals = make([][]int64, p.n+1)
+// reset re-establishes the pre-run state, recycling the O(n²) share and
+// reveal buffers when they are already the right shape — the allocation
+// that used to dominate a trial's cost. A reset participant is
+// indistinguishable from a freshly constructed one, which is what lets
+// chunked trial batches (Runner) reuse one strategy vector across trials.
+func (p *participant) reset() {
+	if len(p.myShares) != p.n+1 {
+		p.myShares = make([]int64, p.n+1)
+		p.haveShare = make([]bool, p.n+1)
+		p.reveals = make([][]int64, p.n+1)
+		for o := 1; o <= p.n; o++ {
+			p.reveals[o] = make([]int64, p.n+1)
+		}
+	} else {
+		clear(p.myShares)
+		clear(p.haveShare)
+	}
 	for o := 1; o <= p.n; o++ {
-		p.reveals[o] = make([]int64, p.n+1)
-		for h := range p.reveals[o] {
-			p.reveals[o][h] = -1
+		row := p.reveals[o]
+		for h := range row {
+			row[h] = -1
 		}
 	}
+	p.secret = 0
+	p.shareCnt, p.revealed = 0, false
+	p.revealCnt, p.done = 0, false
+}
+
+func (p *participant) Init(ctx *sim.Context) {
+	p.reset()
 	p.secret = ctx.Rand().Int63n(int64(p.n))
 	p.distribute(ctx, p.secret)
 }

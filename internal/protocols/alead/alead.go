@@ -36,6 +36,10 @@ func New() Protocol { return Protocol{} }
 // Name implements ring.Protocol.
 func (Protocol) Name() string { return "A-LEADuni" }
 
+// BatchSafe marks the protocol's strategies as fully re-initialized by Init,
+// so one strategy vector can serve every trial of an engine chunk.
+func (Protocol) BatchSafe() {}
+
 // Strategies implements ring.Protocol: processor 1 is the origin, the rest
 // are normal (buffering) processors.
 func (Protocol) Strategies(n int) ([]sim.Strategy, error) {
@@ -58,8 +62,11 @@ type origin struct {
 
 var _ sim.Strategy = (*origin)(nil)
 
-// Init sends the origin's secret, the message that starts the election.
+// Init sends the origin's secret, the message that starts the election. It
+// re-establishes all execution state, so a strategy object reused across
+// batched trials behaves exactly like a fresh one.
 func (o *origin) Init(ctx *sim.Context) {
+	o.sum, o.received = 0, 0
 	o.secret = ctx.Rand().Int63n(int64(o.n))
 	ctx.Send(o.secret)
 }
@@ -69,7 +76,9 @@ func (o *origin) Init(ctx *sim.Context) {
 func (o *origin) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
 	value = ring.Mod(value, o.n)
 	o.received++
-	o.sum = ring.Mod(o.sum+value, o.n)
+	// value is reduced, so the raw sum stays ≤ n² and one reduction inside
+	// LeaderFromSum at termination replaces one per message.
+	o.sum += value
 	if o.received < o.n {
 		ctx.Send(value)
 		return
@@ -94,8 +103,10 @@ type normal struct {
 
 var _ sim.Strategy = (*normal)(nil)
 
-// Init draws the secret and stores it in the buffer (Appendix A lines 2-3).
+// Init draws the secret and stores it in the buffer (Appendix A lines 2-3),
+// resetting all execution state for batched strategy reuse.
 func (p *normal) Init(ctx *sim.Context) {
+	p.sum, p.received = 0, 0
 	p.secret = ctx.Rand().Int63n(int64(p.n))
 	p.buffer = p.secret
 }
@@ -108,7 +119,7 @@ func (p *normal) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
 	ctx.Send(p.buffer)
 	p.received++
 	p.buffer = value
-	p.sum = ring.Mod(p.sum+value, p.n)
+	p.sum += value // reduced once at termination; see origin.Receive
 	if p.received < p.n {
 		return
 	}

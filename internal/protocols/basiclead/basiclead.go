@@ -26,6 +26,10 @@ func New() Protocol { return Protocol{} }
 // Name implements ring.Protocol.
 func (Protocol) Name() string { return "Basic-LEAD" }
 
+// BatchSafe marks the protocol's strategies as fully re-initialized by Init,
+// so one strategy vector can serve every trial of an engine chunk.
+func (Protocol) BatchSafe() {}
+
 // Strategies implements ring.Protocol. Every processor runs the same
 // strategy; all wake up spontaneously and send their secret immediately.
 func (Protocol) Strategies(n int) ([]sim.Strategy, error) {
@@ -46,8 +50,10 @@ type processor struct {
 
 var _ sim.Strategy = (*processor)(nil)
 
-// Init draws the secret value and broadcasts it (Basic-LEAD line 2-3).
+// Init draws the secret value and broadcasts it (Basic-LEAD line 2-3),
+// resetting all execution state for batched strategy reuse.
 func (p *processor) Init(ctx *sim.Context) {
+	p.sum, p.received = 0, 0
 	p.secret = ctx.Rand().Int63n(int64(p.n))
 	ctx.Send(p.secret)
 }

@@ -31,6 +31,10 @@ func New() Protocol { return Protocol{} }
 // Name implements ring.Protocol.
 func (Protocol) Name() string { return "SumPhaseLead" }
 
+// BatchSafe marks the protocol's strategies as fully re-initialized by Init,
+// so one strategy vector can serve every trial of an engine chunk.
+func (Protocol) BatchSafe() {}
+
 // ValidationAlphabet resolves the validation alphabet size for ring size n.
 func (p Protocol) ValidationAlphabet(n int) int64 {
 	if p.M != 0 {
@@ -72,6 +76,7 @@ type normal struct {
 var _ sim.Strategy = (*normal)(nil)
 
 func (p *normal) Init(ctx *sim.Context) {
+	p.buffer, p.sum, p.round, p.received = 0, 0, 0, 0
 	p.d = ctx.Rand().Int63n(int64(p.n))
 	p.v = ctx.Rand().Int63n(p.m)
 	p.buffer = p.d
@@ -135,6 +140,7 @@ type origin struct {
 var _ sim.Strategy = (*origin)(nil)
 
 func (o *origin) Init(ctx *sim.Context) {
+	o.buffer, o.sum, o.received = 0, 0, 0
 	o.d = ctx.Rand().Int63n(int64(o.n))
 	o.v = ctx.Rand().Int63n(o.m)
 	o.round = 1

@@ -5,11 +5,24 @@ package ring
 // residue alphabet (the paper's [n] = {1..n}, shifted to {0..n−1} for clean
 // modular arithmetic; the bijection is fixed by LeaderFromSum).
 func Mod(v int64, n int) int64 {
-	m := v % int64(n)
-	if m < 0 {
-		m += int64(n)
+	// On the hot path (every message a ring processor handles) v is a sum
+	// or difference of values already in [0, n), so [0, 2n) and [−n, 0)
+	// cover nearly every call; both avoid the int64 division. Arbitrary
+	// payloads (adversaries may send anything) take the general reduction.
+	m := int64(n)
+	switch {
+	case v >= 0 && v < m:
+		return v
+	case v >= m && v < 2*m:
+		return v - m
+	case v < 0 && v >= -m:
+		return v + m
 	}
-	return m
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
 }
 
 // LeaderFromSum maps a residue sum to the elected leader id in [1..n].

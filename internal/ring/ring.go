@@ -79,6 +79,17 @@ type Attack interface {
 	Plan(n int, target int64, seed int64) (*Deviation, error)
 }
 
+// Batchable reports whether the protocol's strategy vector can serve every
+// trial of an engine chunk. A protocol opts in by declaring a `BatchSafe()`
+// marker method, promising that each strategy's Init fully re-establishes its
+// state — a reused object then behaves exactly like a fresh one, and the
+// batched trial loop (see HonestChunkJob) skips per-trial vector
+// construction without changing any outcome.
+func Batchable(p Protocol) bool {
+	_, ok := p.(interface{ BatchSafe() })
+	return ok
+}
+
 // Spec describes one execution.
 type Spec struct {
 	// N is the ring size.

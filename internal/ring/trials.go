@@ -2,6 +2,7 @@ package ring
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/engine"
@@ -180,6 +181,95 @@ func TrialSeed(base int64, t int) int64 {
 	return int64(sim.Mix64(uint64(base), uint64(t)+0x1234))
 }
 
+// SchedulerFor supplies the scheduler for one trial of a batched run: t is
+// the trial index, trialSeed its derived seed, and arena the calling
+// worker's arena (per-trial random schedulers recycle through it, see
+// sim.Arena.RandomScheduler). The scenario registry threads its scheduler
+// kinds through this hook; a nil SchedulerFor reuses the spec's own
+// Scheduler for every trial.
+type SchedulerFor func(t int, trialSeed int64, arena *sim.Arena) (sim.Scheduler, error)
+
+// HonestChunkJob returns the batched engine job running honest trials of the
+// spec: trial t runs with seed TrialSeed(spec.Seed, t) and the scheduler
+// chosen by schedFor (nil = spec.Scheduler throughout). When the protocol is
+// Batchable and the spec carries no Deviation, the strategy vector is built
+// and validated once per work-claim chunk and re-initialized in place for
+// every trial — the per-trial construction cost of a Job-based batch
+// disappears, with bit-identical outcomes. Other specs fall back to
+// per-trial RunArena inside the chunk.
+func HonestChunkJob(spec Spec, schedFor SchedulerFor) engine.ChunkJob {
+	return engine.ChunkFunc(func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+		if !Batchable(spec.Protocol) || spec.Deviation != nil {
+			for t := start; t < end; t++ {
+				trialSpec := spec
+				trialSpec.Seed = TrialSeed(spec.Seed, t)
+				if schedFor != nil {
+					sched, err := schedFor(t, trialSpec.Seed, arena)
+					if err != nil {
+						return t, err
+					}
+					trialSpec.Scheduler = sched
+				}
+				res, err := RunArena(trialSpec, arena)
+				if err != nil {
+					return t, fmt.Errorf("trial %d: %w", t, err)
+				}
+				add(res)
+			}
+			return 0, nil
+		}
+		// Batched fast path: validate once, build the strategy vector once,
+		// and let Init (total reset, the BatchSafe contract) refresh it for
+		// each trial of the chunk.
+		strategies, err := honestStrategies(spec)
+		if err != nil {
+			return start, fmt.Errorf("trial %d: %w", start, err)
+		}
+		for t := start; t < end; t++ {
+			ts := TrialSeed(spec.Seed, t)
+			sched := spec.Scheduler
+			if schedFor != nil {
+				if sched, err = schedFor(t, ts, arena); err != nil {
+					return t, err
+				}
+			}
+			res, err := arena.Run(sim.Config{
+				Strategies: strategies,
+				Edges:      arena.RingEdges(spec.N),
+				Seed:       ts,
+				Scheduler:  sched,
+				Tracer:     spec.Tracer,
+				StepLimit:  spec.StepLimit,
+			})
+			if err != nil {
+				return t, fmt.Errorf("trial %d: %w", t, err)
+			}
+			add(res)
+		}
+		return 0, nil
+	})
+}
+
+// honestStrategies validates the spec and builds its honest strategy vector,
+// with exactly RunArena's checks and error texts.
+func honestStrategies(spec Spec) ([]sim.Strategy, error) {
+	if spec.N < 2 {
+		return nil, fmt.Errorf("ring: need n ≥ 2, got %d", spec.N)
+	}
+	if spec.Protocol == nil {
+		return nil, errors.New("ring: nil protocol")
+	}
+	strategies, err := spec.Protocol.Strategies(spec.N)
+	if err != nil {
+		return nil, fmt.Errorf("ring: %s strategies: %w", spec.Protocol.Name(), err)
+	}
+	if len(strategies) != spec.N {
+		return nil, fmt.Errorf("ring: protocol %s returned %d strategies for n=%d",
+			spec.Protocol.Name(), len(strategies), spec.N)
+	}
+	return strategies, nil
+}
+
 // Trials runs the given spec repeatedly with derived seeds and aggregates
 // the outcomes. The spec's Seed field acts as the base seed; trial t runs
 // with an independently mixed seed, so trials are decorrelated but the whole
@@ -199,21 +289,13 @@ func Trials(spec Spec, trials int) (*Distribution, error) {
 // AttackTrials, which plans a fresh deviation per trial). Everything else
 // in the batch is safe to shard because each trial runs on its worker's
 // private arena, whose recycled network reproduces a fresh one
-// bit-for-bit.
+// bit-for-bit. The batch runs chunked (engine.RunBatch): Batchable
+// protocols reuse one strategy vector per chunk.
 func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (*Distribution, error) {
 	if spec.Scheduler != nil || spec.Tracer != nil || spec.Deviation != nil {
 		opts.Workers = 1
 	}
-	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
-		trialSpec := spec
-		trialSpec.Seed = TrialSeed(spec.Seed, t)
-		res, err := RunArena(trialSpec, arena)
-		if err != nil {
-			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
-		}
-		return res, nil
-	})
-	return engine.Run(ctx, trials, job, distSink(spec.N), opts.engineOptions())
+	return engine.RunBatch(ctx, trials, HonestChunkJob(spec, nil), distSink(spec.N), opts.engineOptions())
 }
 
 // PlanError marks a per-trial attack planning failure inside a trial
@@ -243,19 +325,53 @@ func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSee
 	return AttackTrialsOpts(context.Background(), n, protocol, attack, target, baseSeed, trials, TrialOptions{})
 }
 
-// AttackTrialsOpts is AttackTrials with a context and engine options.
+// AttackTrialsOpts is AttackTrials with a context and engine options. The
+// batch runs chunked: when the protocol is Batchable, the honest strategy
+// vector is built once per chunk and each trial's freshly planned deviation
+// is overlaid on a per-worker copy, so only the coalition's own strategy
+// objects are constructed per trial.
 func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int, opts TrialOptions) (*Distribution, error) {
-	job := engine.JobFunc(func(t int, arena *sim.Arena) (sim.Result, error) {
-		seed := int64(sim.Mix64(uint64(baseSeed), uint64(t)+0x9e37))
-		dev, err := attack.Plan(n, target, seed)
-		if err != nil {
-			return sim.Result{}, &PlanError{Attack: attack.Name(), N: n, Err: err}
+	job := engine.ChunkFunc(func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+		var honest []sim.Strategy
+		if Batchable(protocol) {
+			var err error
+			if honest, err = honestStrategies(Spec{N: n, Protocol: protocol}); err != nil {
+				return start, fmt.Errorf("trial %d: %w", start, err)
+			}
 		}
-		res, err := RunArena(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed}, arena)
-		if err != nil {
-			return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
+		for t := start; t < end; t++ {
+			seed := int64(sim.Mix64(uint64(baseSeed), uint64(t)+0x9e37))
+			dev, err := attack.Plan(n, target, seed)
+			if err != nil {
+				return t, &PlanError{Attack: attack.Name(), N: n, Err: err}
+			}
+			if honest == nil {
+				res, err := RunArena(Spec{N: n, Protocol: protocol, Deviation: dev, Seed: seed}, arena)
+				if err != nil {
+					return t, fmt.Errorf("trial %d: %w", t, err)
+				}
+				add(res)
+				continue
+			}
+			if err := dev.Validate(n); err != nil {
+				return t, fmt.Errorf("trial %d: %w", t, err)
+			}
+			strategies := arena.Strategies(n)
+			copy(strategies, honest)
+			for p, s := range dev.Strategies {
+				strategies[p-1] = s
+			}
+			res, err := arena.Run(sim.Config{
+				Strategies: strategies,
+				Edges:      arena.RingEdges(n),
+				Seed:       seed,
+			})
+			if err != nil {
+				return t, fmt.Errorf("trial %d: %w", t, err)
+			}
+			add(res)
 		}
-		return res, nil
+		return 0, nil
 	})
-	return engine.Run(ctx, trials, job, distSink(n), opts.engineOptions())
+	return engine.RunBatch(ctx, trials, job, distSink(n), opts.engineOptions())
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/classic"
+	"repro/internal/engine"
 	"repro/internal/fullnet"
 	"repro/internal/protocols/alead"
 	"repro/internal/protocols/basiclead"
@@ -27,18 +28,14 @@ import (
 // bit-identical to ring.TrialsOpts (same seed derivation, same engine).
 func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
 	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
-		return engineTrials(ctx, p, func(t int, arena *sim.Arena) (sim.Result, error) {
-			ts := trialSeed(seed, t)
-			sc, err := newScheduler(sched, ts, arena)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			res, err := ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Seed: ts, Scheduler: sc}, arena)
-			if err != nil {
-				return sim.Result{}, fmt.Errorf("trial %d: %w", t, err)
-			}
-			return res, nil
-		})
+		// Chunked batch: Batchable protocols reuse one strategy vector per
+		// work-claim chunk; the per-trial hook rebuilds only the scheduler
+		// (recycled on the worker's arena).
+		job := ring.HonestChunkJob(ring.Spec{N: p.N, Protocol: proto, Seed: seed},
+			func(t int, ts int64, arena *sim.Arena) (sim.Scheduler, error) {
+				return newScheduler(sched, ts, arena)
+			})
+		return engineBatch(ctx, p, job)
 	}
 	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Seed: seed, Scheduler: sc}, arena)
@@ -103,13 +100,28 @@ func completeRun(attack bool) runFunc {
 		if attack && k <= 0 {
 			k = e.Threshold()
 		}
-		return engineTrials(ctx, p, func(t int, arena *sim.Arena) (sim.Result, error) {
-			ts := trialSeed(seed, t)
-			if attack {
-				return e.RunAttackArena(k, p.Target, ts, nil, arena)
-			}
-			return e.RunArena(ts, nil, arena)
-		})
+		// Chunked batch: one fullnet.Runner per chunk reuses the participant
+		// vector and its O(n²) share/reveal buffers across trials.
+		return engineBatch(ctx, p, engine.ChunkFunc(
+			func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+				var runner *fullnet.Runner
+				if attack {
+					var err error
+					if runner, err = e.AttackRunner(k, p.Target); err != nil {
+						return start, err
+					}
+				} else {
+					runner = e.Runner()
+				}
+				for t := start; t < end; t++ {
+					res, err := runner.Run(trialSeed(seed, t), nil, arena)
+					if err != nil {
+						return t, err
+					}
+					add(res)
+				}
+				return 0, nil
+			}))
 	}
 }
 
@@ -125,19 +137,25 @@ func treeRun(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int,
 		if err != nil {
 			return nil, err
 		}
-		return engineTrials(ctx, p, func(t int, arena *sim.Arena) (sim.Result, error) {
-			ts := trialSeed(seed, t)
-			sc, err := newScheduler(sched, ts, arena)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return proto.RunArena(treeproto.Spec{
-				Seed:          ts,
-				Scheduler:     sc,
-				AdversaryRoot: adversary,
-				Target:        p.Target,
-			}, arena)
-		})
+		// Chunked batch: one treeproto.Runner per chunk reuses the node
+		// vector across trials; only the scheduler is rebuilt per trial.
+		return engineBatch(ctx, p, engine.ChunkFunc(
+			func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+				runner := proto.Runner(adversary, p.Target)
+				for t := start; t < end; t++ {
+					ts := trialSeed(seed, t)
+					sc, err := newScheduler(sched, ts, arena)
+					if err != nil {
+						return t, err
+					}
+					res, err := runner.Run(ts, sc, arena)
+					if err != nil {
+						return t, err
+					}
+					add(res)
+				}
+				return 0, nil
+			}))
 	}
 }
 

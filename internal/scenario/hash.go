@@ -6,10 +6,25 @@ import (
 	"fmt"
 )
 
+// SimContract names the simulation determinism contract in force: the PRNG
+// stream layout, seed derivations, and scheduler/queue semantics that make a
+// (seed, trial) pair reproduce bit-identically across worker counts, batch
+// sizes, and arena reuse. It is baked into every content address (job keys,
+// certificate and deviation digests), so results computed under an older
+// contract can never be replayed as current ones.
+//
+//   - sim-v1: math/rand lagged-Fibonacci per-processor generators, interface
+//     schedulers, per-trial strategy construction.
+//   - sim-v2: counter-based splittable SplitMix64 streams (sim.Stream),
+//     eager dead-link message dropping, specialized FIFO/LIFO/random
+//     scheduler queues, and chunk-batched strategy reuse.
+const SimContract = "sim-v2"
+
 // jobKeyFormat is the canonical encoding hashed by JobKey. Bump the leading
-// schema tag if the encoding ever changes shape, so old and new keys can
-// never collide.
-const jobKeyFormat = "flejob-v1|version=%s|scenario=%s|n=%d|trials=%d|k=%d|target=%d|seed=%d"
+// schema tag if the encoding ever changes shape — and SimContract (the sim
+// field) when simulation semantics change — so old and new keys can never
+// collide.
+const jobKeyFormat = "flejob-v2|sim=%s|version=%s|scenario=%s|n=%d|trials=%d|k=%d|target=%d|seed=%d"
 
 // JobKey returns the stable content address of one scenario run: the
 // SHA-256 of a canonical encoding of (code version, scenario name, resolved
@@ -30,6 +45,6 @@ const jobKeyFormat = "flejob-v1|version=%s|scenario=%s|n=%d|trials=%d|k=%d|targe
 func (s Scenario) JobKey(version string, seed int64, o Opts) string {
 	p := s.params(o)
 	h := sha256.New()
-	fmt.Fprintf(h, jobKeyFormat, version, s.Name, p.N, p.Trials, p.K, p.Target, seed)
+	fmt.Fprintf(h, jobKeyFormat, SimContract, version, s.Name, p.N, p.Trials, p.K, p.Target, seed)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -299,6 +299,15 @@ func engineTrials(ctx context.Context, p params, job func(t int, arena *sim.Aren
 		engine.Options[*ring.Distribution]{Workers: p.Workers, Stop: p.stop, Observe: p.observe, Arenas: p.arenas})
 }
 
+// engineBatch runs a chunked job on the parallel engine with the same
+// options engineTrials lowers; run builders whose trials can amortize
+// per-chunk state (a reused strategy vector, a prebuilt node set) route
+// through it.
+func engineBatch(ctx context.Context, p params, job engine.ChunkJob) (*ring.Distribution, error) {
+	return engine.RunBatch(ctx, p.Trials, job, distSink(p.N),
+		engine.Options[*ring.Distribution]{Workers: p.Workers, Stop: p.stop, Observe: p.observe, Arenas: p.arenas})
+}
+
 // trialOptions lowers the resolved params onto ring.TrialOptions, for the
 // run builders that route through ring.AttackTrialsOpts instead of
 // engineTrials.

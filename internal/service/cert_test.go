@@ -148,7 +148,10 @@ func TestCertifyCancel(t *testing.T) {
 	_, client := newTestServer(t, Config{})
 	ctx := context.Background()
 
-	blocker := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 8000, Seed: 2}
+	// The blocker must hold the single engine slot until the cancel request
+	// lands; the batched trial kernel runs a-lead trials in microseconds, so
+	// the trial count is sized for hundreds of milliseconds of occupancy.
+	blocker := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 120000, Seed: 2}
 	if _, err := client.Submit(ctx, []JobRequest{blocker}); err != nil {
 		t.Fatal(err)
 	}

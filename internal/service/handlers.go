@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/scenario"
@@ -47,6 +48,15 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /certify/{id}", s.handleCancelCert)
 	mux.HandleFunc("GET /statz", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleStats)
+	if s.cfg.Profiling {
+		// The daemon serves its own mux, never DefaultServeMux, so the
+		// pprof surface exists only when this instance opted in.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -154,6 +154,11 @@ type Config struct {
 	// BuildVersion(). Results computed by different versions never share
 	// cache entries.
 	Version string
+	// Profiling mounts net/http/pprof under /debug/pprof/ so a running
+	// daemon can be profiled in place (`go tool pprof .../debug/pprof/
+	// profile`). Off by default: the endpoints expose stacks and timings
+	// and belong behind an operator's explicit opt-in.
+	Profiling bool
 }
 
 // DefaultMaxTrials is the per-job trial ceiling used when Config leaves

@@ -31,8 +31,9 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 }
 
 // slowJob is big enough to stay in flight while the test races a duplicate
-// submission against it.
-var slowJob = JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 4000, Seed: 99}
+// submission against it (sized for the batched trial kernel, which runs
+// tens of thousands of n=24 trials per second per worker).
+var slowJob = JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 40000, Seed: 99}
 
 // quickJob finishes in well under a second.
 var quickJob = JobRequest{Scenario: "ring/basic-lead/fifo", N: 8, Trials: 120, Seed: 5}
@@ -43,7 +44,7 @@ func TestDedupIdenticalConcurrentJobs(t *testing.T) {
 
 	// Occupy the single engine slot so the jobs under test stay queued
 	// for as long as this test needs.
-	blocker := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 6000, Seed: 1}
+	blocker := JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 200000, Seed: 1}
 	first, err := client.Submit(ctx, []JobRequest{blocker})
 	if err != nil {
 		t.Fatalf("submit blocker: %v", err)

@@ -18,7 +18,6 @@ package shamir
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 )
 
 // P is the field modulus, the Mersenne prime 2³¹−1.
@@ -65,9 +64,15 @@ type Share struct {
 	Value int64 // field element
 }
 
+// Source is the randomness Split consumes: any generator exposing Int63n.
+// Both *math/rand.Rand and *sim.Stream satisfy it.
+type Source interface {
+	Int63n(n int64) int64
+}
+
 // Split shares the secret among n parties with reconstruction threshold t:
 // any t shares determine the secret, any fewer are independent of it.
-func Split(secret int64, t, n int, rng *rand.Rand) ([]Share, error) {
+func Split(secret int64, t, n int, rng Source) ([]Share, error) {
 	if t < 1 || t > n {
 		return nil, fmt.Errorf("shamir: threshold %d out of range [1,%d]", t, n)
 	}

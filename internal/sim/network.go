@@ -69,32 +69,93 @@ type Config struct {
 	StepLimit int
 }
 
+// schedKind tags the concrete scheduler type so the delivery loop can
+// dispatch without an interface call per message. Unknown implementations
+// fall back to the interface (schedGeneric).
+type schedKind uint8
+
+const (
+	schedFIFO schedKind = iota
+	schedLIFO
+	schedRandom
+	schedGeneric
+)
+
+// link is one directed FIFO edge. In non-FIFO scheduling modes each link
+// carries its own power-of-two ring buffer of undelivered payloads (head and
+// tail are absolute counters; index = ctr & (len−1)); in FIFO mode payloads
+// ride inline in the network's pending ring and the per-link queue stays
+// empty.
 type link struct {
 	from  ProcID
 	to    ProcID
 	queue []int64
 	head  int
+	tail  int
 }
 
-func (l *link) push(v int64) { l.queue = append(l.queue, v) }
+func (l *link) push(v int64) {
+	if l.tail-l.head == len(l.queue) {
+		l.grow()
+	}
+	l.queue[l.tail&(len(l.queue)-1)] = v
+	l.tail++
+}
 
 func (l *link) pop() int64 {
-	v := l.queue[l.head]
+	v := l.queue[l.head&(len(l.queue)-1)]
 	l.head++
-	if l.head > 1024 && l.head*2 > len(l.queue) {
-		l.queue = append(l.queue[:0], l.queue[l.head:]...)
-		l.head = 0
-	}
 	return v
 }
 
+func (l *link) grow() {
+	newCap := len(l.queue) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	grown := make([]int64, newCap)
+	count := l.tail - l.head
+	for i := 0; i < count; i++ {
+		grown[i] = l.queue[(l.head+i)&(len(l.queue)-1)]
+	}
+	l.queue = grown
+	l.head, l.tail = 0, count
+}
+
+// procState holds the cold per-processor state: the strategy, its context
+// and its final output. The fields touched on every message — status, send
+// and receive counters, default-route cache — live in the Network's parallel
+// structure-of-arrays slices instead, so the per-message loop walks a few
+// kilobytes of hot arrays rather than striding through ~100-byte structs
+// that fall out of L1 on large rings.
 type procState struct {
 	strategy Strategy
 	ctx      Context
-	status   Status
 	output   int64
-	sent     int
-	received int
+}
+
+// pendSlot is one undelivered message in the pending ring: routing metadata
+// and payload interleaved so a push or pop touches a single cache line.
+type pendSlot struct {
+	meta int64
+	val  int64
+}
+
+// hotProc packs the per-processor fields every message touches into one
+// 16-byte record, so a send reads exactly two cache lines of processor state
+// (the sender's record and the target's) and a delivery reads one: status and
+// the receive counter share a line, and the route cache and send counter
+// share the sender's.
+type hotProc struct {
+	// outTo is the destination of the processor's default route, −1 when the
+	// processor cannot send — either it has no outgoing link or it has
+	// already terminated (Terminate clears the route, folding the
+	// sender-alive check into the route load; configure re-establishes it).
+	outTo int32
+	// status mirrors the processor's Status as an int32.
+	status   int32
+	sent     int32
+	received int32
 }
 
 // Network is an executor for one configuration. Build with New, run with
@@ -108,19 +169,43 @@ type Network struct {
 	links    []link
 	outLinks [][]int // per ProcID, indices into links
 
-	// pending is a deque of link indices, one entry per undelivered
-	// message, in global send order.
-	pending  []int
-	pendHead int
+	// Hot per-processor state, indexed by ProcID with slot 0 unused. Every
+	// send and delivery works entirely on these dense 16-byte records (a few
+	// KB even at n=1024) instead of striding through procState, keeping the
+	// per-message working set L1-resident.
+	hot []hotProc
+	// outLink caches each processor's first outgoing link (index into
+	// links), −1 for a processor with no outgoing links; only the non-FIFO
+	// send path consults it. Refreshed by configure on every Reset.
+	outLink []int32
 
-	sched      Scheduler
-	tracer     Tracer
-	stepLimit  int
-	steps      int
-	delivered  int
-	dropped    int
-	terminated int
-	ran        bool
+	// The pending set is a power-of-two ring buffer of interleaved
+	// meta/payload slots in global send order (payloads are consulted only
+	// in FIFO mode, where global order implies per-link order and the
+	// per-link queues are bypassed entirely). The metadata word is
+	// schedule-dependent: in FIFO mode it packs from<<32|to so delivery
+	// never dereferences the link table; in every other mode it is the
+	// link index the scheduler's pick resolves through. pendHead and
+	// pendTail are absolute counters; index = ctr & (len−1).
+	pend     []pendSlot
+	pendHead int
+	pendTail int
+
+	sched     Scheduler
+	schedKind schedKind
+	randSched *RandomScheduler
+	tracer    Tracer
+	stepLimit int
+	// steps and delivered are materialized from pendHead and dropDeliver
+	// when a run loop exits; the loops themselves maintain only pendHead
+	// (the absolute pop counter doubles as the step count) and the
+	// cold-branch dropDeliver.
+	steps       int
+	delivered   int
+	dropped     int
+	dropDeliver int
+	terminated  int
+	ran         bool
 
 	// outBuf and statBuf back the Result of a reused network, so repeated
 	// Reset/Run cycles do not allocate fresh result slices. See result().
@@ -148,9 +233,9 @@ func New(cfg Config) (*Network, error) {
 }
 
 // Reset reinstates the initial state of cfg on the network's existing
-// backing memory: processor slots, link queues, the pending deque, the
-// per-processor PRNGs and the result buffers are all recycled instead of
-// reallocated, and only a topology change (different size or edge set)
+// backing memory: processor slots, link queues, the pending ring, the
+// per-processor PRNG streams and the result buffers are all recycled instead
+// of reallocated, and only a topology change (different size or edge set)
 // rebuilds the link structures. A Reset network runs cfg exactly as a
 // freshly constructed one would — bit-for-bit, including every PRNG stream —
 // which is what lets trial arenas recycle one Network across thousands of
@@ -187,8 +272,7 @@ func (net *Network) configure(cfg Config) error {
 		// link structures, just drain the queues.
 		for i := range net.links {
 			l := &net.links[i]
-			l.queue = l.queue[:0]
-			l.head = 0
+			l.head, l.tail = 0, 0
 		}
 	} else if err := net.buildTopology(n, cfg.Edges); err != nil {
 		return err
@@ -198,40 +282,55 @@ func (net *Network) configure(cfg Config) error {
 	if net.sched == nil {
 		net.sched = FIFOScheduler{}
 	}
+	// Resolve the concrete scheduler type once so the per-message delivery
+	// loop never pays an interface call for the built-in schedulers.
+	net.randSched = nil
+	switch s := net.sched.(type) {
+	case FIFOScheduler:
+		net.schedKind = schedFIFO
+	case LIFOScheduler:
+		net.schedKind = schedLIFO
+	case *RandomScheduler:
+		net.schedKind = schedRandom
+		net.randSched = s
+	default:
+		net.schedKind = schedGeneric
+	}
 	net.tracer = cfg.Tracer
 	net.stepLimit = cfg.StepLimit
 	if net.stepLimit <= 0 {
 		net.stepLimit = 64*n*n + 4096
 	}
-	net.pending = net.pending[:0]
-	net.pendHead = 0
-	net.steps, net.delivered, net.dropped, net.terminated = 0, 0, 0, 0
+	net.pendHead, net.pendTail = 0, 0
+	net.steps, net.delivered, net.dropped, net.dropDeliver, net.terminated = 0, 0, 0, 0, 0
 	net.ran = false
 	if cap(net.procs) < n+1 {
 		procs := make([]procState, n+1)
-		// Carry over existing slots: their contexts hold reusable PRNG
-		// state, reseeded below.
 		copy(procs, net.procs)
 		net.procs = procs
 	} else {
 		net.procs = net.procs[:n+1]
 	}
+	if cap(net.hot) < n+1 {
+		net.hot = make([]hotProc, n+1)
+		net.outLink = make([]int32, n+1)
+	} else {
+		net.hot = net.hot[:n+1]
+		net.outLink = net.outLink[:n+1]
+	}
 	for i := 1; i <= n; i++ {
 		p := &net.procs[i]
 		p.strategy = cfg.Strategies[i-1]
-		p.status = StatusRunning
 		p.output = 0
-		p.sent = 0
-		p.received = 0
-		if p.ctx.rng == nil {
-			p.ctx = NewContext(net, ProcID(i), cfg.Seed)
-		} else {
-			// Recycled slot: the context already points at this network
-			// and holds an allocated PRNG; reseeding reproduces exactly
-			// the stream a fresh NewContext would draw.
-			p.ctx.backend = net
-			p.ctx.Reseed(cfg.Seed)
+		net.hot[i] = hotProc{outTo: -1, status: int32(StatusRunning)}
+		net.outLink[i] = -1
+		if ls := net.outLinks[i]; len(ls) > 0 {
+			net.outLink[i] = int32(ls[0])
+			net.hot[i].outTo = int32(net.links[ls[0]].to)
 		}
+		// Contexts carry no heap state under the counter-based Stream, so
+		// fresh construction and arena recycling are the same three stores.
+		p.ctx = NewContext(net, ProcID(i), cfg.Seed)
 	}
 	return nil
 }
@@ -279,8 +378,7 @@ func (net *Network) buildTopology(n int, edges []Edge) error {
 	for i, e := range edges {
 		l := &net.links[i]
 		l.from, l.to = e.From, e.To
-		l.queue = l.queue[:0]
-		l.head = 0
+		l.head, l.tail = 0, 0
 	}
 	if cap(net.outLinks) < n+1 {
 		net.outLinks = make([][]int, n+1)
@@ -303,72 +401,141 @@ var _ Backend = (*Network)(nil)
 func (net *Network) Size() int { return net.n }
 
 // Send implements Backend: enqueue on the processor's first outgoing link.
+// This is the per-message primitive of every ring protocol, so the whole
+// FIFO path — status checks, counters, the pending-ring push — is fused
+// into one call frame that touches only the sender's and target's hot
+// records: the destination rides in the route cache (whose −1 sentinel also
+// encodes "sender already terminated"), and neither outLinks nor the link
+// table is consulted.
 func (net *Network) Send(from ProcID, value int64) {
-	links := net.outLinks[from]
-	if len(links) == 0 {
+	h := &net.hot[from]
+	to := ProcID(h.outTo)
+	if to < 0 {
 		return
 	}
-	net.sendOnLink(from, links[0], value)
+	h.sent++
+	if net.tracer != nil {
+		net.tracer.OnSend(from, int(h.sent), to, value)
+	}
+	if net.hot[to].status != int32(StatusRunning) {
+		// Dead link: the target has already produced its output, so the
+		// message can never be delivered. Dropping it at send time keeps it
+		// out of the pick loop entirely (it consumes no scheduler step and
+		// no scheduler randomness).
+		net.dropped++
+		return
+	}
+	if net.schedKind != schedFIFO {
+		net.links[net.outLink[from]].push(value)
+		net.pushPending(int64(net.outLink[from]), value)
+		return
+	}
+	if net.pendTail-net.pendHead == len(net.pend) {
+		net.growPending()
+	}
+	net.pend[net.pendTail&(len(net.pend)-1)] = pendSlot{int64(from)<<32 | int64(to), value}
+	net.pendTail++
 }
 
 // SendTo implements Backend: enqueue towards a specific neighbour.
 func (net *Network) SendTo(from, to ProcID, value int64) {
 	for _, l := range net.outLinks[from] {
 		if net.links[l].to == to {
-			net.sendOnLink(from, l, value)
+			net.sendOnLink(from, l, to, value)
 			return
 		}
 	}
 }
 
-func (net *Network) sendOnLink(from ProcID, linkIdx int, value int64) {
-	p := &net.procs[from]
-	if p.status != StatusRunning {
+// sendOnLink is the generic enqueue used by SendTo; the default-link Send
+// carries its own fused copy of this logic.
+func (net *Network) sendOnLink(from ProcID, linkIdx int, to ProcID, value int64) {
+	h := &net.hot[from]
+	if h.status != int32(StatusRunning) {
 		return
 	}
-	p.sent++
-	net.links[linkIdx].push(value)
-	net.pending = append(net.pending, linkIdx)
+	h.sent++
 	if net.tracer != nil {
-		net.tracer.OnSend(from, p.sent, net.links[linkIdx].to, value)
+		net.tracer.OnSend(from, int(h.sent), to, value)
 	}
+	if net.hot[to].status != int32(StatusRunning) {
+		// Dead link: see Send.
+		net.dropped++
+		return
+	}
+	meta := int64(from)<<32 | int64(to)
+	if net.schedKind != schedFIFO {
+		net.links[linkIdx].push(value)
+		meta = int64(linkIdx)
+	}
+	net.pushPending(meta, value)
+}
+
+// pushPending appends one undelivered message to the pending ring, growing
+// the backing slice (doubling) when full.
+func (net *Network) pushPending(meta int64, value int64) {
+	if net.pendTail-net.pendHead == len(net.pend) {
+		net.growPending()
+	}
+	net.pend[net.pendTail&(len(net.pend)-1)] = pendSlot{meta, value}
+	net.pendTail++
+}
+
+// growPending doubles the pending ring without rebasing pendHead or
+// pendTail: the counters stay absolute across growth because pendHead
+// doubles as the execution's step count (and the step-limit check), so the
+// live entries are re-slotted at their absolute positions under the new
+// mask instead of being compacted to the front.
+func (net *Network) growPending() {
+	newCap := len(net.pend) * 2
+	if newCap == 0 {
+		newCap = 64
+	}
+	grown := make([]pendSlot, newCap)
+	oldMask := len(net.pend) - 1
+	for i := net.pendHead; i < net.pendTail; i++ {
+		grown[i&(newCap-1)] = net.pend[i&oldMask]
+	}
+	net.pend = grown
 }
 
 // Terminate implements Backend.
 func (net *Network) Terminate(id ProcID, output int64, aborted bool) {
-	p := &net.procs[id]
-	if p.status != StatusRunning {
+	h := &net.hot[id]
+	if h.status != int32(StatusRunning) {
 		return
 	}
 	if aborted {
-		p.status = StatusAborted
+		h.status = int32(StatusAborted)
 	} else {
-		p.status = StatusTerminated
-		p.output = output
+		h.status = int32(StatusTerminated)
+		net.procs[id].output = output
 	}
+	// A terminated processor never sends again; clearing its route lets the
+	// Send fast path fold the sender-alive check into the route load.
+	h.outTo = -1
 	net.terminated++
 	if net.tracer != nil {
 		net.tracer.OnTerminate(id, output, aborted)
 	}
 }
 
-func (net *Network) pendingCount() int { return len(net.pending) - net.pendHead }
+func (net *Network) pendingCount() int { return net.pendTail - net.pendHead }
 
-// popPending removes and returns the pending entry at the given offset from
-// the front. Offset 0 preserves exact FIFO order; other offsets are used by
-// randomized schedulers, which do not rely on the residual order.
+// popPending removes and returns the link index of the pending entry at the
+// given offset from the front. Offset 0 preserves exact FIFO order; other
+// offsets move the front entry into the vacated slot, which randomized
+// schedulers tolerate (they do not rely on the residual order) and which
+// reproduces the historical LIFO delivery sequence exactly.
 func (net *Network) popPending(offset int) int {
-	idx := net.pendHead + offset
-	l := net.pending[idx]
+	mask := len(net.pend) - 1
+	idx := (net.pendHead + offset) & mask
+	l := net.pend[idx].meta
 	if offset != 0 {
-		net.pending[idx] = net.pending[net.pendHead]
+		net.pend[idx] = net.pend[net.pendHead&mask]
 	}
 	net.pendHead++
-	if net.pendHead > 4096 && net.pendHead*2 > len(net.pending) {
-		net.pending = append(net.pending[:0], net.pending[net.pendHead:]...)
-		net.pendHead = 0
-	}
-	return l
+	return int(l)
 }
 
 // Run executes the configuration to completion and reports the outcome.
@@ -385,36 +552,92 @@ func (net *Network) Run() Result {
 		p.strategy.Init(&p.ctx)
 	}
 
-	for net.pendingCount() > 0 && net.terminated < net.n && net.steps < net.stepLimit {
-		net.steps++
-		offset := 0
-		if k := net.pendingCount(); k > 1 {
-			offset = net.sched.Pick(k)
-			if offset < 0 || offset >= k {
-				offset = 0
-			}
-		}
-		linkIdx := net.popPending(offset)
-		l := &net.links[linkIdx]
-		value := l.pop()
-		target := &net.procs[l.to]
-		if target.status != StatusRunning {
-			net.dropped++
-			continue
-		}
-		net.delivered++
-		target.received++
-		if net.tracer != nil {
-			net.tracer.OnDeliver(l.to, target.received, l.from, value)
-		}
-		target.strategy.Receive(&target.ctx, l.from, value)
+	if net.schedKind == schedFIFO {
+		net.runFIFO()
+	} else {
+		net.runPicked()
 	}
 	return net.result()
 }
 
+// runFIFO is the delivery loop for the default global-FIFO schedule: the
+// oldest pending message is always next, its payload and routing (packed
+// from<<32|to) ride inline in the pending ring, and no scheduler, per-link
+// queue or link-table access happens at all. Step and delivery counters are
+// derived once at loop exit: pendHead is the absolute pop counter, so it IS
+// the step count, and deliveries are the steps that did not hit a dead
+// processor — the hot loop maintains neither.
+func (net *Network) runFIFO() {
+	for net.pendTail > net.pendHead && net.terminated < net.n && net.pendHead < net.stepLimit {
+		slot := net.pend[net.pendHead&(len(net.pend)-1)]
+		net.pendHead++
+		from, to := ProcID(slot.meta>>32), ProcID(slot.meta&0xffffffff)
+		ht := &net.hot[to]
+		if ht.status != int32(StatusRunning) {
+			net.dropped++
+			net.dropDeliver++
+			continue
+		}
+		ht.received++
+		if net.tracer != nil {
+			net.tracer.OnDeliver(to, int(ht.received), from, slot.val)
+		}
+		target := &net.procs[to]
+		target.strategy.Receive(&target.ctx, from, slot.val)
+	}
+	net.steps = net.pendHead
+	net.delivered = net.pendHead - net.dropDeliver
+}
+
+// runPicked is the delivery loop for every non-FIFO schedule. The scheduler
+// picks a pending entry; the delivered payload is the picked link's oldest
+// undelivered message (links are FIFO in the model regardless of the global
+// schedule). Built-in schedulers dispatch on the pre-resolved concrete type;
+// only foreign Scheduler implementations pay the interface call.
+func (net *Network) runPicked() {
+	defer func() {
+		net.steps = net.pendHead
+		net.delivered = net.pendHead - net.dropDeliver
+	}()
+	for {
+		k := net.pendTail - net.pendHead
+		if k == 0 || net.terminated >= net.n || net.pendHead >= net.stepLimit {
+			return
+		}
+		offset := 0
+		if k > 1 {
+			switch net.schedKind {
+			case schedLIFO:
+				offset = k - 1
+			case schedRandom:
+				offset = net.randSched.rng.Intn(k)
+			default:
+				offset = net.sched.Pick(k)
+				if offset < 0 || offset >= k {
+					offset = 0
+				}
+			}
+		}
+		l := &net.links[net.popPending(offset)]
+		value := l.pop()
+		ht := &net.hot[l.to]
+		if ht.status != int32(StatusRunning) {
+			net.dropped++
+			net.dropDeliver++
+			continue
+		}
+		ht.received++
+		if net.tracer != nil {
+			net.tracer.OnDeliver(l.to, int(ht.received), l.from, value)
+		}
+		target := &net.procs[l.to]
+		target.strategy.Receive(&target.ctx, l.from, value)
+	}
+}
+
 // Sent returns how many messages processor id has sent so far. It is used by
 // analyses that inspect the network mid-run via a Tracer.
-func (net *Network) Sent(id ProcID) int { return net.procs[id].sent }
+func (net *Network) Sent(id ProcID) int { return int(net.hot[id].sent) }
 
 // Received returns how many messages processor id has processed so far.
-func (net *Network) Received(id ProcID) int { return net.procs[id].received }
+func (net *Network) Received(id ProcID) int { return int(net.hot[id].received) }

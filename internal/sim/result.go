@@ -101,18 +101,19 @@ func (net *Network) result() Result {
 	agree := true
 	anyAbort, anyRunning := false, false
 	for i := 1; i <= net.n; i++ {
-		p := &net.procs[i]
-		res.Statuses[i] = p.status
-		res.Outputs[i] = p.output
-		switch p.status {
+		out := net.procs[i].output
+		st := Status(net.hot[i].status)
+		res.Statuses[i] = st
+		res.Outputs[i] = out
+		switch st {
 		case StatusAborted:
 			anyAbort = true
 		case StatusRunning:
 			anyRunning = true
 		case StatusTerminated:
 			if first {
-				common, first = p.output, false
-			} else if p.output != common {
+				common, first = out, false
+			} else if out != common {
 				agree = false
 			}
 		}

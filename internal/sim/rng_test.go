@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStreamGoldenVectors pins the exact draw sequences of the splittable
+// stream generator across platforms and refactors: every value below is a
+// pure function of (seed, id, counter), so any change to the key
+// derivation, the golden-ratio increment, or the SplitMix64 mixer breaks
+// this test — and with it the sim-v2 determinism contract that every
+// committed golden (EXPERIMENTS.md, CERTIFICATES.md, the cmd goldens)
+// depends on. Regenerating these constants means re-recording all of them.
+func TestStreamGoldenVectors(t *testing.T) {
+	cases := []struct {
+		seed int64
+		id   ProcID
+		want [4]uint64
+	}{
+		{seed: 20180516, id: 1, want: [4]uint64{0xcfb4bfd8e1eb7e0, 0xbb0822331d10afe6, 0x4652f4c2d08a4231, 0x3493a828979f76b9}},
+		{seed: 20180516, id: 2, want: [4]uint64{0xcd6d17b1ffe9cf78, 0x83a2ffc40b534fc0, 0x75cc2c57776e5fe3, 0x176acb9850a6a76f}},
+		{seed: -1, id: 7, want: [4]uint64{0xa0f8e06bfa3418b0, 0xe18e5cc342e728e1, 0x80855178799fa623, 0x378b60335f5fc5d6}},
+		{seed: 0, id: 0, want: [4]uint64{0x1fe790c5909b35d4, 0x7f864ac873fb2707, 0xa172800554e3d2f1, 0xffe7b9cbeb192d9c}},
+	}
+	for _, c := range cases {
+		s := NewStream(c.seed, c.id)
+		for i, want := range c.want {
+			if got := s.Uint64(); got != want {
+				t.Errorf("Stream(seed=%d, id=%d) draw %d = %#x, want %#x", c.seed, c.id, i, got, want)
+			}
+		}
+		// At is the pure positional accessor: At(i) must equal the i-th
+		// sequential draw without disturbing the stream's own counter.
+		s = NewStream(c.seed, c.id)
+		for i, want := range c.want {
+			if got := s.At(uint64(i + 1)); got != want {
+				t.Errorf("Stream(seed=%d, id=%d).At(%d) = %#x, want %#x", c.seed, c.id, i+1, got, want)
+			}
+		}
+	}
+	// Derived draws pin the bit-to-value lowerings too.
+	r := NewStream(42, 3)
+	if got, want := r.Float64(), 0.8214414365264449; got != want {
+		t.Errorf("Float64 first draw = %v, want %v", got, want)
+	}
+	wantSeq := []int64{0, 8, 8, 6, 7, 3}
+	for i, want := range wantSeq {
+		if got := r.Int63n(10); got != want {
+			t.Errorf("Int63n(10) draw %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestStreamCounterWrap pins the wrap-around behaviour: the counter
+// advances mod 2⁶⁴, so a stream at counter 2⁶⁴−1 draws that position and
+// then continues from position 0 — the sequence is periodic, never
+// panicking or sticking. (No simulation gets within 2⁴⁰ of the wrap; the
+// test exists so the behaviour is contractual, not accidental.)
+func TestStreamCounterWrap(t *testing.T) {
+	fresh := NewStream(99, 5)
+	first := fresh.Uint64() // position 0
+
+	s := NewStream(99, 5)
+	s.ctr = ^uint64(0) // position 2⁶⁴−1
+	last := s.Uint64()
+	if got := s.Uint64(); got != first {
+		t.Errorf("draw after wrap = %#x, want position-0 value %#x", got, first)
+	}
+	probe := NewStream(99, 5)
+	if want := probe.At(0); last != want {
+		// At is 1-based: At(0) wraps to position 2⁶⁴−1 by the same
+		// arithmetic, so the two wrap behaviours must agree.
+		t.Errorf("draw at position 2⁶⁴−1 = %#x, At(0) = %#x", last, want)
+	}
+}
+
+// TestStreamDecorrelation is the chi-squared smoke test: draws within one
+// stream, across sibling streams (same seed, adjacent processor ids), and
+// across adjacent trial seeds must all look uniform. The thresholds are
+// generous (p ≈ 0.001 tails) — this is a tripwire against a broken key
+// derivation (e.g. adjacent ids landing in overlapping counter ranges),
+// not a statistical certification; the equilibrium fairness suite is the
+// real net.
+func TestStreamDecorrelation(t *testing.T) {
+	const bins = 64
+	// 99.9th percentile of χ² with 63 degrees of freedom.
+	const chiMax = 103.4
+
+	chi2 := func(counts [bins]int, total int) float64 {
+		expected := float64(total) / bins
+		var x float64
+		for _, c := range counts {
+			d := float64(c) - expected
+			x += d * d / expected
+		}
+		return x
+	}
+
+	t.Run("within-stream", func(t *testing.T) {
+		s := NewStream(20180516, 1)
+		var counts [bins]int
+		const total = 64 * 1024
+		for i := 0; i < total; i++ {
+			counts[s.Intn(bins)]++
+		}
+		if x := chi2(counts, total); x > chiMax {
+			t.Errorf("χ² = %.1f > %.1f: sequential draws not uniform", x, chiMax)
+		}
+	})
+	t.Run("across-processors", func(t *testing.T) {
+		// One draw from each of 64k sibling streams: uniformity here means
+		// the per-processor key derivation decorrelates adjacent ids.
+		var counts [bins]int
+		const total = 64 * 1024
+		for id := 0; id < total; id++ {
+			s := NewStream(20180516, ProcID(id))
+			counts[s.Intn(bins)]++
+		}
+		if x := chi2(counts, total); x > chiMax {
+			t.Errorf("χ² = %.1f > %.1f: adjacent processor streams correlated", x, chiMax)
+		}
+	})
+	t.Run("across-seeds", func(t *testing.T) {
+		var counts [bins]int
+		const total = 64 * 1024
+		for seed := 0; seed < total; seed++ {
+			s := NewStream(int64(seed), 1)
+			counts[s.Intn(bins)]++
+		}
+		if x := chi2(counts, total); x > chiMax {
+			t.Errorf("χ² = %.1f > %.1f: adjacent seeds correlated", x, chiMax)
+		}
+	})
+	t.Run("float64-range", func(t *testing.T) {
+		s := NewStream(7, 7)
+		var sum float64
+		const total = 4096
+		for i := 0; i < total; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				t.Fatalf("Float64() = %v out of [0,1)", f)
+			}
+			sum += f
+		}
+		if mean := sum / total; math.Abs(mean-0.5) > 0.02 {
+			t.Errorf("Float64 mean = %.4f, want ≈ 0.5", mean)
+		}
+	})
+}
+
+// TestStreamInt63nRejection exercises the modulo-bias rejection path: for a
+// non-power-of-two bound every value must stay in range, the power-of-two
+// path must agree with masking, and n ≤ 0 must panic like math/rand.
+func TestStreamInt63nRejection(t *testing.T) {
+	s := NewStream(123, 4)
+	for i := 0; i < 4096; i++ {
+		if v := s.Int63n(10); v < 0 || v >= 10 {
+			t.Fatalf("Int63n(10) = %d out of range", v)
+		}
+		if v := s.Int63n(1); v != 0 {
+			t.Fatalf("Int63n(1) = %d, want 0", v)
+		}
+	}
+	mask := NewStream(5, 5)
+	seq := NewStream(5, 5)
+	for i := 0; i < 1024; i++ {
+		if got, want := mask.Int63n(64), seq.Int63()&63; got != want {
+			t.Fatalf("power-of-two path: Int63n(64) = %d, want masked draw %d", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) did not panic")
+		}
+	}()
+	s.Int63n(0)
+}
+
+// TestStreamReseedIsTotal pins the O(1) reseed contract: reseeding a
+// stream in place is indistinguishable from constructing a fresh one — the
+// property the arena's recycled contexts rely on.
+func TestStreamReseedIsTotal(t *testing.T) {
+	s := NewStream(1, 1)
+	for i := 0; i < 17; i++ {
+		s.Uint64() // advance to an arbitrary interior position
+	}
+	s = NewStream(20180516, 9) // the two-word-store reseed
+	fresh := NewStream(20180516, 9)
+	for i := 0; i < 8; i++ {
+		if got, want := s.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("draw %d after value reseed = %#x, want %#x", i, got, want)
+		}
+	}
+}

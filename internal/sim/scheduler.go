@@ -1,7 +1,5 @@
 package sim
 
-import "math/rand"
-
 // Scheduler selects the delivery order among pending messages. It is the
 // oblivious message schedule of the model: Pick is told only how many
 // messages are pending, never their contents, sources or destinations, so no
@@ -35,27 +33,27 @@ func (LIFOScheduler) Pick(k int) int { return k - 1 }
 // arbitrary asynchronous interleaving. The choice sequence is a deterministic
 // function of the seed and of the pending counts only, hence oblivious.
 type RandomScheduler struct {
-	rng *rand.Rand
+	rng Stream
 }
 
 // schedSeed is the single copy of the scheduler-stream derivation recipe,
 // shared by NewRandomScheduler and Reseed so the two can never drift apart.
-func schedSeed(seed int64) int64 {
-	return int64(Mix64(uint64(seed), 0x5c4ed))
+func schedSeed(seed int64) uint64 {
+	return Mix64(uint64(seed), 0x5c4ed)
 }
 
 // NewRandomScheduler returns a RandomScheduler with the given seed.
 func NewRandomScheduler(seed int64) *RandomScheduler {
-	return &RandomScheduler{rng: rand.New(rand.NewSource(schedSeed(seed)))}
+	return &RandomScheduler{rng: Stream{key: schedSeed(seed)}}
 }
 
 // Pick implements Scheduler.
 func (s *RandomScheduler) Pick(k int) int { return s.rng.Intn(k) }
 
 // Reseed rewinds the scheduler to the choice sequence a fresh
-// NewRandomScheduler with the same seed would produce, reusing the allocated
-// generator state. Trial arenas use it to run one scheduler object across a
-// whole batch without per-trial allocation.
+// NewRandomScheduler with the same seed would produce — a two-word store on
+// the counter-based Stream. Trial arenas use it to run one scheduler object
+// across a whole batch without per-trial work.
 func (s *RandomScheduler) Reseed(seed int64) {
-	s.rng.Seed(schedSeed(seed))
+	s.rng = Stream{key: schedSeed(seed)}
 }

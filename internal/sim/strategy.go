@@ -1,7 +1,5 @@
 package sim
 
-import "math/rand"
-
 // ProcID identifies a processor. Processors are numbered 1..n as in the
 // paper's model, where the id set V = [n] is common knowledge.
 type ProcID int
@@ -48,22 +46,30 @@ type Backend interface {
 // and local randomness.
 type Context struct {
 	backend Backend
-	self    ProcID
-	rng     *rand.Rand
+	// net is the devirtualized backend: non-nil exactly when backend is the
+	// event-driven *Network, letting the per-message primitives (Send,
+	// Terminate, …) call concrete methods the compiler can inline instead
+	// of paying an interface dispatch on the hottest path in the
+	// repository. Foreign backends (the conc runtime, test doubles) leave
+	// it nil and take the interface route.
+	net  *Network
+	self ProcID
+	rng  Stream
 }
 
 // NewContext builds a context for the given backend; used by runtimes, not
 // by strategies.
 func NewContext(backend Backend, self ProcID, seed int64) Context {
-	return Context{backend: backend, self: self, rng: DeriveRand(seed, self)}
+	net, _ := backend.(*Network)
+	return Context{backend: backend, net: net, self: self, rng: NewStream(seed, self)}
 }
 
 // Reseed rewinds the context's PRNG to the start of the stream a fresh
-// NewContext with the same trial seed would draw, reusing the allocated
-// generator state. It is the arena primitive that lets a recycled network
-// reproduce a fresh network's randomness bit-for-bit.
+// NewContext with the same trial seed would draw. With the counter-based
+// Stream this is a two-word store — the arena primitive that lets a recycled
+// network reproduce a fresh network's randomness bit-for-bit at zero cost.
 func (c *Context) Reseed(seed int64) {
-	c.rng.Seed(deriveSeed(seed, c.self))
+	c.rng = NewStream(seed, c.self)
 }
 
 // Self returns the processor's own id.
@@ -75,33 +81,68 @@ func (c *Context) N() int { return c.backend.Size() }
 
 // Rand returns the processor's local source of randomness. It is derived
 // deterministically from the trial seed and the processor id, so executions
-// are reproducible.
-func (c *Context) Rand() *rand.Rand { return c.rng }
+// are reproducible. The pointer is into the Context itself; it is valid for
+// the strategy invocation it was obtained in.
+func (c *Context) Rand() *Stream { return &c.rng }
 
 // Send enqueues value on the processor's unique outgoing link. It is the
 // natural primitive on a unidirectional ring. If the processor has several
 // outgoing links, the first configured link is used; use SendTo on general
 // graphs. Sends after termination are ignored (a terminated processor is
 // silent).
-func (c *Context) Send(value int64) { c.backend.Send(c.self, value) }
+func (c *Context) Send(value int64) {
+	if c.net != nil {
+		c.net.Send(c.self, value)
+		return
+	}
+	c.backend.Send(c.self, value)
+}
 
 // SendTo enqueues value on the link from this processor to the given
 // neighbour. If no such link exists the message is silently dropped, which
 // models an (impossible) send outside the communication graph.
-func (c *Context) SendTo(to ProcID, value int64) { c.backend.SendTo(c.self, to, value) }
+func (c *Context) SendTo(to ProcID, value int64) {
+	if c.net != nil {
+		c.net.SendTo(c.self, to, value)
+		return
+	}
+	c.backend.SendTo(c.self, to, value)
+}
 
 // Terminate ends the processor's participation with the given output.
 // Subsequent deliveries to this processor are dropped and subsequent sends
 // from it are ignored.
-func (c *Context) Terminate(output int64) { c.backend.Terminate(c.self, output, false) }
+func (c *Context) Terminate(output int64) {
+	if c.net != nil {
+		c.net.Terminate(c.self, output, false)
+		return
+	}
+	c.backend.Terminate(c.self, output, false)
+}
 
 // Abort terminates the processor with output ⊥, the model's "punishment"
 // move: a single aborting processor forces outcome = FAIL.
-func (c *Context) Abort() { c.backend.Terminate(c.self, 0, true) }
+func (c *Context) Abort() {
+	if c.net != nil {
+		c.net.Terminate(c.self, 0, true)
+		return
+	}
+	c.backend.Terminate(c.self, 0, true)
+}
 
 // Sent returns how many messages this processor has sent so far, the
 // Sent_i^t counter used throughout the synchronization analysis (Appendix D).
-func (c *Context) Sent() int { return c.backend.Sent(c.self) }
+func (c *Context) Sent() int {
+	if c.net != nil {
+		return c.net.Sent(c.self)
+	}
+	return c.backend.Sent(c.self)
+}
 
 // Received returns how many messages this processor has processed so far.
-func (c *Context) Received() int { return c.backend.Received(c.self) }
+func (c *Context) Received() int {
+	if c.net != nil {
+		return c.net.Received(c.self)
+	}
+	return c.backend.Received(c.self)
+}

@@ -76,14 +76,18 @@ func (g *Graph) Connected() bool {
 }
 
 // component returns the vertices reachable from start while staying inside
-// allowed (nil = all vertices).
-func (g *Graph) component(start int, allowed map[int]bool) []int {
+// allowed (nil = all vertices). Both the visited set and the allowed set are
+// dense boolean slices indexed by vertex — the decomposition search calls
+// this in its innermost loop, where map-backed sets dominated the profile.
+func (g *Graph) component(start int, allowed []bool) []int {
 	if allowed != nil && !allowed[start] {
 		return nil
 	}
-	seen := map[int]bool{start: true}
-	queue := []int{start}
-	var out []int
+	seen := make([]bool, g.N+1)
+	seen[start] = true
+	queue := make([]int, 1, g.N)
+	queue[0] = start
+	out := make([]int, 0, g.N)
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
@@ -212,19 +216,33 @@ func VerifySimulatedTree(g *Graph, p Partition, k int) (*Graph, error) {
 	if len(p.Part) != g.N+1 {
 		return nil, fmt.Errorf("simgraph: partition covers %d vertices, graph has %d", len(p.Part)-1, g.N)
 	}
+	// Group all members in one pass, then check each part against a
+	// reusable allowed set (only the part's own entries are toggled).
+	membersByPart := make([][]int, p.Parts+1)
+	for v := 1; v < len(p.Part); v++ {
+		part := p.Part[v]
+		if part < 1 || part > p.Parts {
+			return nil, fmt.Errorf("simgraph: vertex %d assigned to part %d outside [1,%d]", v, part, p.Parts)
+		}
+		membersByPart[part] = append(membersByPart[part], v)
+	}
+	allowed := make([]bool, g.N+1)
 	for part := 1; part <= p.Parts; part++ {
-		members := p.Members(part)
+		members := membersByPart[part]
 		if len(members) == 0 {
 			return nil, fmt.Errorf("simgraph: empty part %d", part)
 		}
 		if len(members) > k {
 			return nil, fmt.Errorf("simgraph: part %d has %d > k=%d members", part, len(members), k)
 		}
-		allowed := make(map[int]bool, len(members))
 		for _, v := range members {
 			allowed[v] = true
 		}
-		if got := g.component(members[0], allowed); len(got) != len(members) {
+		got := g.component(members[0], allowed)
+		for _, v := range members {
+			allowed[v] = false
+		}
+		if len(got) != len(members) {
 			return nil, fmt.Errorf("simgraph: part %d is disconnected", part)
 		}
 	}
@@ -260,7 +278,8 @@ func HalfSplit(g *Graph) (Partition, error) {
 
 	// B1: BFS from vertex 1, first ⌈n/2⌉ vertices reached.
 	taken := 0
-	seen := map[int]bool{1: true}
+	seen := make([]bool, g.N+1)
+	seen[1] = true
 	queue := []int{1}
 	for len(queue) > 0 && taken < half {
 		v := queue[0]
@@ -276,16 +295,14 @@ func HalfSplit(g *Graph) (Partition, error) {
 	}
 	parts := 1
 	// Remaining parts: maximal connected subsets of the leftovers.
+	allowed := make([]bool, g.N+1)
 	for v := 1; v <= g.N; v++ {
 		if part[v] != 0 {
 			continue
 		}
 		parts++
-		allowed := make(map[int]bool)
 		for w := 1; w <= g.N; w++ {
-			if part[w] == 0 {
-				allowed[w] = true
-			}
+			allowed[w] = part[w] == 0
 		}
 		for _, w := range g.component(v, allowed) {
 			part[w] = parts
@@ -321,12 +338,15 @@ func MinSimulatedTreeK(g *Graph) (int, Partition, error) {
 		p, err := TreeSelfPartition(g)
 		return 1, p, err
 	}
+	sc := newSearchScratch(g.N)
 	for k := 2; k <= (g.N+1)/2; k++ {
 		for start := 1; start <= g.N; start++ {
-			if p, ok := greedyPartition(g, k, start); ok {
-				if _, err := VerifySimulatedTree(g, p, k); err == nil {
-					return k, p, nil
-				}
+			p := greedyPartition(g, k, start, sc)
+			if verifyCandidate(g, p, k, sc) {
+				// p aliases the scratch; copy it out before returning.
+				part := make([]int, len(p.Part))
+				copy(part, p.Part)
+				return k, Partition{Part: part, Parts: p.Parts}, nil
 			}
 		}
 	}
@@ -334,50 +354,156 @@ func MinSimulatedTreeK(g *Graph) (int, Partition, error) {
 	return (g.N + 1) / 2, p, err
 }
 
-// greedyPartition grows parts of size ≤ k by BFS starting at start and
-// checks the result; ok is false when the construction fails.
-func greedyPartition(g *Graph, k, start int) (Partition, bool) {
-	part := make([]int, g.N+1)
-	parts := 0
-	order := g.component(start, nil)
-	// BFS order from start keeps parts contiguous.
-	bfsOrder := make([]int, 0, g.N)
-	seen := map[int]bool{start: true}
-	queue := []int{start}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		bfsOrder = append(bfsOrder, v)
-		for _, w := range g.adj[v] {
-			if !seen[w] {
-				seen[w] = true
+// searchScratch holds the working sets of MinSimulatedTreeK's greedy
+// search. The search tries O(n²) candidate partitions (every k and every
+// start vertex) before it settles, so its inner loop allocates nothing:
+// visited sets are generation-stamped instead of cleared, and every slice
+// is reused at its grown capacity.
+type searchScratch struct {
+	part     []int
+	seen     []int // visited iff seen[v] == gen
+	gen      int
+	queue    []int
+	frontier []int
+	allowed  []bool
+	byPart   [][]int
+	quot     *Graph
+}
+
+func newSearchScratch(n int) *searchScratch {
+	return &searchScratch{
+		part:    make([]int, n+1),
+		seen:    make([]int, n+1),
+		queue:   make([]int, 0, n),
+		allowed: make([]bool, n+1),
+	}
+}
+
+// bfs fills sc.queue with the vertices reachable from start in BFS order,
+// restricted to allowed when non-nil, and returns it (valid until the next
+// call).
+func (sc *searchScratch) bfs(g *Graph, start int, allowed []bool) []int {
+	sc.gen++
+	seen, gen := sc.seen, sc.gen
+	seen[start] = gen
+	queue := append(sc.queue[:0], start)
+	for qi := 0; qi < len(queue); qi++ {
+		for _, w := range g.adj[queue[qi]] {
+			if seen[w] != gen && (allowed == nil || allowed[w]) {
+				seen[w] = gen
 				queue = append(queue, w)
 			}
 		}
 	}
-	if len(bfsOrder) != len(order) {
-		return Partition{}, false
-	}
-	for _, v := range bfsOrder {
+	sc.queue = queue
+	return queue
+}
+
+// greedyPartition grows parts of size ≤ k by BFS starting at start,
+// exactly as Claim F.5's construction walks the graph. The returned
+// partition aliases sc.part and is valid until the next call.
+func greedyPartition(g *Graph, k, start int, sc *searchScratch) Partition {
+	clear(sc.part)
+	part := sc.part
+	parts := 0
+	// BFS order from start keeps parts contiguous.
+	for _, v := range sc.bfs(g, start, nil) {
 		if part[v] != 0 {
 			continue
 		}
 		parts++
 		// Grow a connected part of size ≤ k around v among unassigned.
-		members := []int{v}
 		part[v] = parts
-		frontier := []int{v}
-		for len(members) < k && len(frontier) > 0 {
-			u := frontier[0]
-			frontier = frontier[1:]
-			for _, w := range g.adj[u] {
-				if part[w] == 0 && len(members) < k {
+		count := 1
+		frontier := append(sc.frontier[:0], v)
+		for fi := 0; fi < len(frontier) && count < k; fi++ {
+			for _, w := range g.adj[frontier[fi]] {
+				if part[w] == 0 && count < k {
 					part[w] = parts
-					members = append(members, w)
+					count++
 					frontier = append(frontier, w)
 				}
 			}
 		}
+		sc.frontier = frontier
 	}
-	return Partition{Part: part, Parts: parts}, true
+	return Partition{Part: part, Parts: parts}
+}
+
+// verifyCandidate decides VerifySimulatedTree's accept/reject question on a
+// search candidate without allocating: same part-range, non-emptiness, size,
+// connectivity and quotient-tree checks, with every working set drawn from
+// the scratch. Candidates that pass are re-checkable by the public verifier.
+func verifyCandidate(g *Graph, p Partition, k int, sc *searchScratch) bool {
+	if cap(sc.byPart) < p.Parts+1 {
+		sc.byPart = make([][]int, p.Parts+1)
+	}
+	byPart := sc.byPart[:p.Parts+1]
+	for i := range byPart {
+		byPart[i] = byPart[i][:0]
+	}
+	for v := 1; v < len(p.Part); v++ {
+		part := p.Part[v]
+		if part < 1 || part > p.Parts {
+			return false
+		}
+		byPart[part] = append(byPart[part], v)
+	}
+	sc.byPart = byPart
+	for part := 1; part <= p.Parts; part++ {
+		members := byPart[part]
+		if len(members) == 0 || len(members) > k {
+			return false
+		}
+		for _, v := range members {
+			sc.allowed[v] = true
+		}
+		reached := len(sc.bfs(g, members[0], sc.allowed))
+		for _, v := range members {
+			sc.allowed[v] = false
+		}
+		if reached != len(members) {
+			return false
+		}
+	}
+	// The quotient over the parts must be a tree: exactly parts−1 distinct
+	// inter-part edges, and connected.
+	if sc.quot == nil || cap(sc.quot.adj) < p.Parts+1 {
+		sc.quot = &Graph{adj: make([][]int, p.Parts+1)}
+	}
+	q := sc.quot
+	q.N = p.Parts
+	q.adj = q.adj[:cap(q.adj)][:p.Parts+1]
+	for i := range q.adj {
+		q.adj[i] = q.adj[i][:0]
+	}
+	edges := 0
+	for u := 1; u <= g.N; u++ {
+		for _, v := range g.adj[u] {
+			if u >= v {
+				continue
+			}
+			pu, pv := p.Part[u], p.Part[v]
+			if pu == pv {
+				continue
+			}
+			dup := false
+			for _, w := range q.adj[pu] {
+				if w == pv {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			q.adj[pu] = append(q.adj[pu], pv)
+			q.adj[pv] = append(q.adj[pv], pu)
+			edges++
+		}
+	}
+	if edges != p.Parts-1 {
+		return false
+	}
+	return len(sc.bfs(q, 1, nil)) == q.N
 }

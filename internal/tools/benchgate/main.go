@@ -1,0 +1,148 @@
+// Command benchgate is the CI performance-regression gate: it re-times the
+// gate benchmarks (E1, E9, E11 — one cheap, one attack-heavy, one
+// tree-topology experiment) and compares their ns/op against the committed
+// BENCH_*.txt baseline. The build fails when the geometric mean of the
+// new/old ratios exceeds the threshold (default +15%).
+//
+// The gate takes the minimum of -count runs on the fresh side — the
+// standard noise floor for wall-clock benchmarks on shared runners — while
+// the baseline side reads the committed recording as-is. A geomean over
+// three benchmarks with a 15% margin tolerates runner jitter; a kernel
+// regression (the thing the gate exists for) moves all three together and
+// trips it.
+//
+// Usage: benchgate [-baseline BENCH_X.txt] [-threshold 1.15] [-count 3]
+//
+// An empty -baseline picks the newest committed BENCH_*.txt by name. CI
+// runs it via `make bench-gate`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// gateBenchmarks are the tracked benchmarks: experiment E1 (Basic-LEAD
+// single adversary), E9 (sum-phase attack), E11 (tree impossibility).
+var gateBenchmarks = []string{
+	"BenchmarkE1BasicLeadSingleAdversary",
+	"BenchmarkE9SumPhaseAttack",
+	"BenchmarkE11TreeImpossibility",
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "committed BENCH_*.txt to gate against (empty = newest by name)")
+	threshold := fs.Float64("threshold", 1.15, "maximum allowed geomean of new/old ns/op ratios")
+	count := fs.Int("count", 3, "fresh runs per benchmark; the minimum is compared")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *baseline
+	if path == "" {
+		var err error
+		if path, err = newestBaseline(); err != nil {
+			return err
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	old := parseBench(string(raw))
+
+	out, err := exec.Command("go", "test", "-run", "^$",
+		"-bench", gatePattern(), "-count", strconv.Itoa(*count), ".").CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("bench run: %w\n%s", err, out)
+	}
+	fresh := parseBench(string(out))
+
+	fmt.Printf("benchgate: baseline %s, threshold %.2f\n", path, *threshold)
+	geomean := 1.0
+	for _, name := range gateBenchmarks {
+		oldNs, ok := old[name]
+		if !ok {
+			return fmt.Errorf("baseline %s has no recording for %s", path, name)
+		}
+		newNs, ok := fresh[name]
+		if !ok {
+			return fmt.Errorf("fresh run produced no result for %s\n%s", name, out)
+		}
+		ratio := newNs / oldNs
+		geomean *= ratio
+		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op  (x%.3f)\n", name, oldNs, newNs, ratio)
+	}
+	geomean = math.Pow(geomean, 1/float64(len(gateBenchmarks)))
+	fmt.Printf("  geomean ratio: x%.3f\n", geomean)
+	if geomean > *threshold {
+		return fmt.Errorf("geomean ns/op ratio %.3f exceeds threshold %.2f: performance regression against %s",
+			geomean, *threshold, path)
+	}
+	fmt.Println("benchgate: PASS")
+	return nil
+}
+
+// gatePattern anchors each gate benchmark name exactly.
+func gatePattern() string {
+	p := "^("
+	for i, name := range gateBenchmarks {
+		if i > 0 {
+			p += "|"
+		}
+		p += name
+	}
+	return p + ")$"
+}
+
+// newestBaseline picks the lexically newest committed recording — the
+// BENCH_<date>[_<tag>].txt naming makes name order date order.
+func newestBaseline() (string, error) {
+	matches, err := filepath.Glob("BENCH_*.txt")
+	if err != nil || len(matches) == 0 {
+		return "", fmt.Errorf("no committed BENCH_*.txt baseline found")
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+// benchLine matches one benchmark result, tolerating the committed .txt
+// twins' habit of splitting a benchmark's name and numbers across two lines
+// (they are recovered by the joiner in parseBench) and stripping the
+// -GOMAXPROCS suffix so recordings from different machines share keys.
+var benchLine = regexp.MustCompile(`(Benchmark[A-Za-z0-9_/]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// joinSplit glues a benchmark name left alone at the end of a line to the
+// numbers on the next line, the shape bench.sh's txt twins record.
+var joinSplit = regexp.MustCompile(`(Benchmark[A-Za-z0-9_/-]+)[ \t]*\n[ \t]+`)
+
+// parseBench extracts minimum ns/op per benchmark name from go test -bench
+// output (or a recorded .txt twin).
+func parseBench(s string) map[string]float64 {
+	res := make(map[string]float64)
+	joined := joinSplit.ReplaceAllString(s, "$1 ")
+	for _, m := range benchLine.FindAllStringSubmatch(joined, -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := res[m[1]]; !ok || ns < prev {
+			res[m[1]] = ns
+		}
+	}
+	return res
+}

@@ -16,34 +16,61 @@ type SyncProfile struct {
 }
 
 // Sync computes the profile over the watched processors (all if empty).
+//
+// The spread is maintained incrementally: per-value occupancy counts make
+// the running minimum and maximum O(1) amortized per operation (a send
+// advances its processor's counter by one, so the minimum only ever moves
+// forward), keeping the whole profile linear in the recorded execution
+// rather than quadratic — the difference between milliseconds and seconds
+// on the n=512 traces of the synchronization experiments.
 func (r *Recorder) Sync(watch []sim.ProcID) SyncProfile {
-	watched := make(map[sim.ProcID]bool, len(watch))
+	watched := make([]bool, r.N+1)
+	nWatched := 0
 	if len(watch) == 0 {
 		for i := 1; i <= r.N; i++ {
-			watched[sim.ProcID(i)] = true
+			watched[i] = true
 		}
+		nWatched = r.N
 	} else {
 		for _, p := range watch {
-			watched[p] = true
+			if p >= 1 && int(p) <= r.N && !watched[p] {
+				watched[p] = true
+				nWatched++
+			}
 		}
 	}
-	sent := make(map[sim.ProcID]int, len(watched))
-	for p := range watched {
-		sent[p] = 0
+	sent := make([]int, r.N+1)
+	// occupancy[v] counts watched processors whose Sent counter is v; the
+	// slice grows with the maximum send index seen.
+	occupancy := make([]int, 1, 256)
+	occupancy[0] = nWatched
+	lo, hi := 0, 0
+
+	samples := 0
+	for _, op := range r.Ops {
+		if op.Kind == OpSend && watched[op.Proc] {
+			samples++
+		}
 	}
-	var prof SyncProfile
+	prof := SyncProfile{Series: make([]int, 0, samples)}
 	for _, op := range r.Ops {
 		if op.Kind != OpSend || !watched[op.Proc] {
 			continue
 		}
-		sent[op.Proc] = op.Index
-		lo, hi := int(^uint(0)>>1), 0
-		for _, s := range sent {
-			if s < lo {
-				lo = s
-			}
-			if s > hi {
-				hi = s
+		old := sent[op.Proc]
+		now := op.Index
+		sent[op.Proc] = now
+		for now >= len(occupancy) {
+			occupancy = append(occupancy, 0)
+		}
+		occupancy[old]--
+		occupancy[now]++
+		if now > hi {
+			hi = now
+		}
+		if old == lo && occupancy[old] == 0 {
+			for occupancy[lo] == 0 {
+				lo++
 			}
 		}
 		gap := hi - lo

@@ -120,6 +120,48 @@ func (p *Protocol) RunArena(spec Spec, arena *sim.Arena) (sim.Result, error) {
 	})
 }
 
+// Runner is a reusable trial runner for one (AdversaryRoot, Target) shape:
+// the node vector is built once and fully re-initialized in place by every
+// run, so a chunked trial batch constructs nothing per trial. Each Runner
+// serves one goroutine; runs are bit-identical to RunArena with the same
+// spec.
+type Runner struct {
+	p          *Protocol
+	strategies []sim.Strategy
+}
+
+// Runner builds a reusable runner; target is ignored unless adversaryRoot.
+func (p *Protocol) Runner(adversaryRoot bool, target int64) *Runner {
+	n := p.tree.N
+	r := &Runner{p: p, strategies: make([]sim.Strategy, n)}
+	for v := 1; v <= n; v++ {
+		nd := &node{
+			n:        n,
+			self:     v,
+			isRoot:   v == p.root,
+			parent:   sim.ProcID(p.parent[v]),
+			children: p.children[v],
+			pending:  len(p.children[v]),
+		}
+		if v == p.root && adversaryRoot {
+			r.strategies[v-1] = &dictatorRoot{node: *nd, target: target}
+		} else {
+			r.strategies[v-1] = nd
+		}
+	}
+	return r
+}
+
+// Run executes one election on the runner's node vector.
+func (r *Runner) Run(seed int64, sched sim.Scheduler, arena *sim.Arena) (sim.Result, error) {
+	return arena.Run(sim.Config{
+		Strategies: r.strategies,
+		Edges:      r.p.edges,
+		Seed:       seed,
+		Scheduler:  sched,
+	})
+}
+
 // node is one honest participant: it draws a secret, accumulates its
 // subtree's sum, reports it to its parent, and relays the root's
 // announcement downward.
@@ -136,6 +178,8 @@ type node struct {
 var _ sim.Strategy = (*node)(nil)
 
 func (nd *node) Init(ctx *sim.Context) {
+	// Total reset: batched runs (Runner) reuse node objects across trials.
+	nd.pending = len(nd.children)
 	nd.sum = ctx.Rand().Int63n(int64(nd.n))
 	if nd.pending == 0 {
 		nd.flush(ctx)
@@ -183,6 +227,7 @@ type dictatorRoot struct {
 var _ sim.Strategy = (*dictatorRoot)(nil)
 
 func (d *dictatorRoot) Init(ctx *sim.Context) {
+	d.pending = len(d.children)
 	d.sum = 0 // its "secret" is irrelevant
 	if d.pending == 0 {
 		d.announce(ctx, d.target)

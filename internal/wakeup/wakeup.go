@@ -43,6 +43,10 @@ func NewWithIDs(ids []int64) Protocol { return Protocol{IDs: ids} }
 // Name implements ring.Protocol.
 func (Protocol) Name() string { return "Wakeup+A-LEADuni" }
 
+// BatchSafe marks the protocol's strategies as fully re-initialized by Init,
+// so one strategy vector can serve every trial of an engine chunk.
+func (Protocol) BatchSafe() {}
+
 // Strategies implements ring.Protocol.
 func (p Protocol) Strategies(n int) ([]sim.Strategy, error) {
 	if n < 2 {
@@ -97,10 +101,18 @@ type participant struct {
 var _ sim.Strategy = (*participant)(nil)
 
 func (p *participant) Init(ctx *sim.Context) {
+	// Full state reset: strategy objects are reused across batched trials.
+	p.wakeSeen = 0
+	p.originPos, p.isOrigin = 0, false
+	p.secret, p.buffer, p.sum, p.received = 0, 0, 0, 0
 	if !p.idPinned {
 		p.id = ctx.Rand().Int63()
 	}
-	p.ids = make([]int64, p.n+1)
+	if len(p.ids) != p.n+1 {
+		p.ids = make([]int64, p.n+1)
+	} else {
+		clear(p.ids)
+	}
 	ctx.Send(p.id)
 }
 
