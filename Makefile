@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race check docs-check bench bench-tagged bench-gate certify-smoke certify-golden profile
+.PHONY: build test race check docs-check bench bench-tagged bench-gate certify-smoke certify-golden fleet-smoke profile
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ service-smoke:
 certify-smoke:
 	$(GO) build -o bin/fleserve ./cmd/fleserve
 	$(GO) run ./internal/tools/certsmoke -bin bin/fleserve
+
+# fleet-smoke is the multi-node acceptance run: boot a real coordinator
+# plus two real workers sharing one disk cache directory, kill a worker
+# mid-job, and verify byte identity with a direct single-node run, a clean
+# fleload mixed batch, and a coordinator restart that replays everything
+# from disk with zero engine runs. CI runs this on every push.
+fleet-smoke:
+	$(GO) build -o bin/fleserve ./cmd/fleserve
+	$(GO) build -o bin/fleload ./cmd/fleload
+	$(GO) run ./internal/tools/fleetsmoke -bin bin/fleserve -load bin/fleload
 
 # certify-golden regenerates the committed full-catalog certification
 # table. The sweep is deterministic (fixed seed, worker-independent

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestRunAgainstLiveDaemon drives a small mixed batch at a coordinator
+// daemon and checks the report's arithmetic: every request accounted for,
+// quantiles present for every exercised class, and the daemon's own stats
+// embedded.
+func TestRunAgainstLiveDaemon(t *testing.T) {
+	srv, err := service.New(service.Config{
+		Role: service.RoleCoordinator, FleetChunk: 200, Parallel: 2, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	outFile := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err = run(context.Background(), []string{
+		"-target", ts.URL,
+		"-requests", "20",
+		"-rate", "200",
+		"-mix", "6:3:1",
+		"-trials", "500",
+		"-out", outFile,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("report records %d errors", rep.Errors)
+	}
+	total := 0
+	for _, c := range rep.PerClassCounts {
+		total += c
+	}
+	if total != 20 {
+		t.Fatalf("per-class counts sum to %d, want 20", total)
+	}
+	// Mix 6:3:1 over 20 requests tiles exactly twice: 12/6/2.
+	if rep.PerClassCounts["cached"] != 12 || rep.PerClassCounts["fresh"] != 6 || rep.PerClassCounts["certify"] != 2 {
+		t.Fatalf("mix split %v, want 12/6/2", rep.PerClassCounts)
+	}
+	for _, class := range []string{"cached", "fresh", "certify", "overall"} {
+		q, ok := rep.Latency[class]
+		if !ok {
+			t.Fatalf("no quantiles for %s", class)
+		}
+		if q.P50 <= 0 || q.P95 < q.P50 || q.P99 < q.P95 || q.Max < q.P99 {
+			t.Fatalf("%s quantiles not monotone: %+v", class, q)
+		}
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatalf("throughput %f", rep.ThroughputRPS)
+	}
+	// 12 cached replays of one pre-warmed identity: the daemon must report
+	// cache hits, and the embedded stats must be the coordinator's.
+	if rep.Stats.Cache.Hits < 12 {
+		t.Fatalf("stats show %d cache hits, want >= 12", rep.Stats.Cache.Hits)
+	}
+	if rep.Stats.Fleet.Role != service.RoleCoordinator {
+		t.Fatalf("embedded stats role %q", rep.Stats.Fleet.Role)
+	}
+	if rep.Stats.Fleet.ChunksCompleted == 0 {
+		t.Fatal("fresh jobs ran but no fleet chunks completed")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{}, // missing -target
+		{"-target", "x", "-mix", "0:0:0"},
+		{"-target", "x", "-mix", "a:b"},
+		{"-target", "x", "-mix", "1:1:1:1"},
+		{"-target", "x", "-requests", "0"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &out, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPickClassTilesTheMix(t *testing.T) {
+	w := [numClasses]int{2, 1, 1}
+	var got []int
+	for i := 0; i < 8; i++ {
+		got = append(got, pickClass(i, w))
+	}
+	want := []int{classCached, classCached, classFresh, classCertify, classCached, classCached, classFresh, classCertify}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pickClass sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantilesNearestRank(t *testing.T) {
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(i + 1) // 1..100
+	}
+	q := quantiles(s)
+	if q.P50 != 50 || q.P95 != 95 || q.P99 != 99 || q.Max != 100 || q.Count != 100 {
+		t.Fatalf("quantiles of 1..100 = %+v", q)
+	}
+	one := quantiles([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Max != 7 {
+		t.Fatalf("singleton quantiles = %+v", one)
+	}
+}

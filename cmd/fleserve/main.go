@@ -5,6 +5,22 @@
 // Usage:
 //
 //	fleserve [-addr HOST:PORT] [-workers W] [-parallel P] [-cache N] [-pprof]
+//	         [-role single|coordinator|worker] [-join URL] [-cache-dir DIR]
+//	         [-fleet-chunk N] [-lease D]
+//
+// Roles:
+//
+//	single       (default) one self-contained daemon
+//	coordinator  accepts jobs, splits distributable batches into trial
+//	             chunks, and leases them to workers over /chunks/*; also
+//	             runs chunks itself, so a fleet of one still makes progress
+//	worker       claims chunks from the coordinator at -join and reports
+//	             shard results; its own job endpoints answer 421 pointing
+//	             at the coordinator
+//
+// With -cache-dir the result cache gains a crash-safe disk tier: results
+// survive restarts (a restarted daemon replays them with zero engine runs)
+// and nodes sharing the directory share the cache.
 //
 // Endpoints:
 //
@@ -55,23 +71,40 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		parallel = fs.Int("parallel", 0, "concurrent engine runs (0 = 2); additional jobs queue")
 		cache    = fs.Int("cache", 0, "result cache capacity in entries (0 = 4096)")
 		profiled = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap profiling of the live daemon)")
+		role     = fs.String("role", "", "fleet role: single (default), coordinator, or worker")
+		join     = fs.String("join", "", "coordinator URL a worker claims chunks from (required with -role worker)")
+		cacheDir = fs.String("cache-dir", "", "directory for the crash-safe disk cache tier (empty = memory only)")
+		chunk    = fs.Int("fleet-chunk", 0, "trials per fleet chunk lease (0 = 512)")
+		lease    = fs.Duration("lease", 0, "chunk lease TTL before a silent worker's chunk is re-issued (0 = 5s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := service.New(service.Config{
-		Addr:      *addr,
-		Workers:   *workers,
-		Parallel:  *parallel,
-		CacheSize: *cache,
-		Profiling: *profiled,
+	srv, err := service.New(service.Config{
+		Addr:       *addr,
+		Workers:    *workers,
+		Parallel:   *parallel,
+		CacheSize:  *cache,
+		Profiling:  *profiled,
+		Role:       *role,
+		Join:       *join,
+		CacheDir:   *cacheDir,
+		FleetChunk: *chunk,
+		LeaseTTL:   *lease,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := srv.Listen()
 	if err != nil {
 		return err
 	}
 	// The listening line is machine-read by the smoke harness: with -addr
 	// :0 it is the only way to learn where the kernel put the daemon.
-	fmt.Fprintf(out, "fleserve: listening on %s (version %s)\n", srv.Addr(), srv.Scheduler().Version())
+	printedRole := *role
+	if printedRole == "" {
+		printedRole = service.RoleSingle
+	}
+	fmt.Fprintf(out, "fleserve: listening on %s (version %s, role %s)\n", srv.Addr(), srv.Scheduler().Version(), printedRole)
 	return srv.Serve(ctx, ln)
 }

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunRange executes trials [start, end) of a larger logical batch and
+// returns their merged shard. Trial indices passed to the job are the
+// logical ones — trial t of RunRange(start, end) is trial t of the full
+// batch — so per-trial seed derivations are unchanged and the shard is
+// exactly the contribution those trials make to the full run. Because sink
+// merges are commutative counter sums, merging the shards of any partition
+// of [0, trials) reproduces the full batch's result bit-for-bit; this is
+// the primitive behind remote chunk claiming, where worker nodes each run a
+// sub-range and a coordinator folds the shards back together.
+func RunRange[S any](ctx context.Context, start, end int, job ChunkJob, sink Sink[S], opts Options[S]) (S, error) {
+	if start < 0 || end < start {
+		var zero S
+		return zero, fmt.Errorf("engine: invalid trial range [%d, %d)", start, end)
+	}
+	return RunBatch(ctx, end-start, offsetJob{job: job, off: start}, sink, opts)
+}
+
+// offsetJob shifts a chunk job's trial indices by a fixed offset, so the
+// engine's internal [0, end-start) claiming surfaces as logical trials
+// [start, end) to the underlying job. Failure indices reported by the inner
+// job are already logical and pass through untouched.
+type offsetJob struct {
+	job ChunkJob
+	off int
+}
+
+// RunChunk implements ChunkJob.
+func (o offsetJob) RunChunk(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+	return o.job.RunChunk(start+o.off, end+o.off, arena, add)
+}

@@ -326,12 +326,22 @@ func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSee
 }
 
 // AttackTrialsOpts is AttackTrials with a context and engine options. The
-// batch runs chunked: when the protocol is Batchable, the honest strategy
-// vector is built once per chunk and each trial's freshly planned deviation
-// is overlaid on a per-worker copy, so only the coalition's own strategy
-// objects are constructed per trial.
+// batch runs chunked (AttackChunkJob): when the protocol is Batchable, the
+// honest strategy vector is built once per chunk and each trial's freshly
+// planned deviation is overlaid on a per-worker copy, so only the
+// coalition's own strategy objects are constructed per trial.
 func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int, opts TrialOptions) (*Distribution, error) {
-	job := engine.ChunkFunc(func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
+	job := AttackChunkJob(n, protocol, attack, target, baseSeed)
+	return engine.RunBatch(ctx, trials, job, distSink(n), opts.engineOptions())
+}
+
+// AttackChunkJob returns the batched engine job behind AttackTrialsOpts:
+// trial t plans the attack with its derived seed and runs it against the
+// protocol. Exposing the job lets remote claimants (the fleet's worker
+// nodes) run arbitrary sub-ranges of an attack batch through
+// engine.RunRange with bit-identical per-trial outcomes.
+func AttackChunkJob(n int, protocol Protocol, attack Attack, target int64, baseSeed int64) engine.ChunkJob {
+	return engine.ChunkFunc(func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
 		var honest []sim.Strategy
 		if Batchable(protocol) {
 			var err error
@@ -373,5 +383,4 @@ func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Atta
 		}
 		return 0, nil
 	})
-	return engine.RunBatch(ctx, trials, job, distSink(n), opts.engineOptions())
 }

@@ -1,7 +1,6 @@
 package scenario
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/classic"
@@ -19,28 +18,29 @@ import (
 	"repro/internal/wakeup"
 )
 
-// Run-function builders. Each returns the scenario's trial batch (always on
-// the engine) and, for ring topologies, the single-execution hook used by
-// the schedule-independence property tests.
+// Chunked-job builders. Each returns the scenario's canonical chunked
+// engine job — the one unit both local runs (chunkedRun → engineBatch) and
+// remote shard claims (RunShard → engine.RunRange) execute — and, for ring
+// topologies, the single-execution hook used by the schedule-independence
+// property tests.
 
 // ringHonest runs an honest ring protocol, building a fresh scheduler per
 // trial so non-FIFO batches stay shard-safe. With SchedFIFO the batch is
 // bit-identical to ring.TrialsOpts (same seed derivation, same engine).
-func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
-	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+func ringHonest(proto ring.Protocol, sched string) (chunksFunc, singleFunc) {
+	chunks := func(seed int64, p params) (engine.ChunkJob, error) {
 		// Chunked batch: Batchable protocols reuse one strategy vector per
 		// work-claim chunk; the per-trial hook rebuilds only the scheduler
 		// (recycled on the worker's arena).
-		job := ring.HonestChunkJob(ring.Spec{N: p.N, Protocol: proto, Seed: seed},
+		return ring.HonestChunkJob(ring.Spec{N: p.N, Protocol: proto, Seed: seed},
 			func(t int, ts int64, arena *sim.Arena) (sim.Scheduler, error) {
 				return newScheduler(sched, ts, arena)
-			})
-		return engineBatch(ctx, p, job)
+			}), nil
 	}
 	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Seed: seed, Scheduler: sc}, arena)
 	}
-	return run, single
+	return chunks, single
 }
 
 // ringFamilyAttack runs a registered deviation family's attack against a
@@ -49,7 +49,7 @@ func ringHonest(proto ring.Protocol, sched string) (runFunc, singleFunc) {
 // reproduce the harness experiments byte-identically — and equilibrium
 // sweeps, which plan through the very same family, reproduce the registry
 // runs.
-func ringFamilyAttack(base ring.Protocol, family, mode string) (runFunc, singleFunc) {
+func ringFamilyAttack(base ring.Protocol, family, mode string) (chunksFunc, singleFunc) {
 	plan := func(p params) (ring.Protocol, ring.Attack, error) {
 		fam, ok := FindFamily(family)
 		if !ok {
@@ -65,13 +65,12 @@ func ringFamilyAttack(base ring.Protocol, family, mode string) (runFunc, singleF
 		}
 		return proto, atk, nil
 	}
-	run := func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+	chunks := func(seed int64, p params) (engine.ChunkJob, error) {
 		proto, atk, err := plan(p)
 		if err != nil {
 			return nil, err
 		}
-		return ring.AttackTrialsOpts(ctx, p.N, proto, atk, p.Target, seed, p.Trials,
-			p.trialOptions())
+		return ring.AttackChunkJob(p.N, proto, atk, p.Target, seed), nil
 	}
 	single := func(seed int64, sc sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error) {
 		proto, atk, err := plan(p)
@@ -84,14 +83,14 @@ func ringFamilyAttack(base ring.Protocol, family, mode string) (runFunc, singleF
 		}
 		return ring.RunArena(ring.Spec{N: p.N, Protocol: proto, Deviation: dev, Seed: seed, Scheduler: sc}, arena)
 	}
-	return run, single
+	return chunks, single
 }
 
-// completeRun runs the asynchronous complete-graph election with Shamir
+// completeChunks runs the asynchronous complete-graph election with Shamir
 // sharing, honestly or under the share-pooling coalition (K ≤ 0 picks the
 // threshold ⌈n/2⌉, the smallest controlling coalition).
-func completeRun(attack bool) runFunc {
-	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+func completeChunks(attack bool) chunksFunc {
+	return func(seed int64, p params) (engine.ChunkJob, error) {
 		e, err := fullnet.New(p.N, 0)
 		if err != nil {
 			return nil, err
@@ -102,7 +101,7 @@ func completeRun(attack bool) runFunc {
 		}
 		// Chunked batch: one fullnet.Runner per chunk reuses the participant
 		// vector and its O(n²) share/reveal buffers across trials.
-		return engineBatch(ctx, p, engine.ChunkFunc(
+		return engine.ChunkFunc(
 			func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
 				var runner *fullnet.Runner
 				if attack {
@@ -121,14 +120,14 @@ func completeRun(attack bool) runFunc {
 					add(res)
 				}
 				return 0, nil
-			}))
+			}), nil
 	}
 }
 
-// treeRun runs the convergecast/broadcast tree election on the given tree
+// treeChunks runs the convergecast/broadcast tree election on the given tree
 // family, honestly or with the dictating adversarial root.
-func treeRun(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int, sched string, adversary bool) runFunc {
-	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+func treeChunks(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int, sched string, adversary bool) chunksFunc {
+	return func(seed int64, p params) (engine.ChunkJob, error) {
 		tree, err := build(p.N)
 		if err != nil {
 			return nil, err
@@ -139,7 +138,7 @@ func treeRun(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int,
 		}
 		// Chunked batch: one treeproto.Runner per chunk reuses the node
 		// vector across trials; only the scheduler is rebuilt per trial.
-		return engineBatch(ctx, p, engine.ChunkFunc(
+		return engine.ChunkFunc(
 			func(start, end int, arena *sim.Arena, add func(sim.Result)) (int, error) {
 				runner := proto.Runner(adversary, p.Target)
 				for t := start; t < end; t++ {
@@ -155,53 +154,77 @@ func treeRun(build func(n int) (*simgraph.Graph, error), rootAt func(n int) int,
 					add(res)
 				}
 				return 0, nil
-			}))
+			}), nil
 	}
 }
 
-// syncCompleteRun runs the synchronous fully-connected election with a blind
-// coalition of size K in the last positions (K = −1 resolves to n−1, the
-// maximal coalition; the outcome stays uniform — nothing to rush).
-func syncCompleteRun() runFunc {
-	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+// syncCompleteChunks runs the synchronous fully-connected election with a
+// blind coalition of size K in the last positions (K = −1 resolves to n−1,
+// the maximal coalition; the outcome stays uniform — nothing to rush).
+func syncCompleteChunks() chunksFunc {
+	return func(seed int64, p params) (engine.ChunkJob, error) {
 		k := p.K
 		if k < 0 {
 			k = p.N - 1
 		}
 		// The synchronous runtime is not sim.Network-based; it ignores
 		// the worker arena.
-		return engineTrials(ctx, p, func(t int, _ *sim.Arena) (sim.Result, error) {
-			procs, err := syncnet.NewCompleteElection(p.N, k, trialSeed(seed, t))
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return syncnet.Run(procs, p.N+4)
-		})
+		return engine.ChunkFunc(
+			func(start, end int, _ *sim.Arena, add func(sim.Result)) (int, error) {
+				for t := start; t < end; t++ {
+					procs, err := syncnet.NewCompleteElection(p.N, k, trialSeed(seed, t))
+					if err != nil {
+						return t, err
+					}
+					res, err := syncnet.Run(procs, p.N+4)
+					if err != nil {
+						return t, err
+					}
+					add(res)
+				}
+				return 0, nil
+			}), nil
 	}
 }
 
-// syncRingRun runs the synchronous ring election; with tamper, processor 2
-// perturbs every forwarded value — the deviation whose only power is FAIL.
-func syncRingRun(tamper bool) runFunc {
-	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
-		return engineTrials(ctx, p, func(t int, _ *sim.Arena) (sim.Result, error) {
-			ts := trialSeed(seed, t)
-			procs := make([]syncnet.Processor, p.N)
-			for i := 1; i <= p.N; i++ {
-				proc := syncnet.NewRingSyncLead(p.N, sim.ProcID(i), ts)
-				if tamper && i == 2 {
-					proc.Tamper = 1
+// syncRingChunks runs the synchronous ring election; with tamper, processor
+// 2 perturbs every forwarded value — the deviation whose only power is FAIL.
+func syncRingChunks(tamper bool) chunksFunc {
+	return func(seed int64, p params) (engine.ChunkJob, error) {
+		return engine.ChunkFunc(
+			func(start, end int, _ *sim.Arena, add func(sim.Result)) (int, error) {
+				for t := start; t < end; t++ {
+					ts := trialSeed(seed, t)
+					procs := make([]syncnet.Processor, p.N)
+					for i := 1; i <= p.N; i++ {
+						proc := syncnet.NewRingSyncLead(p.N, sim.ProcID(i), ts)
+						if tamper && i == 2 {
+							proc.Tamper = 1
+						}
+						procs[i-1] = proc
+					}
+					res, err := syncnet.Run(procs, p.N+2)
+					if err != nil {
+						return t, err
+					}
+					add(res)
 				}
-				procs[i-1] = proc
-			}
-			return syncnet.Run(procs, p.N+2)
-		})
+				return 0, nil
+			}), nil
 	}
+}
+
+// registerChunked registers one scenario from its chunked-job builder; the
+// full-batch run function is derived from the same builder, so local runs
+// and remote shards execute one job.
+func registerChunked(s Scenario, chunks chunksFunc) {
+	s.chunks, s.run = chunks, chunkedRun(chunks)
+	register(s)
 }
 
 // registerRing registers one ring scenario from its builder pair.
-func registerRing(s Scenario, run runFunc, single singleFunc) {
-	s.run, s.single = run, single
+func registerRing(s Scenario, chunks chunksFunc, single singleFunc) {
+	s.chunks, s.run, s.single = chunks, chunkedRun(chunks), single
 	register(s)
 }
 
@@ -347,7 +370,7 @@ func init() {
 	}
 
 	// --- Asynchronous complete graph with Shamir sharing (Section 1.1).
-	register(Scenario{
+	registerChunked(Scenario{
 		Name:      "complete/shamir/fifo",
 		Topology:  "complete",
 		Protocol:  "shamir",
@@ -357,9 +380,8 @@ func init() {
 		Trials:    400,
 		Uniform:   true,
 		Note:      "commit-then-reveal secret sharing, resilient to ⌈n/2⌉−1",
-		run:       completeRun(false),
-	})
-	register(Scenario{
+	}, completeChunks(false))
+	registerChunked(Scenario{
 		Name:      "complete/shamir/attack=pool",
 		Topology:  "complete",
 		Protocol:  "shamir",
@@ -370,11 +392,10 @@ func init() {
 		Trials:    40,
 		Target:    2,
 		Note:      "k = ⌈n/2⌉ pools phase-1 shares and reconstructs every secret early",
-		run:       completeRun(true),
-	})
+	}, completeChunks(true))
 
 	// --- Tree topologies (Theorem 7.2: trees are 1-simulated trees).
-	register(Scenario{
+	registerChunked(Scenario{
 		Name:      "tree-path/convergecast/fifo",
 		Topology:  "tree-path",
 		Protocol:  "convergecast",
@@ -384,9 +405,8 @@ func init() {
 		Trials:    400,
 		Uniform:   true,
 		Note:      "convergecast/broadcast election on the path, rooted at the middle",
-		run:       treeRun(simgraph.Path, pathRoot, SchedFIFO, false),
-	})
-	register(Scenario{
+	}, treeChunks(simgraph.Path, pathRoot, SchedFIFO, false))
+	registerChunked(Scenario{
 		Name:      "tree-path/convergecast/random",
 		Topology:  "tree-path",
 		Protocol:  "convergecast",
@@ -396,9 +416,8 @@ func init() {
 		Trials:    400,
 		Uniform:   true,
 		Note:      "same election under a random oblivious schedule (trees genuinely interleave)",
-		run:       treeRun(simgraph.Path, pathRoot, SchedRandom, false),
-	})
-	register(Scenario{
+	}, treeChunks(simgraph.Path, pathRoot, SchedRandom, false))
+	registerChunked(Scenario{
 		Name:      "tree-star/convergecast/fifo",
 		Topology:  "tree-star",
 		Protocol:  "convergecast",
@@ -408,9 +427,8 @@ func init() {
 		Trials:    400,
 		Uniform:   true,
 		Note:      "convergecast election on the star, rooted at the center",
-		run:       treeRun(simgraph.Star, starRoot, SchedFIFO, false),
-	})
-	register(Scenario{
+	}, treeChunks(simgraph.Star, starRoot, SchedFIFO, false))
+	registerChunked(Scenario{
 		Name:      "tree-path/convergecast/attack=dictator-root",
 		Topology:  "tree-path",
 		Protocol:  "convergecast",
@@ -422,11 +440,10 @@ func init() {
 		K:         1,
 		Target:    3,
 		Note:      "a single rational root dictates: trees are 1-simulated trees",
-		run:       treeRun(simgraph.Path, pathRoot, SchedFIFO, true),
-	})
+	}, treeChunks(simgraph.Path, pathRoot, SchedFIFO, true))
 
 	// --- Synchronous models (Section 1.1: nothing to rush).
-	register(Scenario{
+	registerChunked(Scenario{
 		Name:      "sync-complete/complete-lead/honest",
 		Topology:  "sync-complete",
 		Protocol:  "complete-lead",
@@ -436,9 +453,8 @@ func init() {
 		Trials:    400,
 		Uniform:   true,
 		Note:      "lock-step complete graph: commit secrets in round 1, sum in round 2",
-		run:       syncCompleteRun(),
-	})
-	register(Scenario{
+	}, syncCompleteChunks())
+	registerChunked(Scenario{
 		Name:      "sync-complete/complete-lead/attack=blind-coalition",
 		Topology:  "sync-complete",
 		Protocol:  "complete-lead",
@@ -450,9 +466,8 @@ func init() {
 		K:         -1,
 		Uniform:   true,
 		Note:      "k = n−1 blind constants gain nothing: the outcome stays uniform",
-		run:       syncCompleteRun(),
-	})
-	register(Scenario{
+	}, syncCompleteChunks())
+	registerChunked(Scenario{
 		Name:      "sync-ring/ring-sync-lead/honest",
 		Topology:  "sync-ring",
 		Protocol:  "ring-sync-lead",
@@ -462,9 +477,8 @@ func init() {
 		Trials:    400,
 		Uniform:   true,
 		Note:      "lock-step ring: forward the previous round's value; resilient to n−1",
-		run:       syncRingRun(false),
-	})
-	register(Scenario{
+	}, syncRingChunks(false))
+	registerChunked(Scenario{
 		Name:      "sync-ring/ring-sync-lead/attack=tamper",
 		Topology:  "sync-ring",
 		Protocol:  "ring-sync-lead",
@@ -475,6 +489,5 @@ func init() {
 		Trials:    40,
 		K:         1,
 		Note:      "a tampering forwarder destroys (FAIL) but never steers",
-		run:       syncRingRun(true),
-	})
+	}, syncRingChunks(true))
 }

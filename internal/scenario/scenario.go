@@ -95,11 +95,31 @@ type params struct {
 type (
 	// runFunc runs the scenario's trial batch on the engine.
 	runFunc func(ctx context.Context, seed int64, p params) (*ring.Distribution, error)
+	// chunksFunc builds the scenario's canonical chunked engine job for one
+	// (seed, params) configuration. The job must derive every per-trial
+	// result from the trial index alone, so any sub-range run through
+	// engine.RunRange contributes exactly its trials' shard to the batch —
+	// the property remote chunk claiming (Scenario.RunShard) relies on.
+	chunksFunc func(seed int64, p params) (engine.ChunkJob, error)
 	// singleFunc runs one execution under an explicit scheduler and an
 	// optional recycled arena; only ring-topology scenarios provide it
 	// (the schedule-independence property is a ring claim).
 	singleFunc func(seed int64, sched sim.Scheduler, p params, arena *sim.Arena) (sim.Result, error)
 )
+
+// chunkedRun derives a scenario's full-batch run function from its chunked
+// job builder: every registered scenario runs through this one path, so the
+// batch a coordinator decomposes into remote shards and the batch a single
+// node runs locally are the same job by construction.
+func chunkedRun(chunks chunksFunc) runFunc {
+	return func(ctx context.Context, seed int64, p params) (*ring.Distribution, error) {
+		job, err := chunks(seed, p)
+		if err != nil {
+			return nil, err
+		}
+		return engineBatch(ctx, p, job)
+	}
+}
 
 // Scenario is one named, runnable configuration.
 type Scenario struct {
@@ -134,6 +154,7 @@ type Scenario struct {
 	Note string
 
 	run    runFunc
+	chunks chunksFunc
 	single singleFunc
 
 	// proto is the underlying ring protocol for ring-simulator topologies
@@ -249,6 +270,58 @@ func (s Scenario) SingleRun(seed int64, sched sim.Scheduler, o Opts) (res sim.Re
 	return res, true, err
 }
 
+// Distributable reports whether the scenario exposes its trial batch as a
+// chunked job, i.e. whether RunShard can run arbitrary sub-ranges of it.
+// Every registered scenario is distributable; the accessor exists so fleet
+// schedulers can gate rather than assume.
+func (s Scenario) Distributable() bool { return s.chunks != nil }
+
+// RunShard runs logical trials [start, end) of the batch RunOpts(seed, o)
+// would run and returns their raw shard distribution. Per-trial seeds
+// derive from the logical index, so merging the shards of any partition of
+// [0, trials) — in any order, on any mix of machines — reproduces the full
+// batch's distribution bit-for-bit (Distribution merges are counter sums).
+// This is the unit of work a fleet worker claims from a coordinator.
+// Progress and Stop overrides are ignored: shards are plain sub-batches.
+func (s Scenario) RunShard(ctx context.Context, seed int64, o Opts, start, end int) (*ring.Distribution, error) {
+	if s.chunks == nil {
+		return nil, fmt.Errorf("scenario: %q has no chunked job", s.Name)
+	}
+	p := s.params(o)
+	if p.N < s.MinN {
+		return nil, fmt.Errorf("scenario: %s needs n ≥ %d, got %d", s.Name, s.MinN, p.N)
+	}
+	if start < 0 || end < start || end > p.Trials {
+		return nil, fmt.Errorf("scenario: %s shard [%d, %d) outside batch of %d trials", s.Name, start, end, p.Trials)
+	}
+	job, err := s.chunks(seed, p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	dist, err := engine.RunRange(ctx, start, end, job, distSink(p.N),
+		engine.Options[*ring.Distribution]{Workers: p.Workers, Arenas: p.arenas})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	return dist, nil
+}
+
+// OutcomeFromDist summarizes an externally merged distribution exactly as
+// RunOpts would summarize its own: a coordinator that folds worker shards
+// back together builds the final Outcome through this, so the marshaled
+// result bytes of a distributed run equal a single-node run's.
+func (s Scenario) OutcomeFromDist(dist *ring.Distribution, o Opts) *Outcome {
+	return s.outcome(dist, s.params(o))
+}
+
+// Resolve returns the resolved (n, trials) the overrides pin, using exactly
+// the defaulting RunOpts applies. Fleet coordinators use it to decompose a
+// job into trial chunks without running anything.
+func (s Scenario) Resolve(o Opts) (n, trials int) {
+	p := s.params(o)
+	return p.N, p.Trials
+}
+
 // outcome summarizes a distribution.
 func (s Scenario) outcome(dist *ring.Distribution, p params) *Outcome {
 	rep := core.Bias(dist)
@@ -291,18 +364,10 @@ func distSink(n int) engine.Sink[*ring.Distribution] {
 	}
 }
 
-// engineTrials runs one job per trial on the parallel engine; the engine
-// hands every job invocation its worker's recycled arena (drawn from the
-// caller's shared pool when one is set).
-func engineTrials(ctx context.Context, p params, job func(t int, arena *sim.Arena) (sim.Result, error)) (*ring.Distribution, error) {
-	return engine.Run(ctx, p.Trials, engine.JobFunc(job), distSink(p.N),
-		engine.Options[*ring.Distribution]{Workers: p.Workers, Stop: p.stop, Observe: p.observe, Arenas: p.arenas})
-}
-
-// engineBatch runs a chunked job on the parallel engine with the same
-// options engineTrials lowers; run builders whose trials can amortize
-// per-chunk state (a reused strategy vector, a prebuilt node set) route
-// through it.
+// engineBatch runs a chunked job on the parallel engine, lowering the
+// resolved params onto engine options; run builders whose trials can
+// amortize per-chunk state (a reused strategy vector, a prebuilt node set)
+// route through it.
 func engineBatch(ctx context.Context, p params, job engine.ChunkJob) (*ring.Distribution, error) {
 	return engine.RunBatch(ctx, p.Trials, job, distSink(p.N),
 		engine.Options[*ring.Distribution]{Workers: p.Workers, Stop: p.stop, Observe: p.observe, Arenas: p.arenas})
@@ -340,6 +405,14 @@ type Snapshot struct {
 	// Epsilon is the running Definition 2.3 bias point estimate
 	// (max-win rate − 1/n).
 	Epsilon float64 `json:"epsilon"`
+}
+
+// NewSnapshot summarizes a prefix of an accumulating distribution covering
+// done of total trials — the exported form of the progress points Opts.
+// Progress delivers, for coordinators that merge remote shards themselves
+// and still want to stream the same snapshot shape.
+func NewSnapshot(d *ring.Distribution, done, total int) Snapshot {
+	return snapshot(d, done, total)
 }
 
 // snapshot summarizes a prefix of the accumulating distribution.

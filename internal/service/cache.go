@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
 // Cache is the content-addressed result store: finished job results, as
 // exact wire bytes, keyed by scenario.JobKey. Because every key pins the
@@ -8,70 +11,81 @@ import "sync"
 // bit-for-bit replay of the first computation — the cache never serves an
 // approximation.
 //
-// Entries are evicted oldest-first once the configured capacity is
-// exceeded; an optional eviction hook lets the scheduler drop its job
-// metadata in step so the two views never disagree. All methods are safe
-// for concurrent use.
+// Entries are evicted least-recently-used once the configured capacity is
+// exceeded: Get refreshes an entry's recency, so a hot result survives
+// capacity churn from cold ones. Put reports the evicted keys to its
+// caller instead of invoking a callback, so the scheduler can apply its
+// own bookkeeping under its own lock — no foreign code ever runs under the
+// cache lock. All methods are safe for concurrent use.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string][]byte
-	order   []string // insertion order; index 0 is evicted first
-	onEvict func(key string)
+	entries map[string]*list.Element
+	order   *list.List // front is least recently used, back is most recent
 	hits    int64
 	misses  int64
+}
+
+// entry is the list payload: the key rides along so eviction can report it.
+type entry struct {
+	key string
+	val []byte
 }
 
 // DefaultCacheSize is the entry capacity used when Config leaves it zero.
 const DefaultCacheSize = 4096
 
 // NewCache returns an empty cache holding at most max entries (0 picks
-// DefaultCacheSize). onEvict, if non-nil, is called with each evicted key,
-// outside any per-entry work but under the cache lock — keep it cheap.
-func NewCache(max int, onEvict func(key string)) *Cache {
+// DefaultCacheSize).
+func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = DefaultCacheSize
 	}
 	return &Cache{
 		max:     max,
-		entries: make(map[string][]byte),
-		onEvict: onEvict,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
 	}
 }
 
-// Get returns the stored bytes for key. The returned slice is shared — the
-// whole point is byte identity — and must be treated as read-only.
+// Get returns the stored bytes for key and refreshes the entry's recency.
+// The returned slice is shared — the whole point is byte identity — and
+// must be treated as read-only.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	b, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.misses++
+		return nil, false
 	}
-	return b, ok
+	c.hits++
+	c.order.MoveToBack(el)
+	return el.Value.(*entry).val, true
 }
 
-// Put stores val under key, evicting the oldest entries if the cache is
-// full. Re-putting an existing key is a no-op: the first computation's
-// bytes win, which keeps replays identical over the cache entry's lifetime.
-func (c *Cache) Put(key string, val []byte) {
+// Put stores val under key and returns the keys evicted to make room,
+// least recently used first. Re-putting an existing key refreshes its
+// recency but keeps the original bytes: the first computation wins, which
+// keeps replays identical over the cache entry's lifetime. Callers that
+// mirror cache membership elsewhere must process the returned keys under
+// their own lock.
+func (c *Cache) Put(key string, val []byte) (evicted []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.entries[key]; exists {
-		return
+	if el, exists := c.entries[key]; exists {
+		c.order.MoveToBack(el)
+		return nil
 	}
-	c.entries[key] = val
-	c.order = append(c.order, key)
-	for len(c.entries) > c.max {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
-		if c.onEvict != nil {
-			c.onEvict(oldest)
-		}
+	c.entries[key] = c.order.PushBack(&entry{key: key, val: val})
+	for c.order.Len() > c.max {
+		oldest := c.order.Front()
+		c.order.Remove(oldest)
+		k := oldest.Value.(*entry).key
+		delete(c.entries, k)
+		evicted = append(evicted, k)
 	}
+	return evicted
 }
 
 // Len returns the number of cached results.

@@ -6,12 +6,11 @@ import (
 	"testing"
 )
 
-func TestCacheEvictsOldestFirst(t *testing.T) {
-	var evicted []string
-	c := NewCache(2, func(key string) { evicted = append(evicted, key) })
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
 	c.Put("a", []byte("1"))
 	c.Put("b", []byte("2"))
-	c.Put("c", []byte("3"))
+	evicted := c.Put("c", []byte("3"))
 	if len(evicted) != 1 || evicted[0] != "a" {
 		t.Fatalf("evicted %v, want [a]", evicted)
 	}
@@ -30,10 +29,49 @@ func TestCacheEvictsOldestFirst(t *testing.T) {
 	}
 }
 
+// TestCacheGetRefreshesRecency pins true LRU semantics: a Get moves the
+// entry to the most-recent position, so the untouched entry is the one
+// evicted — insertion order alone must not decide.
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry a lost before capacity reached")
+	}
+	evicted := c.Put("c", []byte("3"))
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b] — Get(a) should have refreshed a", evicted)
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+// TestCacheHotEntrySurvivesChurn pins the property the LRU rewrite exists
+// for: a repeatedly hit entry survives arbitrary capacity churn from cold
+// one-shot entries, where the old FIFO policy would have aged it out by
+// insertion time regardless of use.
+func TestCacheHotEntrySurvivesChurn(t *testing.T) {
+	c := NewCache(3)
+	c.Put("hot", []byte("h"))
+	for i := 0; i < 50; i++ {
+		if _, ok := c.Get("hot"); !ok {
+			t.Fatalf("hot entry evicted after %d cold inserts", i)
+		}
+		c.Put(fmt.Sprintf("cold%d", i), []byte{byte(i)})
+	}
+	if b, ok := c.Get("hot"); !ok || string(b) != "h" {
+		t.Fatalf("hot entry lost to cold churn: %q %v", b, ok)
+	}
+}
+
 func TestCacheFirstPutWins(t *testing.T) {
-	c := NewCache(4, nil)
+	c := NewCache(4)
 	c.Put("k", []byte("first"))
-	c.Put("k", []byte("second"))
+	if evicted := c.Put("k", []byte("second")); evicted != nil {
+		t.Fatalf("duplicate put evicted %v", evicted)
+	}
 	b, ok := c.Get("k")
 	if !ok || string(b) != "first" {
 		t.Fatalf("got %q, want the first computation's bytes", b)
@@ -43,8 +81,22 @@ func TestCacheFirstPutWins(t *testing.T) {
 	}
 }
 
+// TestCacheRePutRefreshesRecency pins that a duplicate Put, while keeping
+// the original bytes, still counts as use: the re-put key outlives an
+// older untouched one.
+func TestCacheRePutRefreshesRecency(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("ignored"))
+	evicted := c.Put("c", []byte("3"))
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+}
+
 func TestCacheDefaultSize(t *testing.T) {
-	c := NewCache(0, nil)
+	c := NewCache(0)
 	for i := 0; i < DefaultCacheSize+5; i++ {
 		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
 	}

@@ -168,7 +168,7 @@ func (s *Scheduler) SubmitCerts(reqs []CertRequest) ([]*CertJob, error) {
 			// Failed or canceled: schedule a fresh run under the same
 			// identity.
 		}
-		if b, ok := s.cache.Get(id); ok {
+		if b, ok := s.cacheGetLocked(id); ok {
 			j := s.newCertJob(id, req)
 			j.cached = true
 			j.status = StatusDone
@@ -304,9 +304,7 @@ func (s *Scheduler) runCert(j *CertJob, sc scenario.Scenario) {
 			s.retireCert(j)
 			return
 		}
-		s.mu.Lock()
-		s.cache.Put(j.ID, b)
-		s.mu.Unlock()
+		s.cachePut(j.ID, b)
 		s.completed.Add(1)
 		j.finish(StatusDone, b, "")
 	}

@@ -26,6 +26,11 @@ func NewClient(baseURL string) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
 }
 
+// BaseURL returns the daemon URL this client talks to, normalized (no
+// trailing slash). Useful for handing the same endpoint to a fleet worker's
+// Join configuration.
+func (c *Client) BaseURL() string { return c.base }
+
 // get issues one GET and decodes the JSON body into out.
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)

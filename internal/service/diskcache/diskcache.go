@@ -1,0 +1,194 @@
+// Package diskcache is the crash-safe, disk-backed tier of the service's
+// content-addressed result cache. Each finished result is one file of
+// exact wire bytes under a fan-out directory keyed by its SHA-256 content
+// address, so a cache directory can be shared by every node of a fleet and
+// survives process restarts: a coordinator reopening the directory replays
+// any previously computed result bit-for-bit with zero engine runs.
+//
+// On-disk format (format version v1):
+//
+//	<root>/flecache-v1/<key[:2]>/<key>
+//
+// where key is the 64-character lowercase hex SHA-256 content address
+// (scenario.JobKey for trial jobs, equilibrium.Key for certificates — the
+// two key spaces are disjoint, so one directory serves both). The two-hex
+// fan-out keeps directories small at realistic cache sizes. The format
+// version is part of the directory name, not the file contents: a future
+// incompatible layout writes to flecache-v2 and never misreads v1 files.
+//
+// Writes are crash-safe: bytes land in a same-directory temp file, are
+// fsynced, and are atomically renamed into place, so a reader can never
+// observe a torn entry — any file at the final path is complete. A crash
+// between the temp write and the rename leaves only a *.tmp orphan, which
+// Open sweeps away. Entries are immutable once written: like the in-memory
+// tier, the first computation's bytes win, which keeps replays identical
+// for the entry's lifetime even when several nodes race to publish the
+// same key.
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// FormatDir is the versioned directory, under the configured root, that
+// holds all v1 entries.
+const FormatDir = "flecache-v1"
+
+// Store is a handle on one cache directory. All methods are safe for
+// concurrent use by any number of goroutines and, because every mutation
+// is an atomic rename, by any number of processes sharing the directory.
+type Store struct {
+	dir string // <root>/flecache-v1
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
+}
+
+// Open prepares root for use as a cache directory, creating it if needed,
+// and sweeps any *.tmp orphans a crashed writer left behind. Reopening a
+// directory written by an earlier process serves all of its entries.
+func Open(root string) (*Store, error) {
+	if root == "" {
+		return nil, errors.New("diskcache: empty cache directory")
+	}
+	dir := filepath.Join(root, FormatDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	if err := sweepOrphans(dir); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// sweepOrphans removes temp files abandoned by writers that crashed
+// between the write and the rename. Entries at their final paths are never
+// touched.
+func sweepOrphans(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return fmt.Errorf("diskcache: sweep: %w", err)
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+			if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("diskcache: sweep: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// Dir returns the versioned directory entries live in.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a validated key to its entry file.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// validKey reports whether key is a 64-character lowercase hex string —
+// the only shape either content-address space produces. Rejecting anything
+// else keeps arbitrary strings from steering file paths.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the stored bytes for key. A missing entry is (nil, false,
+// nil); the error return is reserved for real I/O failures.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	if !validKey(key) {
+		return nil, false, fmt.Errorf("diskcache: invalid key %q", key)
+	}
+	b, err := os.ReadFile(s.path(key))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		s.misses.Add(1)
+		return nil, false, nil
+	case err != nil:
+		return nil, false, fmt.Errorf("diskcache: %w", err)
+	}
+	s.hits.Add(1)
+	return b, true, nil
+}
+
+// Put durably stores val under key. An existing entry is left untouched —
+// first put wins, and concurrent writers of the same key (even from other
+// processes) settle via atomic rename without ever exposing partial bytes.
+func (s *Store) Put(key string, val []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("diskcache: invalid key %q", key)
+	}
+	final := s.path(key)
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	bucket := filepath.Dir(final)
+	if err := os.MkdirAll(bucket, 0o755); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	// Temp file in the destination directory so the rename cannot cross
+	// filesystems (renames are only atomic within one).
+	tmp, err := os.CreateTemp(bucket, key+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Len walks the directory and returns the number of stored entries. It is
+// an O(entries) scan meant for stats and tests, not hot paths.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && validKey(d.Name()) {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("diskcache: %w", err)
+	}
+	return n, nil
+}
+
+// Stats returns the process-local operation counters: disk hits, disk
+// misses, and entries written by this handle. Entries written by other
+// nodes sharing the directory appear as hits here, not writes.
+func (s *Store) Stats() (hits, misses, writes int64) {
+	return s.hits.Load(), s.misses.Load(), s.writes.Load()
+}

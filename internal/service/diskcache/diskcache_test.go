@@ -1,0 +1,244 @@
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// key returns a deterministic valid content address for test entry i.
+func key(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("entry-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(1)
+	if _, ok, err := s.Get(k); err != nil || ok {
+		t.Fatalf("empty store Get = ok %v err %v", ok, err)
+	}
+	val := []byte(`{"scenario":"ring/a-lead/fifo"}`)
+	if err := s.Put(k, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(k)
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q ok %v err %v", got, ok, err)
+	}
+	hits, misses, writes := s.Stats()
+	if hits != 1 || misses != 1 || writes != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", hits, misses, writes)
+	}
+}
+
+// TestStoreOnDiskLayout pins the v1 format: one file per key at
+// <root>/flecache-v1/<key[:2]>/<key>, holding the exact value bytes.
+func TestStoreOnDiskLayout(t *testing.T) {
+	root := t.TempDir()
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(2)
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(root, FormatDir, k[:2], k)
+	b, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatalf("entry not at the documented path: %v", err)
+	}
+	if string(b) != "payload" {
+		t.Fatalf("file holds %q", b)
+	}
+	if s.Dir() != filepath.Join(root, FormatDir) {
+		t.Fatalf("Dir() = %q, want the versioned format dir", s.Dir())
+	}
+}
+
+// TestStoreReopenServesEntries pins crash/restart survival: a second Open
+// of the same root serves everything the first process wrote.
+func TestStoreReopenServesEntries(t *testing.T) {
+	root := t.TempDir()
+	s1, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s1.Put(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, ok, err := s2.Get(key(i))
+		if err != nil || !ok || string(b) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("entry %d after reopen: %q ok %v err %v", i, b, ok, err)
+		}
+	}
+	if n, err := s2.Len(); err != nil || n != 10 {
+		t.Fatalf("Len = %d err %v, want 10", n, err)
+	}
+}
+
+// TestStoreFirstPutWins pins immutability: a second Put of the same key
+// leaves the original bytes in place.
+func TestStoreFirstPutWins(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(3)
+	if err := s.Put(k, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := s.Get(k)
+	if err != nil || !ok || string(b) != "first" {
+		t.Fatalf("got %q ok %v err %v, want the first bytes", b, ok, err)
+	}
+}
+
+// TestOpenSweepsOrphanedTempFiles pins crash recovery: *.tmp files left by
+// a writer that died before its rename are removed on Open, and completed
+// entries are untouched.
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	root := t.TempDir()
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(4)
+	if err := s.Put(k, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	bucket := filepath.Join(root, FormatDir, k[:2])
+	orphan := filepath.Join(bucket, key(5)+".12345.tmp")
+	if err := os.WriteFile(orphan, []byte("torn wr"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan survived reopen: %v", err)
+	}
+	if b, ok, _ := s.Get(k); !ok || string(b) != "kept" {
+		t.Fatalf("completed entry damaged by sweep: %q %v", b, ok)
+	}
+}
+
+// TestStoreRejectsInvalidKeys pins the path-safety guard: only 64-char
+// lowercase hex content addresses reach the filesystem.
+func TestStoreRejectsInvalidKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"short",
+		strings.Repeat("g", 64),
+		strings.Repeat("A", 64),
+		"../" + strings.Repeat("a", 61),
+		strings.Repeat("a", 63) + "/",
+	}
+	for _, k := range bad {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Fatalf("Put accepted invalid key %q", k)
+		}
+		if _, _, err := s.Get(k); err == nil {
+			t.Fatalf("Get accepted invalid key %q", k)
+		}
+	}
+}
+
+// TestStoreErrorPaths pins the I/O failure behavior: an unusable root
+// fails Open, a blocked bucket fails Put, and a directory squatting on an
+// entry path surfaces as a Get error rather than a silent miss.
+func TestStoreErrorPaths(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open accepted an empty root")
+	}
+	root := t.TempDir()
+	file := filepath.Join(root, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The format dir cannot be created under a regular file.
+	if _, err := Open(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("Open accepted a root under a regular file")
+	}
+
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(7)
+	// A regular file where the fan-out bucket belongs blocks the Put.
+	if err := os.WriteFile(filepath.Join(s.Dir(), k[:2]), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, []byte("v")); err == nil {
+		t.Fatal("Put succeeded into a blocked bucket")
+	}
+
+	// A directory at an entry's final path is a real I/O error on Get,
+	// not a miss: the caller must not recompute over corruption.
+	k2 := key(8)
+	if err := os.MkdirAll(filepath.Join(s.Dir(), k2[:2], k2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(k2); err == nil || ok {
+		t.Fatalf("Get on a squatted path = ok %v err %v, want error", ok, err)
+	}
+}
+
+// TestStoreConcurrentPutSameKey pins the multi-writer race: many
+// goroutines publishing the same key all succeed and the entry ends whole.
+func TestStoreConcurrentPutSameKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(6)
+	val := bytes.Repeat([]byte("abcdefgh"), 1024)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- s.Put(k, val)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, ok, err := s.Get(k)
+	if err != nil || !ok || !bytes.Equal(b, val) {
+		t.Fatalf("entry torn after concurrent puts: len %d ok %v err %v", len(b), ok, err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d err %v, want 1", n, err)
+	}
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestDiskTierRestartReplaysWithZeroEngineRuns pins the durability
+// acceptance criterion: a daemon restarted on the same cache directory
+// replays previously computed results byte-for-byte from disk — zero fresh
+// engine runs — and a certification sweep survives the restart the same
+// way.
+func TestDiskTierRestartReplaysWithZeroEngineRuns(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Version: "disk-test", CacheDir: dir}
+
+	srv1, client1 := newTestServer(t, cfg)
+	ctx := context.Background()
+	states, err := client1.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := states[0].ID
+	waitStatus(t, srv1, id, StatusDone)
+	first, err := client1.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := srv1.Scheduler().Stats(); !st.Disk.Enabled || st.Disk.Writes == 0 {
+		t.Fatalf("disk tier recorded no writes: %+v", st.Disk)
+	}
+	srv1.Close()
+
+	// A second daemon — fresh process state, same directory.
+	srv2, client2 := newTestServer(t, cfg)
+	states, err = client2.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].ID != id {
+		t.Fatalf("restart changed the job identity: %s vs %s", states[0].ID, id)
+	}
+	if states[0].Status != StatusDone || !states[0].Cached {
+		t.Fatalf("restarted daemon did not replay from disk: %+v", states[0])
+	}
+	if !bytes.Equal(states[0].Result, first.Result) {
+		t.Fatal("replayed bytes differ from the original computation")
+	}
+	st := srv2.Scheduler().Stats()
+	if st.Jobs.Fresh != 0 {
+		t.Fatalf("restarted daemon ran %d fresh jobs, want 0", st.Jobs.Fresh)
+	}
+	if st.Disk.Hits == 0 {
+		t.Fatalf("replay did not come from the disk tier: %+v", st.Disk)
+	}
+
+	// The promoted entry now serves from memory: another submission must
+	// not touch the disk tier again.
+	before := st.Disk.Hits
+	if _, err := client2.Submit(ctx, []JobRequest{quickJob}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv2.Scheduler().Stats(); st.Disk.Hits != before {
+		t.Fatalf("memory tier not promoted: disk hits went %d -> %d", before, st.Disk.Hits)
+	}
+}
+
+// TestDiskTierSharedAcrossServers pins the fleet-sharing property: two
+// live daemons on one cache directory see each other's finished results.
+func TestDiskTierSharedAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Version: "disk-share", CacheDir: dir}
+	srvA, clientA := newTestServer(t, cfg)
+	_, clientB := newTestServer(t, cfg)
+
+	ctx := context.Background()
+	states, err := clientA.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, srvA, states[0].ID, StatusDone)
+	got, err := clientB.Submit(ctx, []JobRequest{quickJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Status != StatusDone || !got[0].Cached {
+		t.Fatalf("daemon B did not replay daemon A's result: %+v", got[0])
+	}
+}

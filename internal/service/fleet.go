@@ -1,0 +1,510 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/scenario"
+)
+
+// Node roles. A single node schedules and runs everything in-process; a
+// coordinator decomposes trial jobs into chunks that workers (and its own
+// local claimants) lease over HTTP; a worker owns no jobs and only claims
+// chunks from the coordinator it joined.
+const (
+	RoleSingle      = "single"
+	RoleCoordinator = "coordinator"
+	RoleWorker      = "worker"
+)
+
+// DefaultFleetChunk is the trials-per-chunk used when Config leaves
+// FleetChunk zero: small enough that a medium batch spreads across a
+// 3-node fleet, large enough that per-chunk HTTP overhead stays a rounding
+// error next to the engine work.
+const DefaultFleetChunk = 512
+
+// DefaultLeaseTTL is the chunk lease lifetime used when Config leaves
+// LeaseTTL zero. A worker heartbeats at a third of this, so three missed
+// beats mark it dead and its chunks get re-issued.
+const DefaultLeaseTTL = 5 * time.Second
+
+// ClaimRequest is the POST /chunks/claim payload: the claimant announces
+// its code version (chunk results computed by a different build must never
+// fold into a job's distribution) and a display name for stats.
+type ClaimRequest struct {
+	Version string `json:"version"`
+	Node    string `json:"node,omitempty"`
+}
+
+// ChunkLease answers a successful claim: one trial range of one job,
+// leased to the claimant until TTL expires. The embedded JobRequest is
+// everything a worker needs to reproduce the exact sub-batch — scenario,
+// overrides, and the batch base seed; per-trial seeds derive from the
+// logical indices in [Start, End).
+type ChunkLease struct {
+	Lease    int64      `json:"lease"`
+	Job      JobRequest `json:"job"`
+	Start    int        `json:"start"`
+	End      int        `json:"end"`
+	TTLMilli int64      `json:"ttl_ms"`
+}
+
+// ChunkResult is the POST /chunks/result payload: the shard distribution
+// of the leased range, or the error that prevented it.
+type ChunkResult struct {
+	Lease int64              `json:"lease"`
+	Dist  *ring.Distribution `json:"dist,omitempty"`
+	Error string             `json:"error,omitempty"`
+}
+
+// ChunkHeartbeat is the POST /chunks/heartbeat payload; a beat extends the
+// lease by one TTL. A 410 response tells the claimant its lease is gone —
+// the job was canceled or the lease expired and was re-issued — and the
+// run should be abandoned.
+type ChunkHeartbeat struct {
+	Lease int64 `json:"lease"`
+}
+
+// fleetTask is one trial job being distributed: its chunk results and the
+// chunk-order merge frontier. Results merge into merged strictly in chunk
+// index order — exactly the order the single-node engine folds its own
+// chunk stream — so the progress snapshots and the final distribution are
+// byte-identical to a local run at any fleet size.
+type fleetTask struct {
+	job  *Job
+	sc   scenario.Scenario
+	opts scenario.Opts
+
+	total    int                  // resolved trial count
+	chunks   int                  // total chunk count
+	results  []*ring.Distribution // per chunk index, nil until reported
+	frontier int                  // chunks merged into merged so far
+	merged   *ring.Distribution
+
+	done    chan struct{} // closed when merged covers the batch or the task dies
+	err     error         // first chunk failure, set before done closes
+	aborted bool
+}
+
+// fleetChunk is one leasable trial range.
+type fleetChunk struct {
+	task       *fleetTask
+	index      int
+	start, end int
+	lease      int64 // current lease id; 0 while queued
+	expires    time.Time
+}
+
+// fleet is the coordinator's chunk exchange: a queue of unleased chunks, a
+// lease table, and the merge state of every distributed job. Locking: f.mu
+// is leaf-level — nothing under it takes s.mu or a job's mu except the
+// progress update path, which takes job.mu (itself a leaf). Scheduler
+// methods may call into fleet while holding no locks.
+type fleet struct {
+	s         *Scheduler
+	chunkSize int
+	ttl       time.Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled when queue gains work or the fleet closes
+	queue     []*fleetChunk
+	leased    map[int64]*fleetChunk
+	nextLease int64
+	closed    bool
+
+	enqueued  atomic.Int64 // chunks created
+	completed atomic.Int64 // chunk results folded in
+	reissued  atomic.Int64 // leases reclaimed from dead claimants
+	remote    atomic.Int64 // claims granted over HTTP
+}
+
+// newFleet builds the coordinator state and starts its goroutines: one
+// janitor that reclaims expired leases even when no claim traffic arrives,
+// and cfg.Parallel local claimants, so a coordinator with zero workers
+// still drains every job by itself.
+func newFleet(s *Scheduler) *fleet {
+	f := &fleet{
+		s:         s,
+		chunkSize: s.cfg.FleetChunk,
+		ttl:       s.cfg.LeaseTTL,
+		leased:    make(map[int64]*fleetChunk),
+	}
+	if f.chunkSize <= 0 {
+		f.chunkSize = DefaultFleetChunk
+	}
+	if f.ttl <= 0 {
+		f.ttl = DefaultLeaseTTL
+	}
+	f.cond = sync.NewCond(&f.mu)
+	s.wg.Add(1)
+	go f.janitor()
+	for i := 0; i < s.cfg.Parallel; i++ {
+		s.wg.Add(1)
+		go f.localClaimant()
+	}
+	return f
+}
+
+// janitor periodically reclaims expired leases and wakes blocked local
+// claimants; it also propagates scheduler shutdown into the cond so no
+// claimant sleeps through Close.
+func (f *fleet) janitor() {
+	defer f.s.wg.Done()
+	ticker := time.NewTicker(f.ttl / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.s.baseCtx.Done():
+			f.mu.Lock()
+			f.closed = true
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			return
+		case <-ticker.C:
+			f.mu.Lock()
+			f.reclaimExpiredLocked()
+			if len(f.queue) > 0 {
+				f.cond.Broadcast()
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// enqueue decomposes one fresh job into leasable chunks and returns its
+// task; runFleet waits on task.done.
+func (f *fleet) enqueue(j *Job, sc scenario.Scenario, opts scenario.Opts) *fleetTask {
+	n, total := sc.Resolve(opts)
+	task := &fleetTask{
+		job:    j,
+		sc:     sc,
+		opts:   opts,
+		total:  total,
+		merged: ring.NewDistribution(n),
+		done:   make(chan struct{}),
+	}
+	task.chunks = (total + f.chunkSize - 1) / f.chunkSize
+	task.results = make([]*ring.Distribution, task.chunks)
+
+	f.mu.Lock()
+	for i, start := 0, 0; start < total; i, start = i+1, start+f.chunkSize {
+		end := start + f.chunkSize
+		if end > total {
+			end = total
+		}
+		f.queue = append(f.queue, &fleetChunk{task: task, index: i, start: start, end: end})
+	}
+	f.enqueued.Add(int64(task.chunks))
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return task
+}
+
+// reclaimExpiredLocked sweeps the lease table: expired chunks of live
+// tasks rejoin the queue under a fresh claim; chunks of dead tasks are
+// dropped. Callers hold f.mu.
+func (f *fleet) reclaimExpiredLocked() {
+	now := time.Now()
+	for id, c := range f.leased {
+		if now.Before(c.expires) {
+			continue
+		}
+		delete(f.leased, id)
+		c.lease = 0
+		if !c.task.aborted {
+			f.queue = append(f.queue, c)
+			f.reissued.Add(1)
+		}
+	}
+}
+
+// popLocked removes and returns the next live queued chunk, discarding
+// chunks whose task has died. Callers hold f.mu.
+func (f *fleet) popLocked() *fleetChunk {
+	for len(f.queue) > 0 {
+		c := f.queue[0]
+		f.queue[0] = nil
+		f.queue = f.queue[1:]
+		if c.task.aborted {
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// leaseLocked grants a lease on c. Callers hold f.mu.
+func (f *fleet) leaseLocked(c *fleetChunk) {
+	f.nextLease++
+	c.lease = f.nextLease
+	c.expires = time.Now().Add(f.ttl)
+	f.leased[c.lease] = c
+}
+
+// claimRemote hands one chunk to an HTTP claimant, or nil when no work is
+// queued. Remote claimants poll; only local claimants block.
+func (f *fleet) claimRemote() *ChunkLease {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.reclaimExpiredLocked()
+	c := f.popLocked()
+	if c == nil {
+		return nil
+	}
+	f.leaseLocked(c)
+	f.remote.Add(1)
+	return &ChunkLease{
+		Lease:    c.lease,
+		Job:      c.task.job.Req,
+		Start:    c.start,
+		End:      c.end,
+		TTLMilli: f.ttl.Milliseconds(),
+	}
+}
+
+// claimBlocking waits for a chunk for a local claimant, returning nil when
+// the fleet shuts down.
+func (f *fleet) claimBlocking() *fleetChunk {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil
+		}
+		f.reclaimExpiredLocked()
+		if c := f.popLocked(); c != nil {
+			f.leaseLocked(c)
+			return c
+		}
+		f.cond.Wait()
+	}
+}
+
+// heartbeat extends a live lease by one TTL. It reports false when the
+// lease is unknown — expired and re-issued, or the job is gone — which
+// tells the claimant to abandon the run.
+func (f *fleet) heartbeat(lease int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.leased[lease]
+	if !ok || c.task.aborted {
+		return false
+	}
+	c.expires = time.Now().Add(f.ttl)
+	return true
+}
+
+// report resolves a lease with its shard result or error. Unknown leases
+// (expired and re-issued, canceled jobs) report false and the result is
+// dropped — the lease table is what makes re-issued chunks merge exactly
+// once. A chunk error fails the whole task: partial batches are never
+// cached or served.
+func (f *fleet) report(lease int64, dist *ring.Distribution, errMsg string) bool {
+	f.mu.Lock()
+	c, ok := f.leased[lease]
+	if !ok {
+		f.mu.Unlock()
+		return false
+	}
+	delete(f.leased, lease)
+	t := c.task
+	if t.aborted {
+		f.mu.Unlock()
+		return true
+	}
+	if errMsg != "" {
+		f.failTaskLocked(t, &chunkError{index: c.index, msg: errMsg})
+		f.mu.Unlock()
+		return true
+	}
+	t.results[c.index] = dist
+	f.completed.Add(1)
+	// Advance the chunk-order merge frontier as far as contiguous results
+	// allow. Merging in index order — never arrival order — is what keeps
+	// the progress stream and any partial observation deterministic; the
+	// final totals are order-independent anyway (counter sums).
+	for t.frontier < t.chunks && t.results[t.frontier] != nil {
+		_ = t.merged.Merge(t.results[t.frontier])
+		t.results[t.frontier] = nil
+		t.frontier++
+	}
+	frontierTrials := t.merged.Trials
+	finished := t.frontier == t.chunks
+	if finished {
+		close(t.done)
+	}
+	// Snapshot while still holding f.mu: the next reporter's frontier
+	// advance mutates t.merged, so reading it outside the lock races.
+	var snap scenario.Snapshot
+	publish := frontierTrials > 0 && !finished
+	if publish {
+		snap = scenario.NewSnapshot(t.merged, frontierTrials, t.total)
+	}
+	f.mu.Unlock()
+
+	// Progress accounting outside f.mu: job.mu and the scheduler counter
+	// are leaves of their own.
+	if publish {
+		f.publishProgress(t, snap, frontierTrials)
+	}
+	return true
+}
+
+// publishProgress mirrors the engine's Progress callback for a distributed
+// job: a deterministic chunk-ordered prefix snapshot.
+func (f *fleet) publishProgress(t *fleetTask, snap scenario.Snapshot, done int) {
+	j := t.job
+	j.mu.Lock()
+	if done < j.lastDone {
+		// A stale prefix (racing reporters) must never regress the stream.
+		j.mu.Unlock()
+		return
+	}
+	j.snap, j.hasSnap = snap, true
+	delta := done - j.lastDone
+	j.lastDone = done
+	j.mu.Unlock()
+	f.s.trialsDone.Add(int64(delta))
+}
+
+// chunkError carries the failing chunk's index for error reporting.
+type chunkError struct {
+	index int
+	msg   string
+}
+
+func (e *chunkError) Error() string {
+	return e.msg
+}
+
+// failTaskLocked kills a task: queued chunks die lazily via the aborted
+// flag, in-flight leases are dropped so late results bounce, and done
+// closes exactly once. Callers hold f.mu.
+func (f *fleet) failTaskLocked(t *fleetTask, err error) {
+	if t.aborted || t.frontier == t.chunks {
+		return
+	}
+	t.aborted = true
+	t.err = err
+	for id, c := range f.leased {
+		if c.task == t {
+			delete(f.leased, id)
+		}
+	}
+	close(t.done)
+}
+
+// abort cancels a task (job canceled or scheduler closing).
+func (f *fleet) abort(t *fleetTask) {
+	f.mu.Lock()
+	f.failTaskLocked(t, t.job.ctx.Err())
+	f.mu.Unlock()
+}
+
+// localClaimant is the coordinator's in-process worker loop: claim, run,
+// report. It shares the scheduler's arena pool and worker count with the
+// single-node path, so a zero-worker coordinator is operationally a
+// single node with chunk-granular scheduling.
+func (f *fleet) localClaimant() {
+	defer f.s.wg.Done()
+	for {
+		c := f.claimBlocking()
+		if c == nil {
+			return
+		}
+		f.runLocal(c)
+	}
+}
+
+// runLocal executes one claimed chunk in-process, heartbeating like a
+// remote worker so long chunks survive their lease.
+func (f *fleet) runLocal(c *fleetChunk) {
+	f.s.busy.Add(1)
+	defer f.s.busy.Add(-1)
+	t := c.task
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(f.ttl / 3)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if !f.heartbeat(c.lease) {
+					return
+				}
+			}
+		}
+	}()
+	o := t.opts
+	o.Workers = f.s.cfg.Workers
+	o.Arenas = f.s.arenas
+	dist, err := t.sc.RunShard(t.job.ctx, t.job.Req.Seed, o, c.start, c.end)
+	if err != nil {
+		f.report(c.lease, nil, err.Error())
+		return
+	}
+	f.report(c.lease, dist, "")
+}
+
+// runFleet is the coordinator counterpart of run: decompose the job,
+// wait for the chunk-order merge to cover the batch, summarize, cache.
+func (s *Scheduler) runFleet(j *Job, sc scenario.Scenario) {
+	defer s.wg.Done()
+	defer j.cancel()
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+
+	opts := j.Req.opts()
+	task := s.fleet.enqueue(j, sc, opts)
+	select {
+	case <-task.done:
+	case <-j.ctx.Done():
+		s.fleet.abort(task)
+	}
+	s.fleet.mu.Lock()
+	err, merged := task.err, task.merged
+	s.fleet.mu.Unlock()
+	switch {
+	case j.ctx.Err() != nil:
+		s.canceled.Add(1)
+		j.finish(StatusCanceled, nil, context.Cause(j.ctx).Error())
+		s.retire(j)
+	case err != nil:
+		s.failed.Add(1)
+		j.finish(StatusFailed, nil, err.Error())
+		s.retire(j)
+	default:
+		out := sc.OutcomeFromDist(merged, opts)
+		b, merr := json.Marshal(out)
+		if merr != nil {
+			s.failed.Add(1)
+			j.finish(StatusFailed, nil, merr.Error())
+			s.retire(j)
+			return
+		}
+		f := s.fleet
+		f.publishFinal(task)
+		s.cachePut(j.ID, b)
+		s.completed.Add(1)
+		j.finish(StatusDone, b, "")
+	}
+}
+
+// publishFinal records the completed batch in the trial counters (the
+// final frontier advance skips publishProgress so done is only ever
+// published after the outcome exists). The task is finished, so t.merged
+// is quiescent and safe to read without f.mu.
+func (f *fleet) publishFinal(t *fleetTask) {
+	f.publishProgress(t, scenario.NewSnapshot(t.merged, t.total, t.total), t.total)
+}

@@ -35,19 +35,38 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// routes assembles the daemon's HTTP surface.
+// routes assembles the daemon's HTTP surface. Workers expose only the
+// operational endpoints: a worker owns no jobs, so the job surface points
+// submitters at the coordinator instead of half-working. Coordinators
+// additionally serve the chunk-lease exchange under /chunks/.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /statz", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleStats)
+	if s.cfg.Role == RoleWorker {
+		reject := func(w http.ResponseWriter, _ *http.Request) {
+			writeError(w, http.StatusMisdirectedRequest,
+				"this node is a fleet worker; submit jobs to its coordinator at %s", s.cfg.Join)
+		}
+		mux.HandleFunc("/jobs", reject)
+		mux.HandleFunc("/jobs/{id}", reject)
+		mux.HandleFunc("/certify", reject)
+		mux.HandleFunc("/certify/{id}", reject)
+		return mux
+	}
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /certify", s.handleCertify)
 	mux.HandleFunc("GET /certify/{id}", s.handleCert)
 	mux.HandleFunc("DELETE /certify/{id}", s.handleCancelCert)
-	mux.HandleFunc("GET /statz", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleStats)
+	if s.cfg.Role == RoleCoordinator {
+		mux.HandleFunc("POST /chunks/claim", s.handleChunkClaim)
+		mux.HandleFunc("POST /chunks/result", s.handleChunkResult)
+		mux.HandleFunc("POST /chunks/heartbeat", s.handleChunkHeartbeat)
+	}
 	if s.cfg.Profiling {
 		// The daemon serves its own mux, never DefaultServeMux, so the
 		// pprof surface exists only when this instance opted in.
@@ -165,6 +184,11 @@ func serveWatchable(w http.ResponseWriter, r *http.Request, done <-chan struct{}
 		select {
 		case <-ticker.C:
 		case <-done:
+			// A closed channel is permanently ready: left in the select,
+			// it would turn every later iteration into a busy spin (the
+			// poll pace is the ticker's job). One wakeup is all the event
+			// carries, so disable the case after delivering it.
+			done = nil
 		case <-r.Context().Done():
 			return
 		}
@@ -253,7 +277,69 @@ func (s *Server) handleCancelCert(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "no such certification job")
 }
 
-// handleStats serves the scheduler's operational counters.
+// handleChunkClaim leases one queued trial chunk to a fleet claimant: 200
+// with the lease, 204 when nothing is queued, 409 when the claimant's code
+// version differs from the coordinator's (shards from a different build
+// must never fold into a job).
+func (s *Server) handleChunkClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad claim: %v", err)
+		return
+	}
+	if req.Version != s.sched.Version() {
+		writeError(w, http.StatusConflict, "version mismatch: coordinator runs %s, claimant runs %s",
+			s.sched.Version(), req.Version)
+		return
+	}
+	lease := s.sched.fleet.claimRemote()
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+// handleChunkResult folds a reported shard into its job, or 410 when the
+// lease is gone (expired and re-issued, or the job was canceled) — the
+// lease table is what guarantees each chunk merges exactly once.
+func (s *Server) handleChunkResult(w http.ResponseWriter, r *http.Request) {
+	var res ChunkResult
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err := dec.Decode(&res); err != nil {
+		writeError(w, http.StatusBadRequest, "bad result: %v", err)
+		return
+	}
+	if !s.sched.fleet.report(res.Lease, res.Dist, res.Error) {
+		writeError(w, http.StatusGone, "lease %d is no longer held", res.Lease)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": true})
+}
+
+// handleChunkHeartbeat extends a live lease, or 410 when it is gone and
+// the claimant should abandon the run.
+func (s *Server) handleChunkHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb ChunkHeartbeat
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&hb); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if !s.sched.fleet.heartbeat(hb.Lease) {
+		writeError(w, http.StatusGone, "lease %d is no longer held", hb.Lease)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"extended": true})
+}
+
+// handleStats serves the scheduler's operational counters, plus the claim
+// loop's on a worker node.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Stats())
+	st := s.sched.Stats()
+	if s.worker != nil {
+		st.Fleet.Claimed, st.Fleet.Done, st.Fleet.Errors = s.worker.Counters()
+	}
+	writeJSON(w, http.StatusOK, st)
 }

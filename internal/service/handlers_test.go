@@ -1,0 +1,45 @@
+package service
+
+import (
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeWatchableNoBusySpinAfterDone is the regression test for the
+// watch-stream spin: once the done channel closes, its select case is
+// permanently ready, and before the fix the loop would re-poll state() in
+// a hot spin for as long as the state stayed non-terminal. A job's own
+// done/terminal transition is atomic, but a watcher composed over slower
+// state (or a racing reader observing the two updates apart) must degrade
+// to ticker pacing, not a CPU burn. The state below stays non-terminal for
+// several ticker periods after done closes; the call count must stay in
+// ticker territory.
+func TestServeWatchableNoBusySpinAfterDone(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	deadline := time.Now().Add(350 * time.Millisecond)
+	var calls atomic.Int64
+	state := func() (any, bool) {
+		n := calls.Add(1)
+		return map[string]int64{"calls": n}, time.Now().After(deadline)
+	}
+
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("GET", "/jobs/x?watch=1", nil)
+	start := time.Now()
+	serveWatchable(w, r, done, state)
+	elapsed := time.Since(start)
+
+	// The loop runs once up front, once for the done wakeup, then on the
+	// 100ms ticker until the deadline: single digits. The pre-fix spin
+	// reached this count in microseconds and kept going for the full
+	// window — tens of thousands of calls.
+	if n := calls.Load(); n > 50 {
+		t.Fatalf("state() called %d times in %v: watch loop is busy-spinning after done", n, elapsed)
+	}
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/scenario"
+	"repro/internal/service/diskcache"
 )
 
 // JobRequest describes one unit of trial work: a registered scenario plus
@@ -146,6 +147,15 @@ type Config struct {
 	// DefaultCacheSize. The same bound caps retained failed/canceled job
 	// records, so a resident daemon's memory stays bounded either way.
 	CacheSize int
+	// CacheDir, when non-empty, backs the result cache with a crash-safe
+	// disk tier rooted at this directory (see internal/service/diskcache).
+	// The in-memory cache becomes a read-through layer over it: memory
+	// misses fall through to disk, disk hits are promoted back into
+	// memory, and every finished result is written through to both. The
+	// directory may be shared by every node of a fleet and survives
+	// restarts — a reopened daemon replays previously computed results
+	// with zero engine runs.
+	CacheDir string
 	// MaxTrials bounds a single job's trial count; 0 picks
 	// DefaultMaxTrials. A service must refuse a job that would occupy an
 	// engine slot effectively forever.
@@ -159,6 +169,25 @@ type Config struct {
 	// profile`). Off by default: the endpoints expose stacks and timings
 	// and belong behind an operator's explicit opt-in.
 	Profiling bool
+	// Role selects the node's fleet role: RoleSingle (default when empty)
+	// runs jobs entirely in-process; RoleCoordinator decomposes trial
+	// jobs into chunk leases served at /chunks/* and merges the shards in
+	// chunk order, so results are byte-identical to a single node at any
+	// fleet size; RoleWorker joins a coordinator and only claims chunks.
+	Role string
+	// Join is the coordinator base URL a RoleWorker node claims from
+	// (e.g. "http://127.0.0.1:8080"). Required for workers, ignored
+	// otherwise.
+	Join string
+	// FleetChunk is the coordinator's trials-per-chunk decomposition
+	// granularity; 0 picks DefaultFleetChunk. Any value produces the same
+	// job results (the merge is a counter sum); smaller chunks spread
+	// better, larger ones amortize HTTP round trips.
+	FleetChunk int
+	// LeaseTTL is how long a claimed chunk stays leased without a
+	// heartbeat before the coordinator re-issues it to another claimant;
+	// 0 picks DefaultLeaseTTL.
+	LeaseTTL time.Duration
 }
 
 // DefaultMaxTrials is the per-job trial ceiling used when Config leaves
@@ -203,6 +232,8 @@ type Scheduler struct {
 	cfg     Config
 	version string
 	cache   *Cache
+	disk    *diskcache.Store // nil without Config.CacheDir
+	fleet   *fleet           // nil unless Config.Role is RoleCoordinator
 	arenas  *engine.ArenaPool
 
 	baseCtx    context.Context
@@ -229,10 +260,12 @@ type Scheduler struct {
 	canceled       atomic.Int64
 	trialsDone     atomic.Int64
 	busy           atomic.Int64
+	diskErrs       atomic.Int64
 }
 
-// NewScheduler returns a running scheduler. Close releases it.
-func NewScheduler(cfg Config) *Scheduler {
+// NewScheduler returns a running scheduler. Close releases it. The only
+// failure mode is an unusable Config.CacheDir.
+func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -263,15 +296,82 @@ func NewScheduler(cfg Config) *Scheduler {
 		retiredCap: retiredCap,
 		start:      time.Now(),
 	}
-	// Cache eviction drops the matching job record so the two stores
-	// cannot disagree about what is replayable. Trial jobs and
-	// certificates share one cache — their content addresses live in
-	// disjoint key spaces — so one eviction hook covers both maps.
-	s.cache = NewCache(cfg.CacheSize, func(key string) {
-		delete(s.jobs, key) // called under cache lock; maps guarded by s.mu — see Put call sites
-		delete(s.certs, key)
-	})
-	return s
+	s.cache = NewCache(cfg.CacheSize)
+	if cfg.CacheDir != "" {
+		disk, err := diskcache.Open(cfg.CacheDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.disk = disk
+	}
+	switch cfg.Role {
+	case "", RoleSingle, RoleWorker:
+		// A worker's claim loop lives at the Server layer (it speaks
+		// HTTP); the scheduler itself runs nothing fleet-specific.
+	case RoleCoordinator:
+		s.fleet = newFleet(s)
+	default:
+		cancel()
+		return nil, fmt.Errorf("service: unknown role %q (want %s, %s, or %s)",
+			cfg.Role, RoleSingle, RoleCoordinator, RoleWorker)
+	}
+	return s, nil
+}
+
+// cachePut stores finished result bytes in both tiers and drops the job
+// records of any entries the memory insert evicted, so the cache and the
+// job maps cannot disagree about what is replayable. Trial jobs and
+// certificates share one cache — their content addresses live in disjoint
+// key spaces — so one sweep covers both maps. The eviction keys come back
+// as a return value from Cache.Put and are applied here under s.mu: no
+// scheduler state is ever touched under the cache's internal lock, so the
+// two locks can never deadlock against each other.
+func (s *Scheduler) cachePut(key string, b []byte) {
+	s.mu.Lock()
+	s.memPutLocked(key, b)
+	s.mu.Unlock()
+	if s.disk != nil {
+		// The disk write happens outside s.mu — it is durable-tier
+		// bookkeeping, not shared-map state, and fsync latency must not
+		// stall submissions. A failed write only narrows future replay.
+		if err := s.disk.Put(key, b); err != nil {
+			s.diskErrs.Add(1)
+		}
+	}
+}
+
+// memPutLocked inserts into the in-memory tier and applies its eviction
+// bookkeeping. Callers hold s.mu.
+func (s *Scheduler) memPutLocked(key string, b []byte) {
+	for _, old := range s.cache.Put(key, b) {
+		delete(s.jobs, old)
+		delete(s.certs, old)
+	}
+}
+
+// cacheGetLocked is the read-through lookup: the in-memory tier first,
+// then the disk tier, promoting disk hits back into memory so repeated
+// replays stay off the filesystem. Callers hold s.mu. Disk read errors
+// degrade to misses (and count in Stats.Disk.Errors): a flaky cache
+// directory costs recomputation, never wrong bytes.
+func (s *Scheduler) cacheGetLocked(key string) ([]byte, bool) {
+	if b, ok := s.cache.Get(key); ok {
+		return b, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	b, ok, err := s.disk.Get(key)
+	if err != nil {
+		s.diskErrs.Add(1)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	s.memPutLocked(key, b)
+	return b, true
 }
 
 // Version returns the code-version component of this scheduler's job keys.
@@ -328,7 +428,7 @@ func (s *Scheduler) Submit(reqs []JobRequest) ([]*Job, error) {
 			// Failed or canceled: fall through and schedule a fresh run
 			// under the same identity.
 		}
-		if b, ok := s.cache.Get(id); ok {
+		if b, ok := s.cacheGetLocked(id); ok {
 			j := s.newJob(id, req)
 			j.cached = true
 			j.status = StatusDone
@@ -344,7 +444,11 @@ func (s *Scheduler) Submit(reqs []JobRequest) ([]*Job, error) {
 		s.jobs[id] = j
 		s.runsFresh.Add(1)
 		s.wg.Add(1)
-		go s.run(j, scs[i])
+		if s.fleet != nil && scs[i].Distributable() {
+			go s.runFleet(j, scs[i])
+		} else {
+			go s.run(j, scs[i])
+		}
 		out[i] = j
 	}
 	return out, nil
@@ -456,9 +560,7 @@ func (s *Scheduler) run(j *Job, sc scenario.Scenario) {
 			s.retire(j)
 			return
 		}
-		s.mu.Lock()
-		s.cache.Put(j.ID, b)
-		s.mu.Unlock()
+		s.cachePut(j.ID, b)
 		s.completed.Add(1)
 		j.finish(StatusDone, b, "")
 	}
@@ -541,6 +643,36 @@ type Stats struct {
 		LookupHits   int64   `json:"lookup_hits"`
 		LookupMisses int64   `json:"lookup_misses"`
 	} `json:"cache"`
+	// Disk reports the durable cache tier (zero value when no CacheDir is
+	// configured). Hits/Misses count read-through probes that reached the
+	// disk tier; Writes counts entries this process persisted; Errors
+	// counts I/O failures that degraded to misses or dropped writes.
+	Disk struct {
+		Enabled bool  `json:"enabled"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Writes  int64 `json:"writes"`
+		Errors  int64 `json:"errors"`
+	} `json:"disk"`
+	// Fleet reports the node's role and chunk-exchange counters. On a
+	// coordinator, the chunk fields cover the lease lifecycle (queued and
+	// leased are instantaneous, the rest cumulative); on a worker, the
+	// claimed/done/errors counters cover its claim loop. A single node
+	// reports only its role.
+	Fleet struct {
+		Role            string `json:"role"`
+		ChunkTrials     int    `json:"chunk_trials,omitempty"`
+		LeaseTTLMillis  int64  `json:"lease_ttl_ms,omitempty"`
+		ChunksQueued    int    `json:"chunks_queued,omitempty"`
+		ChunksLeased    int    `json:"chunks_leased,omitempty"`
+		ChunksEnqueued  int64  `json:"chunks_enqueued,omitempty"`
+		ChunksCompleted int64  `json:"chunks_completed,omitempty"`
+		Reissued        int64  `json:"reissued,omitempty"`
+		RemoteClaims    int64  `json:"remote_claims,omitempty"`
+		Claimed         int64  `json:"claimed,omitempty"`
+		Done            int64  `json:"done,omitempty"`
+		Errors          int64  `json:"errors,omitempty"`
+	} `json:"fleet"`
 	// Workers reports engine-run concurrency and arena reuse.
 	Workers struct {
 		Parallel        int     `json:"parallel"`
@@ -581,6 +713,29 @@ func (s *Scheduler) Stats() Stats {
 	}
 	st.Cache.Entries = s.cache.Len()
 	st.Cache.LookupHits, st.Cache.LookupMisses = s.cache.Lookups()
+
+	if s.disk != nil {
+		st.Disk.Enabled = true
+		st.Disk.Hits, st.Disk.Misses, st.Disk.Writes = s.disk.Stats()
+		st.Disk.Errors = s.diskErrs.Load()
+	}
+
+	st.Fleet.Role = s.cfg.Role
+	if st.Fleet.Role == "" {
+		st.Fleet.Role = RoleSingle
+	}
+	if f := s.fleet; f != nil {
+		st.Fleet.ChunkTrials = f.chunkSize
+		st.Fleet.LeaseTTLMillis = f.ttl.Milliseconds()
+		f.mu.Lock()
+		st.Fleet.ChunksQueued = len(f.queue)
+		st.Fleet.ChunksLeased = len(f.leased)
+		f.mu.Unlock()
+		st.Fleet.ChunksEnqueued = f.enqueued.Load()
+		st.Fleet.ChunksCompleted = f.completed.Load()
+		st.Fleet.Reissued = f.reissued.Load()
+		st.Fleet.RemoteClaims = f.remote.Load()
+	}
 
 	st.Workers.Parallel = s.cfg.Parallel
 	st.Workers.PerJob = s.cfg.Workers

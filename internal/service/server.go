@@ -19,6 +19,7 @@ const shutdownGrace = 5 * time.Second
 type Server struct {
 	cfg     Config
 	sched   *Scheduler
+	worker  *Worker // non-nil only for RoleWorker
 	handler http.Handler
 
 	mu   sync.Mutex
@@ -26,15 +27,32 @@ type Server struct {
 }
 
 // New builds a server from the configuration. The scheduler starts
-// immediately; Close (or ListenAndServe's return) releases it.
-func New(cfg Config) *Server {
+// immediately; Close (or ListenAndServe's return) releases it. The only
+// failure modes are an unusable Config.CacheDir and an invalid fleet
+// configuration.
+func New(cfg Config) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:8080"
 	}
-	s := &Server{cfg: cfg, sched: NewScheduler(cfg)}
+	sched, err := NewScheduler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, sched: sched}
+	if cfg.Role == RoleWorker {
+		if cfg.Join == "" {
+			sched.Close()
+			return nil, errors.New("service: role worker requires Join (the coordinator URL)")
+		}
+		s.worker = newWorker(sched)
+	}
 	s.handler = s.routes()
-	return s
+	return s, nil
 }
+
+// Worker returns the node's claim loop when running as RoleWorker, nil
+// otherwise.
+func (s *Server) Worker() *Worker { return s.worker }
 
 // Handler returns the daemon's HTTP surface, for embedding or tests.
 func (s *Server) Handler() http.Handler { return s.handler }

@@ -21,7 +21,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -296,7 +299,10 @@ func TestStatsHitRate(t *testing.T) {
 }
 
 func TestSchedulerClosedRejectsSubmissions(t *testing.T) {
-	srv := New(Config{Parallel: 1})
+	srv, err := New(Config{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv.Close()
 	if _, err := srv.Scheduler().Submit([]JobRequest{quickJob}); err == nil {
 		t.Fatal("closed scheduler accepted a batch")
@@ -308,7 +314,10 @@ func TestSchedulerClosedRejectsSubmissions(t *testing.T) {
 // the full grace period — closing the scheduler first terminates the job,
 // the stream drains, and Serve returns promptly and cleanly.
 func TestShutdownDrainsActiveWatchStream(t *testing.T) {
-	srv := New(Config{Addr: "127.0.0.1:0", Parallel: 1, Workers: 2})
+	srv, err := New(Config{Addr: "127.0.0.1:0", Parallel: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := srv.Listen()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// workerPollInterval is how long an idle worker waits between claim
+// attempts when the coordinator has no queued chunks.
+const workerPollInterval = 150 * time.Millisecond
+
+// workerRetryInterval is the back-off after a claim transport error or a
+// version mismatch; both are conditions that need operator time, not a
+// hot retry loop.
+const workerRetryInterval = time.Second
+
+// Worker is a fleet worker node's claim loop: it polls its coordinator
+// for chunk leases, runs each leased trial range through the exact
+// deterministic shard path a local run uses, heartbeats while running,
+// and reports the shard distribution back. Workers hold no job state —
+// if one dies, its leases expire and the coordinator re-issues the chunks.
+type Worker struct {
+	s      *Scheduler
+	join   string
+	node   string
+	client *http.Client
+
+	claimed atomic.Int64
+	done    atomic.Int64
+	errs    atomic.Int64
+}
+
+// newWorker wires a claim loop to the scheduler's lifetime and starts
+// cfg.Parallel claimant goroutines.
+func newWorker(s *Scheduler) *Worker {
+	host, _ := os.Hostname()
+	w := &Worker{
+		s:      s,
+		join:   s.cfg.Join,
+		node:   fmt.Sprintf("%s-%d", host, os.Getpid()),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	for i := 0; i < s.cfg.Parallel; i++ {
+		s.wg.Add(1)
+		go w.loop()
+	}
+	return w
+}
+
+// Counters returns the worker's cumulative claim-loop counters.
+func (w *Worker) Counters() (claimed, done, errs int64) {
+	return w.claimed.Load(), w.done.Load(), w.errs.Load()
+}
+
+// loop is one claimant: claim, run, report, forever. It exits when the
+// scheduler closes.
+func (w *Worker) loop() {
+	defer w.s.wg.Done()
+	ctx := w.s.baseCtx
+	for ctx.Err() == nil {
+		lease, retryIn, err := w.claim(ctx)
+		switch {
+		case err != nil:
+			w.errs.Add(1)
+			sleepCtx(ctx, retryIn)
+		case lease == nil:
+			sleepCtx(ctx, retryIn)
+		default:
+			w.claimed.Add(1)
+			w.runLease(ctx, lease)
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// claim asks the coordinator for one chunk. It returns (nil, wait, nil)
+// when no work is queued and (nil, wait, err) on transport errors or a
+// version mismatch, with wait the appropriate re-poll delay.
+func (w *Worker) claim(ctx context.Context) (*ChunkLease, time.Duration, error) {
+	body, _ := json.Marshal(ClaimRequest{Version: w.s.version, Node: w.node})
+	resp, err := w.post(ctx, "/chunks/claim", body)
+	if err != nil {
+		return nil, workerRetryInterval, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, workerPollInterval, nil
+	case http.StatusConflict:
+		return nil, workerRetryInterval, fmt.Errorf("service: version mismatch with coordinator %s", w.join)
+	case http.StatusOK:
+		var lease ChunkLease
+		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+			return nil, workerRetryInterval, fmt.Errorf("service: bad lease: %w", err)
+		}
+		return &lease, 0, nil
+	default:
+		return nil, workerRetryInterval, fmt.Errorf("service: claim: coordinator returned %s", resp.Status)
+	}
+}
+
+// runLease executes one leased chunk and reports its shard. A heartbeat
+// goroutine keeps the lease alive at a third of its TTL; a 410 from the
+// coordinator (lease re-issued, job canceled) cancels the run — the work
+// no longer has a recipient.
+func (w *Worker) runLease(ctx context.Context, lease *ChunkLease) {
+	w.s.busy.Add(1)
+	defer w.s.busy.Add(-1)
+	sc, ok := scenario.Find(lease.Job.Scenario)
+	if !ok {
+		w.errs.Add(1)
+		w.report(ctx, ChunkResult{Lease: lease.Lease,
+			Error: fmt.Sprintf("worker has no scenario %q", lease.Job.Scenario)})
+		return
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	beat := time.Duration(lease.TTLMilli) * time.Millisecond / 3
+	if beat <= 0 {
+		beat = DefaultLeaseTTL / 3
+	}
+	go func() {
+		ticker := time.NewTicker(beat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if !w.heartbeat(runCtx, lease.Lease) {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	o := lease.Job.opts()
+	o.Workers = w.s.cfg.Workers
+	o.Arenas = w.s.arenas
+	dist, err := sc.RunShard(runCtx, lease.Job.Seed, o, lease.Start, lease.End)
+	if err != nil {
+		w.errs.Add(1)
+		if runCtx.Err() != nil {
+			// Canceled: the lease is gone; nothing to report.
+			return
+		}
+		w.report(ctx, ChunkResult{Lease: lease.Lease, Error: err.Error()})
+		return
+	}
+	if w.report(ctx, ChunkResult{Lease: lease.Lease, Dist: dist}) {
+		w.done.Add(1)
+	}
+}
+
+// heartbeat extends the lease; false means the lease is gone.
+func (w *Worker) heartbeat(ctx context.Context, lease int64) bool {
+	body, _ := json.Marshal(ChunkHeartbeat{Lease: lease})
+	resp, err := w.post(ctx, "/chunks/heartbeat", body)
+	if err != nil {
+		// Transport trouble is not lease loss: keep running; the next
+		// beat (or the result post) retries, and the lease survives up
+		// to a full TTL without one.
+		return true
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// report delivers a chunk result, retrying transport errors a few times —
+// the shard is minutes of compute and the coordinator may be mid-restart.
+// It reports whether the coordinator accepted the result.
+func (w *Worker) report(ctx context.Context, res ChunkResult) bool {
+	body, _ := json.Marshal(res)
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			sleepCtx(ctx, workerRetryInterval)
+		}
+		resp, err := w.post(ctx, "/chunks/result", body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			continue
+		}
+		accepted := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if accepted || resp.StatusCode == http.StatusGone {
+			return accepted
+		}
+	}
+	w.errs.Add(1)
+	return false
+}
+
+// post sends one JSON request to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.join+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.client.Do(req)
+}

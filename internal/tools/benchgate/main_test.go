@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// chdir switches the working directory for one test and restores it.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+BenchmarkE1BasicLeadSingleAdversary-8   	    1000	    120000 ns/op
+BenchmarkE1BasicLeadSingleAdversary-8   	    1200	    110000 ns/op
+BenchmarkE9SumPhaseAttack
+	     500	   2400000.5 ns/op
+PASS
+`
+	res := parseBench(out)
+	if res["BenchmarkE1BasicLeadSingleAdversary"] != 110000 {
+		t.Fatalf("min ns/op not kept: %v", res)
+	}
+	if res["BenchmarkE9SumPhaseAttack"] != 2400000.5 {
+		t.Fatalf("split-line recording not joined: %v", res)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(res), res)
+	}
+}
+
+func TestGatePatternAnchorsEveryGateBenchmark(t *testing.T) {
+	re, err := regexp.Compile(gatePattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gateBenchmarks {
+		if !re.MatchString(name) {
+			t.Fatalf("pattern misses %s", name)
+		}
+		if re.MatchString(name + "Extra") {
+			t.Fatalf("pattern not anchored: matched %sExtra", name)
+		}
+	}
+}
+
+func TestNewestBaselinePicksLexicallyLast(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-01-01.txt", "BENCH_2026-02-01_fleet.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chdir(t, dir)
+	got, err := newestBaseline()
+	if err != nil || got != "BENCH_2026-02-01_fleet.txt" {
+		t.Fatalf("newestBaseline = %q err %v", got, err)
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+	empty := t.TempDir()
+	chdir(t, empty)
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "no committed BENCH_") {
+		t.Fatalf("want missing-baseline error, got %v", err)
+	}
+	if err := run([]string{"-baseline", filepath.Join(empty, "absent.txt")}); err == nil {
+		t.Fatal("want read error for absent baseline")
+	}
+	// A baseline missing a gate benchmark fails after the fresh timing run;
+	// outside a module the bench invocation itself fails first — either way
+	// run must surface an error, not gate on partial data.
+	if err := os.WriteFile("BENCH_2026-03-01.txt", []byte("BenchmarkOther 1 5 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-count", "1"}); err == nil {
+		t.Fatal("want error for baseline without gate benchmarks")
+	}
+}

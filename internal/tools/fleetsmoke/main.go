@@ -1,0 +1,254 @@
+// Command fleetsmoke is the end-to-end acceptance harness for the
+// multi-node simulation fleet: it boots a real coordinator plus two real
+// worker fleserve processes sharing one disk cache directory, then fails
+// unless
+//
+//   - a distributed job completes byte-identical to a direct in-process
+//     single-node run, with chunks demonstrably claimed over HTTP,
+//   - killing a worker mid-run (SIGKILL, no goodbye) loses nothing: its
+//     leases expire, the chunks re-issue, and the bytes still match,
+//   - a fleload mixed batch (cached/fresh/certify) against the coordinator
+//     finishes with zero errors, and
+//   - a coordinator restart on the same cache directory replays every
+//     previously computed job from disk with zero fresh engine runs.
+//
+// CI runs it via `make fleet-smoke`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleetsmoke: PASS")
+}
+
+// bigJob is sized to stay in flight long enough to kill a worker mid-run:
+// tens of chunks of n=24 trials.
+var bigJob = service.JobRequest{Scenario: "ring/a-lead/fifo", N: 24, Trials: 60000, Seed: 20180516}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fleetsmoke", flag.ContinueOnError)
+	bin := fs.String("bin", "bin/fleserve", "path to the fleserve binary under test")
+	loadBin := fs.String("load", "bin/fleload", "path to the fleload binary under test")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall smoke deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cacheDir, err := os.MkdirTemp("", "fleetsmoke-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// The reference bytes: a direct in-process run, no service anywhere.
+	sc, ok := scenario.Find(bigJob.Scenario)
+	if !ok {
+		return fmt.Errorf("scenario %q not registered", bigJob.Scenario)
+	}
+	out, err := sc.RunOpts(ctx, bigJob.Seed, scenario.Opts{N: bigJob.N, Trials: bigJob.Trials})
+	if err != nil {
+		return fmt.Errorf("direct run: %w", err)
+	}
+	want, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+
+	// Node 1: the coordinator. Short leases so the worker-kill recovery
+	// happens within the smoke budget; small chunks so the job spreads.
+	coord, err := startNode(ctx, *bin,
+		"-role", "coordinator", "-cache-dir", cacheDir,
+		"-fleet-chunk", "1000", "-lease", "1s", "-parallel", "1")
+	if err != nil {
+		return err
+	}
+	defer coord.stop()
+	url := "http://" + coord.addr
+
+	// Nodes 2 and 3: workers claiming from the coordinator.
+	w1, err := startNode(ctx, *bin, "-role", "worker", "-join", url, "-parallel", "2")
+	if err != nil {
+		return err
+	}
+	defer w1.stop()
+	w2, err := startNode(ctx, *bin, "-role", "worker", "-join", url, "-parallel", "2")
+	if err != nil {
+		return err
+	}
+	defer w2.stop()
+
+	client := service.NewClient(url)
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("coordinator healthz: %w", err)
+	}
+
+	// Phase 1: distributed job with a mid-run worker kill.
+	states, err := client.Submit(ctx, []service.JobRequest{bigJob})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	// Let the fleet sink its teeth in, then kill worker 2 without ceremony.
+	time.Sleep(1500 * time.Millisecond)
+	w2.kill()
+	fmt.Println("fleetsmoke: killed worker 2 mid-run")
+
+	final, err := client.Wait(ctx, states[0].ID)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if final.Status != service.StatusDone {
+		return fmt.Errorf("distributed job finished %s: %s", final.Status, final.Error)
+	}
+	if !bytes.Equal(final.Result, want) {
+		return fmt.Errorf("fleet result differs from single-node bytes:\n fleet: %s\ndirect: %s", final.Result, want)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("statz: %w", err)
+	}
+	if st.Fleet.RemoteClaims == 0 {
+		return fmt.Errorf("no chunks were claimed over HTTP — the workers never participated")
+	}
+	fmt.Printf("fleetsmoke: distributed job byte-identical (%d chunks, %d remote claims, %d re-issued)\n",
+		st.Fleet.ChunksCompleted, st.Fleet.RemoteClaims, st.Fleet.Reissued)
+
+	// Phase 2: fleload mixed batch against the live fleet.
+	report := filepath.Join(cacheDir, "fleload.json")
+	loadCmd := exec.CommandContext(ctx, *loadBin,
+		"-target", url, "-requests", "40", "-rate", "100",
+		"-mix", "6:3:1", "-trials", "2000", "-out", report)
+	loadCmd.Stdout, loadCmd.Stderr = os.Stdout, os.Stderr
+	if err := loadCmd.Run(); err != nil {
+		return fmt.Errorf("fleload: %w", err)
+	}
+	var rep struct {
+		Errors int `json:"errors"`
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("fleload report: %w", err)
+	}
+	if rep.Errors != 0 {
+		return fmt.Errorf("fleload recorded %d errors", rep.Errors)
+	}
+	fmt.Println("fleetsmoke: fleload mixed batch clean")
+
+	// Phase 3: coordinator restart. Same cache directory, fresh process —
+	// every already-computed identity must replay from disk with zero
+	// engine runs.
+	coord.stop()
+	coord2, err := startNode(ctx, *bin,
+		"-role", "coordinator", "-cache-dir", cacheDir,
+		"-fleet-chunk", "1000", "-parallel", "1")
+	if err != nil {
+		return fmt.Errorf("restart coordinator: %w", err)
+	}
+	defer coord2.stop()
+	client2 := service.NewClient("http://" + coord2.addr)
+
+	replay, err := client2.Submit(ctx, []service.JobRequest{bigJob})
+	if err != nil {
+		return fmt.Errorf("resubmit after restart: %w", err)
+	}
+	if replay[0].Status != service.StatusDone {
+		return fmt.Errorf("restart replay status %s, want immediate done from disk", replay[0].Status)
+	}
+	if !bytes.Equal(replay[0].Result, want) {
+		return fmt.Errorf("restart replay bytes differ from the original computation")
+	}
+	st2, err := client2.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("statz after restart: %w", err)
+	}
+	if st2.Jobs.Fresh != 0 {
+		return fmt.Errorf("restarted coordinator ran %d fresh engine jobs, want 0 (disk replay)", st2.Jobs.Fresh)
+	}
+	if st2.Disk.Hits == 0 {
+		return fmt.Errorf("restarted coordinator reports zero disk hits")
+	}
+	fmt.Printf("fleetsmoke: coordinator restart replayed from disk (%d disk hits, 0 engine runs)\n", st2.Disk.Hits)
+	return nil
+}
+
+// node is one running fleserve process.
+type node struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// stop terminates the node gracefully (SIGINT, then kill after a grace).
+func (n *node) stop() {
+	if n.cmd.Process == nil {
+		return
+	}
+	_ = n.cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { _ = n.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = n.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// kill terminates the node abruptly — the crash case under test.
+func (n *node) kill() {
+	_ = n.cmd.Process.Kill()
+	_ = n.cmd.Wait()
+}
+
+// startNode launches one fleserve process on an ephemeral port and waits
+// for its listening line.
+func startNode(ctx context.Context, bin string, extra ...string) (*node, error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s %v: %w", bin, extra, err)
+	}
+	n := &node{cmd: cmd}
+	re := regexp.MustCompile(`listening on (\S+)`)
+	scan := bufio.NewScanner(out)
+	for scan.Scan() {
+		if m := re.FindStringSubmatch(scan.Text()); m != nil {
+			n.addr = m[1]
+			// Keep draining stdout so the daemon never blocks on a full pipe.
+			go func() {
+				for scan.Scan() {
+				}
+			}()
+			return n, nil
+		}
+	}
+	n.stop()
+	return nil, fmt.Errorf("%s %v exited without a listening line", bin, extra)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetSmokeEndToEnd builds the real fleserve and fleload binaries and
+// runs the full fleet smoke sequence — the same check `make fleet-smoke`
+// performs in CI: a 3-node fleet with a mid-job worker kill, byte identity
+// against a single-node run, a clean fleload batch, and a disk-cache
+// restart replay.
+func TestFleetSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots three daemon processes")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "fleserve")
+	loadBin := filepath.Join(dir, "fleload")
+	for bin, pkg := range map[string]string{serveBin: "repro/cmd/fleserve", loadBin: "repro/cmd/fleload"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	if err := run([]string{"-bin", serveBin, "-load", loadBin}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetSmokeBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestFleetSmokeMissingBinary(t *testing.T) {
+	if err := run([]string{"-bin", filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("want start error for missing binary")
+	}
+}

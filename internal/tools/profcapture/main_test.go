@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfcaptureEndToEnd builds the real fleserve binary and captures a
+// short CPU profile from it under the E5-shaped load — the same sequence
+// `make profile` runs, shrunk to a 1-second window.
+func TestProfcaptureEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and profiles a live daemon")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fleserve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/fleserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build fleserve: %v\n%s", err, out)
+	}
+	out := filepath.Join(dir, "profiles", "e5.cpu.pprof")
+	if err := run([]string{"-bin", bin, "-out", out, "-seconds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := filepath.Glob(out); err != nil || len(fi) != 1 {
+		t.Fatalf("profile not written: %v %v", fi, err)
+	}
+}
+
+func TestProfcaptureBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestProfcaptureMissingBinary(t *testing.T) {
+	if err := run([]string{"-bin", filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("want start error for missing binary")
+	}
+}

@@ -40,13 +40,18 @@ type (
 )
 
 // NewServiceServer builds a daemon instance without binding a socket; use
-// its Handler to embed the API, or ListenAndServe to run it.
-func NewServiceServer(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+// its Handler to embed the API, or ListenAndServe to run it. It fails only
+// on an unusable cache directory or fleet configuration.
+func NewServiceServer(cfg ServiceConfig) (*ServiceServer, error) { return service.New(cfg) }
 
 // Serve runs the simulation service daemon on cfg.Addr until ctx is
 // canceled, then shuts down gracefully. It is what cmd/fleserve calls.
 func Serve(ctx context.Context, cfg ServiceConfig) error {
-	return service.New(cfg).ListenAndServe(ctx)
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(ctx)
 }
 
 // NewServiceClient returns a client for the daemon at baseURL (e.g.

@@ -13,7 +13,10 @@ import (
 // run, and the version helper.
 func TestServicePublicAPI(t *testing.T) {
 	ctx := context.Background()
-	srv := NewServiceServer(ServiceConfig{Parallel: 1, Version: "test-api"})
+	srv, err := NewServiceServer(ServiceConfig{Parallel: 1, Version: "test-api"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() {
 		ts.Close()
