@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race check docs-check bench bench-tagged bench-gate certify-smoke certify-golden fleet-smoke profile
+.PHONY: build test race check docs-check bench bench-tagged bench-gate certify-smoke certify-golden fleet-smoke dsl-smoke profile
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,15 @@ fleet-smoke:
 	$(GO) build -o bin/fleserve ./cmd/fleserve
 	$(GO) build -o bin/fleload ./cmd/fleload
 	$(GO) run ./internal/tools/fleetsmoke -bin bin/fleserve -load bin/fleload
+
+# dsl-smoke is the MAR spec pipeline's end-to-end acceptance run: generate
+# a protocol and an adversary spec from a fixed seed, boot the real
+# fleserve binary with them on its -mar flag, and verify the daemon serves
+# the generated scenarios byte-identically to direct in-process runs and
+# certifies the generated adversary. CI runs this on every push.
+dsl-smoke:
+	$(GO) build -o bin/fleserve ./cmd/fleserve
+	$(GO) run ./internal/tools/dslsmoke -bin bin/fleserve
 
 # certify-golden regenerates the committed full-catalog certification
 # table. The sweep is deterministic (fixed seed, worker-independent

@@ -10,7 +10,12 @@
 //
 //	flecert [-match RE] [-n N] [-trials T] [-min-trials M] [-maxk K]
 //	        [-eps E] [-alpha A] [-seed S] [-workers W]
-//	        [-format table|csv|json|markdown] [-v]
+//	        [-format table|csv|json|markdown] [-v] [-mar FILE]...
+//
+// Each -mar FILE is a MAR protocol or adversary spec (see ARCHITECTURE.md)
+// compiled and registered into the catalog before matching, so spec'd
+// scenarios certify exactly like the built-in ones; the embedded spec
+// twins (ring/mar-basic-lead/*) are always present.
 //
 // Honest scenarios sweep every applicable deviation family up to the
 // protocol's claimed resilience bound (override with -maxk), so their
@@ -27,10 +32,18 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/equilibrium"
+	"repro/internal/mardsl/marlib"
 )
+
+// marFlag collects the repeatable -mar spec-file arguments.
+type marFlag []string
+
+func (f *marFlag) String() string     { return strings.Join(*f, ",") }
+func (f *marFlag) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -56,7 +69,12 @@ func run(args []string, out, errOut io.Writer) error {
 		format    = fs.String("format", "table", "output format: table, csv, json, markdown")
 		verbose   = fs.Bool("v", false, "also list every swept candidate (table format only)")
 	)
+	var marFiles marFlag
+	fs.Var(&marFiles, "mar", "MAR spec file to compile and register before matching (repeatable)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := marlib.RegisterFiles(marFiles); err != nil {
 		return err
 	}
 	switch *format {

@@ -6,7 +6,12 @@
 //
 //	fleserve [-addr HOST:PORT] [-workers W] [-parallel P] [-cache N] [-pprof]
 //	         [-role single|coordinator|worker] [-join URL] [-cache-dir DIR]
-//	         [-fleet-chunk N] [-lease D]
+//	         [-fleet-chunk N] [-lease D] [-mar FILE]...
+//
+// Each -mar FILE is a MAR protocol or adversary spec (see ARCHITECTURE.md)
+// compiled and registered into the catalog before the daemon starts, so
+// spec'd scenarios are served exactly like the built-in ones; the embedded
+// spec twins (ring/mar-basic-lead/*) are always present.
 //
 // Roles:
 //
@@ -48,10 +53,18 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/mardsl/marlib"
 	"repro/internal/service"
 )
+
+// marFlag collects the repeatable -mar spec-file arguments.
+type marFlag []string
+
+func (f *marFlag) String() string     { return strings.Join(*f, ",") }
+func (f *marFlag) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -77,8 +90,15 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		chunk    = fs.Int("fleet-chunk", 0, "trials per fleet chunk lease (0 = 512)")
 		lease    = fs.Duration("lease", 0, "chunk lease TTL before a silent worker's chunk is re-issued (0 = 5s)")
 	)
+	var marFiles marFlag
+	fs.Var(&marFiles, "mar", "MAR spec file to compile and register before serving (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if names, err := marlib.RegisterFiles(marFiles); err != nil {
+		return err
+	} else if len(names) > 0 {
+		fmt.Fprintf(out, "fleserve: registered %d MAR scenarios: %s\n", len(names), strings.Join(names, " "))
 	}
 	srv, err := service.New(service.Config{
 		Addr:       *addr,

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	scenarios -list [-match RE] [-format table|csv|json|markdown]
-//	scenarios [-match RE] [-n N] [-trials T] [-seed S] [-workers W] [-format table|csv|json]
+//	scenarios -list [-match RE] [-format table|csv|json|markdown] [-mar FILE]...
+//	scenarios [-match RE] [-n N] [-trials T] [-seed S] [-workers W] [-format table|csv|json] [-mar FILE]...
+//
+// Each -mar FILE is a MAR protocol or adversary spec (see ARCHITECTURE.md)
+// compiled and registered into the catalog before matching, so spec'd
+// scenarios list and sweep exactly like the built-in ones; the embedded
+// spec twins (ring/mar-basic-lead/*) are always present.
 //
 // Without -list the matching scenarios are run as a matrix sweep; -n,
 // -trials and -target override every matched scenario's defaults (scenarios
@@ -21,10 +26,18 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"text/tabwriter"
 
+	"repro/internal/mardsl/marlib"
 	"repro/internal/scenario"
 )
+
+// marFlag collects the repeatable -mar spec-file arguments.
+type marFlag []string
+
+func (f *marFlag) String() string     { return strings.Join(*f, ",") }
+func (f *marFlag) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -46,7 +59,12 @@ func run(args []string, out, errOut io.Writer) error {
 		workers = fs.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for any value")
 		format  = fs.String("format", "table", "output format: table, csv, json, markdown (markdown lists only)")
 	)
+	var marFiles marFlag
+	fs.Var(&marFiles, "mar", "MAR spec file to compile and register before matching (repeatable)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := marlib.RegisterFiles(marFiles); err != nil {
 		return err
 	}
 	matched, err := scenario.Match(*match)

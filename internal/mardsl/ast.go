@@ -1,0 +1,216 @@
+package mardsl
+
+// Hard limits on spec shape. They bound every loop in the parser, the
+// validator, and the compiled machine, so arbitrary (fuzzed) input cannot
+// make any stage allocate or recurse unboundedly.
+const (
+	// MaxSpecBytes caps the source text size.
+	MaxSpecBytes = 64 << 10
+	// MaxStates caps the number of states.
+	MaxStates = 64
+	// MaxClauses caps the receive clauses per state.
+	MaxClauses = 16
+	// MaxActions caps the actions per clause.
+	MaxActions = 32
+	// MaxRegs caps the named registers.
+	MaxRegs = 16
+	// MaxPlace caps an adversary's coalition positions.
+	MaxPlace = 8
+	// MaxConds caps the conditions of one guard.
+	MaxConds = 8
+
+	maxLineTokens = 128
+	maxTokenLen   = 64
+	maxExprDepth  = 32
+	maxParamValue = 1 << 20
+)
+
+// Kind distinguishes the two spec roles.
+type Kind string
+
+// The spec kinds.
+const (
+	// KindProtocol is an honest symmetric protocol: every ring position
+	// runs the spec's machine.
+	KindProtocol Kind = "protocol"
+	// KindAdversary is a deviation: the machines run only at the spec's
+	// coalition positions, against the protocol named by Use.
+	KindAdversary Kind = "adversary"
+)
+
+// Defaults are the registration defaults a spec carries into the scenario
+// catalog. Zero fields fall back to the registrar's own defaults.
+type Defaults struct {
+	// N is the default ring size.
+	N int
+	// Trials is the default trial count.
+	Trials int
+	// MinN is the smallest supported ring size.
+	MinN int
+	// K is the default coalition size exposed to deviation sweeps.
+	K int
+	// Target is the leader an adversary spec forces by default.
+	Target int64
+}
+
+// Spec is a parsed MAR document.
+type Spec struct {
+	// Name is the spec slug; it becomes the protocol or family name.
+	Name string
+	// Kind is the spec role.
+	Kind Kind
+	// Topology is the communication graph family; only "ring".
+	Topology string
+	// Use names the protocol an adversary spec deviates from.
+	Use string
+	// Place lists an adversary's coalition positions, strictly increasing.
+	Place []int
+	// Defaults are the registration defaults.
+	Defaults Defaults
+	// Uniform marks a protocol spec whose honest outcome is uniform.
+	Uniform bool
+	// Regs lists the named registers, all zero-initialized on wake-up.
+	Regs []string
+	// States lists the machine states; index 0 is the start state.
+	States []*State
+}
+
+// State is one machine state.
+type State struct {
+	// Name identifies the state in goto actions.
+	Name string
+	// Line is the source line of the state header.
+	Line int
+	// Init is the wake-up clause; nil when the state has none. Only the
+	// start state may carry one.
+	Init *Clause
+	// Recv lists the receive clauses in source order; on a message the
+	// first clause whose guard holds runs.
+	Recv []*Clause
+}
+
+// Clause is one guarded action list.
+type Clause struct {
+	// Line is the source line of the clause header.
+	Line int
+	// Guard lists conditions that must all hold; empty means catch-all.
+	Guard []Cond
+	// Actions run in order when the guard holds.
+	Actions []Action
+}
+
+// CmpOp is a guard comparison operator.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Cond is one comparison of a guard.
+type Cond struct {
+	// Left and Right are the compared expressions.
+	Left, Right *Expr
+	// Op is the comparison.
+	Op CmpOp
+}
+
+// ActionKind discriminates Action.
+type ActionKind uint8
+
+// The action kinds.
+const (
+	// ActSet stores A into register Reg.
+	ActSet ActionKind = iota
+	// ActSend sends A on the outgoing ring link.
+	ActSend
+	// ActPush appends A to the replay buffer.
+	ActPush
+	// ActReplay sends replay-buffer entries [A, B), clamped to the buffer.
+	ActReplay
+	// ActGoto switches the machine to state State.
+	ActGoto
+	// ActTerminate terminates with output A.
+	ActTerminate
+	// ActAbort terminates with output ⊥.
+	ActAbort
+	// ActDrop consumes the message and does nothing.
+	ActDrop
+)
+
+// Action is one step of a clause.
+type Action struct {
+	// Kind discriminates the variant.
+	Kind ActionKind
+	// Line is the source line.
+	Line int
+	// Reg is the target register of ActSet.
+	Reg string
+	// A and B are the operand expressions (see ActionKind).
+	A, B *Expr
+	// State is the target state of ActGoto.
+	State string
+}
+
+// ExprOp discriminates Expr.
+type ExprOp uint8
+
+// The expression node kinds.
+const (
+	// EConst is the literal Val.
+	EConst ExprOp = iota
+	// EIdent reads the register or builtin named Ident.
+	EIdent
+	// EAdd, ESub, EMul combine L and R with int64 wraparound.
+	EAdd
+	ESub
+	EMul
+	// EMod is the Euclidean remainder L mod R, 0 when R ≤ 0.
+	EMod
+	// ENeg negates L.
+	ENeg
+	// ERand draws uniformly from [0, L) via the processor stream, 0 when
+	// L ≤ 0.
+	ERand
+	// ELeader is ring.LeaderFromSum(L, n).
+	ELeader
+	// ESumfor is ring.SumForLeader(L, n).
+	ESumfor
+)
+
+// Expr is one expression node.
+type Expr struct {
+	// Op discriminates the variant.
+	Op ExprOp
+	// Val is the literal value of EConst.
+	Val int64
+	// Ident is the name read by EIdent.
+	Ident string
+	// L and R are the operands.
+	L, R *Expr
+}
+
+// keywords are the directive and operator words; they cannot name specs,
+// registers, or states.
+var keywords = map[string]bool{
+	"spec": true, "kind": true, "topology": true, "use": true,
+	"place": true, "defaults": true, "uniform": true, "reg": true,
+	"state": true, "init": true, "on": true, "recv": true, "when": true,
+	"and": true, "set": true, "send": true, "push": true, "replay": true,
+	"goto": true, "terminate": true, "abort": true, "drop": true,
+	"rand": true, "leader": true, "sumfor": true,
+	"protocol": true, "adversary": true,
+}
+
+// builtins are the readable environment values.
+var builtins = map[string]bool{
+	"n": true, "self": true, "received": true, "msg": true, "target": true,
+}
+
+// reserved reports whether the word cannot be used as a user name.
+func reserved(word string) bool { return keywords[word] || builtins[word] }

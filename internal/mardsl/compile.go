@@ -1,0 +1,249 @@
+package mardsl
+
+import "fmt"
+
+// opcode is one stack-machine instruction kind.
+type opcode uint8
+
+const (
+	oConst    opcode = iota // push arg
+	oReg                    // push regs[arg]
+	oN                      // push ring size
+	oSelf                   // push own id
+	oReceived               // push processed-message count
+	oMsg                    // push current payload
+	oTarget                 // push attack target
+	oAdd                    // pop b, a; push a+b
+	oSub                    // pop b, a; push a−b
+	oMul                    // pop b, a; push a·b
+	oMod                    // pop b, a; push a mod b (Euclidean; 0 when b ≤ 0)
+	oNeg                    // negate top
+	oRand                   // top = uniform [0, top) draw; 0 when top ≤ 0
+	oLeader                 // top = LeaderFromSum(top, n)
+	oSumfor                 // top = SumForLeader(top, n)
+)
+
+// instr is one compiled instruction.
+type instr struct {
+	op  opcode
+	arg int64
+}
+
+// cExpr is a compiled expression in postfix order.
+type cExpr []instr
+
+// cCond is one compiled guard condition.
+type cCond struct {
+	l, r cExpr
+	op   CmpOp
+}
+
+// cAct is one compiled action.
+type cAct struct {
+	kind  ActionKind
+	reg   int // register index of ActSet
+	state int // state index of ActGoto
+	a, b  cExpr
+}
+
+// cClause is one compiled clause.
+type cClause struct {
+	guard []cCond
+	acts  []cAct
+}
+
+// cState is one compiled state.
+type cState struct {
+	hasInit bool
+	init    cClause
+	recv    []cClause
+}
+
+// maxStack bounds the expression evaluation stack. The parser's nesting
+// limit keeps every parsed expression well under it; Compile re-checks so
+// hand-built specs cannot overflow either.
+const maxStack = 48
+
+// Program is a compiled spec, ready to instantiate machines. Programs are
+// immutable after Compile and safe for concurrent use: every machine owns
+// its own mutable state.
+type Program struct {
+	// Name is the spec slug.
+	Name string
+	// Kind is the spec role.
+	Kind Kind
+	// Use names the protocol an adversary program deviates from.
+	Use string
+	// Place lists an adversary's coalition positions ([2] by default).
+	Place []int
+	// Defaults are the spec's registration defaults.
+	Defaults Defaults
+	// Uniform marks a protocol whose honest outcome is uniform.
+	Uniform bool
+
+	nregs  int
+	states []cState
+}
+
+// Compile validates the spec and lowers it to a Program.
+func Compile(s *Spec) (*Program, error) {
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Name:     s.Name,
+		Kind:     s.Kind,
+		Use:      s.Use,
+		Place:    append([]int(nil), s.Place...),
+		Defaults: s.Defaults,
+		Uniform:  s.Uniform,
+		nregs:    len(s.Regs),
+	}
+	if p.Kind == KindAdversary && len(p.Place) == 0 {
+		p.Place = []int{2}
+	}
+	regIdx := map[string]int{}
+	for i, r := range s.Regs {
+		regIdx[r] = i
+	}
+	stateIdx := map[string]int{}
+	for i, st := range s.States {
+		stateIdx[st.Name] = i
+	}
+	p.states = make([]cState, len(s.States))
+	for i, st := range s.States {
+		cs := &p.states[i]
+		if st.Init != nil {
+			cs.hasInit = true
+			cl, err := compileClause(st.Init, regIdx, stateIdx)
+			if err != nil {
+				return nil, err
+			}
+			cs.init = cl
+		}
+		cs.recv = make([]cClause, len(st.Recv))
+		for j, rc := range st.Recv {
+			cl, err := compileClause(rc, regIdx, stateIdx)
+			if err != nil {
+				return nil, err
+			}
+			cs.recv[j] = cl
+		}
+	}
+	return p, nil
+}
+
+// Load parses, validates, and compiles source text in one step.
+func Load(src string) (*Program, error) {
+	spec, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(spec)
+}
+
+// compileClause lowers one clause.
+func compileClause(cl *Clause, regIdx, stateIdx map[string]int) (cClause, error) {
+	out := cClause{acts: make([]cAct, 0, len(cl.Actions))}
+	for _, cond := range cl.Guard {
+		l, err := compileExpr(cond.Left, regIdx, cl.Line)
+		if err != nil {
+			return cClause{}, err
+		}
+		r, err := compileExpr(cond.Right, regIdx, cl.Line)
+		if err != nil {
+			return cClause{}, err
+		}
+		out.guard = append(out.guard, cCond{l: l, r: r, op: cond.Op})
+	}
+	for _, act := range cl.Actions {
+		ca := cAct{kind: act.Kind, reg: regIdx[act.Reg], state: stateIdx[act.State]}
+		var err error
+		if act.A != nil {
+			if ca.a, err = compileExpr(act.A, regIdx, act.Line); err != nil {
+				return cClause{}, err
+			}
+		}
+		if act.B != nil {
+			if ca.b, err = compileExpr(act.B, regIdx, act.Line); err != nil {
+				return cClause{}, err
+			}
+		}
+		out.acts = append(out.acts, ca)
+	}
+	return out, nil
+}
+
+// compileExpr lowers one expression to postfix form.
+func compileExpr(e *Expr, regIdx map[string]int, line int) (cExpr, error) {
+	var code cExpr
+	if err := emitExpr(e, regIdx, &code, line); err != nil {
+		return nil, err
+	}
+	if need := stackNeed(code); need > maxStack {
+		return nil, fmt.Errorf("mar: line %d: expression needs %d stack slots, limit %d", line, need, maxStack)
+	}
+	return code, nil
+}
+
+// emitExpr appends e's postfix instructions to code.
+func emitExpr(e *Expr, regIdx map[string]int, code *cExpr, line int) error {
+	switch e.Op {
+	case EConst:
+		*code = append(*code, instr{op: oConst, arg: e.Val})
+	case EIdent:
+		switch e.Ident {
+		case "n":
+			*code = append(*code, instr{op: oN})
+		case "self":
+			*code = append(*code, instr{op: oSelf})
+		case "received":
+			*code = append(*code, instr{op: oReceived})
+		case "msg":
+			*code = append(*code, instr{op: oMsg})
+		case "target":
+			*code = append(*code, instr{op: oTarget})
+		default:
+			idx, ok := regIdx[e.Ident]
+			if !ok {
+				return fmt.Errorf("mar: line %d: unknown identifier %q", line, e.Ident)
+			}
+			*code = append(*code, instr{op: oReg, arg: int64(idx)})
+		}
+	case ENeg, ERand, ELeader, ESumfor:
+		if err := emitExpr(e.L, regIdx, code, line); err != nil {
+			return err
+		}
+		op := map[ExprOp]opcode{ENeg: oNeg, ERand: oRand, ELeader: oLeader, ESumfor: oSumfor}[e.Op]
+		*code = append(*code, instr{op: op})
+	case EAdd, ESub, EMul, EMod:
+		if err := emitExpr(e.L, regIdx, code, line); err != nil {
+			return err
+		}
+		if err := emitExpr(e.R, regIdx, code, line); err != nil {
+			return err
+		}
+		op := map[ExprOp]opcode{EAdd: oAdd, ESub: oSub, EMul: oMul, EMod: oMod}[e.Op]
+		*code = append(*code, instr{op: op})
+	default:
+		return fmt.Errorf("mar: line %d: bad expression node %d", line, e.Op)
+	}
+	return nil
+}
+
+// stackNeed simulates the postfix program's stack depth.
+func stackNeed(code cExpr) int {
+	depth, need := 0, 0
+	for _, in := range code {
+		switch in.op {
+		case oConst, oReg, oN, oSelf, oReceived, oMsg, oTarget:
+			depth++
+		case oAdd, oSub, oMul, oMod:
+			depth--
+		}
+		if depth > need {
+			need = depth
+		}
+	}
+	return need
+}

@@ -1,0 +1,275 @@
+package mardsl
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// maxReplayBuffer caps a machine's replay buffer; pushes beyond it are
+// dropped so a looping spec cannot grow memory without bound.
+const maxReplayBuffer = 4096
+
+// machine executes one compiled program as a sim.Strategy. All mutable
+// state lives on the machine and is fully re-established by Init, which is
+// what lets the protocol adapter declare BatchSafe and ride the engine's
+// batched strategy-vector reuse.
+type machine struct {
+	prog     *Program
+	n        int
+	target   int64
+	state    int
+	received int64
+	halted   bool
+	regs     []int64
+	buf      []int64
+}
+
+var _ sim.Strategy = (*machine)(nil)
+
+// Init resets every register, the replay buffer, and the state pointer,
+// then runs the start state's wake-up clause.
+func (m *machine) Init(ctx *sim.Context) {
+	m.state = 0
+	m.received = 0
+	m.halted = false
+	m.buf = m.buf[:0]
+	if m.regs == nil {
+		m.regs = make([]int64, m.prog.nregs)
+	} else {
+		for i := range m.regs {
+			m.regs[i] = 0
+		}
+	}
+	st := &m.prog.states[0]
+	if st.hasInit {
+		m.exec(ctx, &st.init, 0)
+	}
+}
+
+// Receive counts the message and runs the current state's first matching
+// clause. Validate guarantees the last clause is a catch-all, so exactly
+// one clause runs per message.
+func (m *machine) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	if m.halted {
+		return
+	}
+	m.received++
+	st := &m.prog.states[m.state]
+	for i := range st.recv {
+		cl := &st.recv[i]
+		if m.match(ctx, cl, value) {
+			m.exec(ctx, cl, value)
+			return
+		}
+	}
+}
+
+// match evaluates a clause's guard.
+func (m *machine) match(ctx *sim.Context, cl *cClause, msg int64) bool {
+	for _, cond := range cl.guard {
+		l := m.eval(ctx, cond.l, msg)
+		r := m.eval(ctx, cond.r, msg)
+		var ok bool
+		switch cond.op {
+		case CmpEq:
+			ok = l == r
+		case CmpNe:
+			ok = l != r
+		case CmpLt:
+			ok = l < r
+		case CmpLe:
+			ok = l <= r
+		case CmpGt:
+			ok = l > r
+		case CmpGe:
+			ok = l >= r
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// exec runs a clause's actions.
+func (m *machine) exec(ctx *sim.Context, cl *cClause, msg int64) {
+	for i := range cl.acts {
+		act := &cl.acts[i]
+		switch act.kind {
+		case ActSet:
+			m.regs[act.reg] = m.eval(ctx, act.a, msg)
+		case ActSend:
+			ctx.Send(m.eval(ctx, act.a, msg))
+		case ActPush:
+			if len(m.buf) < maxReplayBuffer {
+				m.buf = append(m.buf, m.eval(ctx, act.a, msg))
+			}
+		case ActReplay:
+			lo := m.eval(ctx, act.a, msg)
+			hi := m.eval(ctx, act.b, msg)
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > int64(len(m.buf)) {
+				hi = int64(len(m.buf))
+			}
+			for j := lo; j < hi; j++ {
+				ctx.Send(m.buf[j])
+			}
+		case ActGoto:
+			m.state = act.state
+		case ActTerminate:
+			m.halted = true
+			ctx.Terminate(m.eval(ctx, act.a, msg))
+		case ActAbort:
+			m.halted = true
+			ctx.Abort()
+		case ActDrop:
+		}
+	}
+}
+
+// eval runs one postfix expression. Every operation is total, so
+// evaluation cannot fail or panic on any validated program.
+func (m *machine) eval(ctx *sim.Context, code cExpr, msg int64) int64 {
+	var stack [maxStack]int64
+	sp := 0
+	for _, in := range code {
+		switch in.op {
+		case oConst:
+			stack[sp] = in.arg
+			sp++
+		case oReg:
+			stack[sp] = m.regs[in.arg]
+			sp++
+		case oN:
+			stack[sp] = int64(m.n)
+			sp++
+		case oSelf:
+			stack[sp] = int64(ctx.Self())
+			sp++
+		case oReceived:
+			stack[sp] = m.received
+			sp++
+		case oMsg:
+			stack[sp] = msg
+			sp++
+		case oTarget:
+			stack[sp] = m.target
+			sp++
+		case oAdd:
+			sp--
+			stack[sp-1] += stack[sp]
+		case oSub:
+			sp--
+			stack[sp-1] -= stack[sp]
+		case oMul:
+			sp--
+			stack[sp-1] *= stack[sp]
+		case oMod:
+			sp--
+			stack[sp-1] = emod(stack[sp-1], stack[sp])
+		case oNeg:
+			stack[sp-1] = -stack[sp-1]
+		case oRand:
+			if b := stack[sp-1]; b > 0 {
+				stack[sp-1] = ctx.Rand().Int63n(b)
+			} else {
+				stack[sp-1] = 0
+			}
+		case oLeader:
+			stack[sp-1] = emod(stack[sp-1], int64(m.n)) + 1
+		case oSumfor:
+			stack[sp-1] = emod(stack[sp-1]-1, int64(m.n))
+		}
+	}
+	if sp == 0 {
+		return 0
+	}
+	return stack[sp-1]
+}
+
+// emod is the Euclidean remainder in [0, mod), matching ring.Mod, made
+// total by yielding 0 for a non-positive modulus.
+func emod(v, mod int64) int64 {
+	if mod <= 0 {
+		return 0
+	}
+	r := v % mod
+	if r < 0 {
+		r += mod
+	}
+	return r
+}
+
+// Protocol adapts a compiled protocol program to ring.Protocol.
+type Protocol struct {
+	prog *Program
+}
+
+var _ ring.Protocol = Protocol{}
+
+// RingProtocol returns the program as a ring protocol; it errors for
+// adversary programs.
+func (p *Program) RingProtocol() (Protocol, error) {
+	if p.Kind != KindProtocol {
+		return Protocol{}, fmt.Errorf("mar: %s is an adversary spec, not a protocol", p.Name)
+	}
+	return Protocol{prog: p}, nil
+}
+
+// Name implements ring.Protocol.
+func (p Protocol) Name() string { return p.prog.Name }
+
+// BatchSafe marks the machines as fully re-initialized by Init, so one
+// strategy vector can serve every trial of an engine chunk.
+func (p Protocol) BatchSafe() {}
+
+// Strategies implements ring.Protocol: every position runs a fresh machine.
+func (p Protocol) Strategies(n int) ([]sim.Strategy, error) {
+	out := make([]sim.Strategy, n)
+	for i := range out {
+		out[i] = &machine{prog: p.prog, n: n}
+	}
+	return out, nil
+}
+
+// Attack adapts a compiled adversary program to ring.Attack.
+type Attack struct {
+	prog *Program
+}
+
+var _ ring.Attack = Attack{}
+
+// RingAttack returns the program as a ring attack; it errors for protocol
+// programs.
+func (p *Program) RingAttack() (Attack, error) {
+	if p.Kind != KindAdversary {
+		return Attack{}, fmt.Errorf("mar: %s is a protocol spec, not an adversary", p.Name)
+	}
+	return Attack{prog: p}, nil
+}
+
+// Name implements ring.Attack.
+func (a Attack) Name() string { return a.prog.Name }
+
+// Plan implements ring.Attack: the coalition sits at the spec's fixed
+// positions, each running a fresh machine aimed at target.
+func (a Attack) Plan(n int, target int64, _ int64) (*ring.Deviation, error) {
+	if target < 1 || target > int64(n) {
+		return nil, fmt.Errorf("mar: %s: target %d out of range [1,%d]", a.prog.Name, target, n)
+	}
+	coalition := make([]sim.ProcID, len(a.prog.Place))
+	strategies := make(map[sim.ProcID]sim.Strategy, len(a.prog.Place))
+	for i, pos := range a.prog.Place {
+		if pos < 1 || pos > n {
+			return nil, fmt.Errorf("mar: %s: position %d out of range [1,%d]", a.prog.Name, pos, n)
+		}
+		id := sim.ProcID(pos)
+		coalition[i] = id
+		strategies[id] = &machine{prog: a.prog, n: n, target: target}
+	}
+	return &ring.Deviation{Coalition: coalition, Strategies: strategies}, nil
+}

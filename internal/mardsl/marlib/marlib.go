@@ -1,0 +1,214 @@
+// Package marlib registers compiled MAR specs in the scenario catalog.
+// It embeds the repository's spec'd twins of native implementations —
+// Basic-LEAD and the Claim B.1 single-adversary attack — and exposes
+// Register, the one entry point that turns any MAR source text into
+// catalog entries: protocol specs become honest scenarios under every
+// scheduler kind, adversary specs become a deviation family plus an
+// attack scenario. Registered entries ride the normal catalog plumbing,
+// so fleserve, flecert, and cmd/scenarios serve them unchanged.
+package marlib
+
+import (
+	"embed"
+	"fmt"
+	"os"
+
+	"repro/internal/mardsl"
+	"repro/internal/ring"
+	"repro/internal/scenario"
+)
+
+//go:embed specs/*.mar
+var specFS embed.FS
+
+// embeddedSpecs lists the bundled spec files in registration order: the
+// protocol first, so the adversary's use-slug resolves.
+var embeddedSpecs = []string{"specs/basic_lead.mar", "specs/basic_single.mar"}
+
+func init() {
+	for _, path := range embeddedSpecs {
+		src, err := specFS.ReadFile(path)
+		if err != nil {
+			panic(fmt.Sprintf("marlib: %s: %v", path, err))
+		}
+		if _, err := Register(string(src)); err != nil {
+			panic(fmt.Sprintf("marlib: %s: %v", path, err))
+		}
+	}
+}
+
+// EmbeddedSources returns the bundled spec texts in registration order —
+// the seed corpus of the MAR fuzz targets.
+func EmbeddedSources() []string {
+	out := make([]string, len(embeddedSpecs))
+	for i, path := range embeddedSpecs {
+		src, err := specFS.ReadFile(path)
+		if err != nil {
+			panic(fmt.Sprintf("marlib: %s: %v", path, err))
+		}
+		out[i] = string(src)
+	}
+	return out
+}
+
+// Register compiles one MAR spec and registers it in the scenario catalog,
+// returning the names of the scenarios it created. A protocol spec
+// registers "ring/<name>/{fifo,lifo,random}"; an adversary spec registers
+// the deviation family "<name>" and the scenario
+// "ring/<use>/attack=<name>", resolving <use> against the already
+// registered catalog (native and compiled protocols alike). Name
+// collisions are rejected before anything is registered.
+func Register(src string) ([]string, error) {
+	prog, err := mardsl.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	if prog.Kind == mardsl.KindProtocol {
+		return registerProtocol(prog)
+	}
+	return registerAdversary(prog)
+}
+
+// RegisterFiles reads and registers MAR spec files in order — the engine
+// behind the commands' repeatable -mar flag — returning every scenario
+// name created. Files are registered in argument order, so a protocol
+// spec can precede the adversary specs that use it.
+func RegisterFiles(paths []string) ([]string, error) {
+	var names []string
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return names, fmt.Errorf("marlib: %w", err)
+		}
+		got, err := Register(string(src))
+		if err != nil {
+			return names, fmt.Errorf("marlib: %s: %w", path, err)
+		}
+		names = append(names, got...)
+	}
+	return names, nil
+}
+
+// registerProtocol registers a compiled protocol under every scheduler
+// kind of the honest ring catalog.
+func registerProtocol(prog *mardsl.Program) ([]string, error) {
+	proto, err := prog.RingProtocol()
+	if err != nil {
+		return nil, err
+	}
+	n, trials, minN := prog.Defaults.N, prog.Defaults.Trials, prog.Defaults.MinN
+	if n == 0 {
+		n = 16
+	}
+	if trials == 0 {
+		trials = 400
+	}
+	scheds := []string{scenario.SchedFIFO, scenario.SchedLIFO, scenario.SchedRandom}
+	names := make([]string, len(scheds))
+	for i, sched := range scheds {
+		names[i] = "ring/" + prog.Name + "/" + sched
+		if _, exists := scenario.Find(names[i]); exists {
+			return nil, fmt.Errorf("marlib: scenario %s already registered", names[i])
+		}
+	}
+	for i, sched := range scheds {
+		err := scenario.RegisterRingScenario(scenario.Scenario{
+			Name:      names[i],
+			Topology:  "ring",
+			Protocol:  prog.Name,
+			Scheduler: sched,
+			N:         n,
+			MinN:      minN,
+			Trials:    trials,
+			Uniform:   prog.Uniform,
+			Note:      "compiled MAR protocol spec",
+		}, proto)
+		if err != nil {
+			return nil, fmt.Errorf("marlib: %w", err)
+		}
+	}
+	return names, nil
+}
+
+// registerAdversary registers a compiled adversary as a deviation family
+// plus the attack scenario against its use-protocol.
+func registerAdversary(prog *mardsl.Program) ([]string, error) {
+	atk, err := prog.RingAttack()
+	if err != nil {
+		return nil, err
+	}
+	base, ok := scenario.FindRingProtocol(prog.Use)
+	if !ok {
+		return nil, fmt.Errorf("marlib: %s: no registered ring protocol %q to deviate from", prog.Name, prog.Use)
+	}
+	if _, dup := scenario.FindFamily(prog.Name); dup {
+		return nil, fmt.Errorf("marlib: deviation family %s already registered", prog.Name)
+	}
+	name := "ring/" + prog.Use + "/attack=" + prog.Name
+	if _, exists := scenario.Find(name); exists {
+		return nil, fmt.Errorf("marlib: scenario %s already registered", name)
+	}
+	k := len(prog.Place)
+	maxPlace := prog.Place[len(prog.Place)-1]
+	err = scenario.RegisterDeviationFamily(scenario.DeviationFamily{
+		Name:      prog.Name,
+		Protocols: []string{prog.Use},
+		Note:      "compiled MAR adversary spec",
+		Sizes:     func(int, string) []int { return []int{k} },
+		DefaultK:  func(int, string) int { return k },
+		Plan: func(_ ring.Protocol, _ int, _ string) (ring.Attack, error) {
+			return atk, nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("marlib: %w", err)
+	}
+	n, trials, minN, target := prog.Defaults.N, prog.Defaults.Trials, prog.Defaults.MinN, prog.Defaults.Target
+	if n == 0 {
+		n = 16
+	}
+	if trials == 0 {
+		trials = 200
+	}
+	if minN < maxPlace+1 {
+		minN = maxPlace + 1
+	}
+	if target == 0 {
+		target = 2
+	}
+	err = scenario.RegisterRingAttackScenario(scenario.Scenario{
+		Name:      name,
+		Topology:  "ring",
+		Protocol:  prog.Use,
+		Scheduler: scenario.SchedFIFO,
+		Attack:    prog.Name,
+		N:         n,
+		MinN:      minN,
+		Trials:    trials,
+		K:         k,
+		Target:    target,
+		Note:      "compiled MAR adversary spec",
+	}, base, prog.Name, "")
+	if err != nil {
+		return nil, fmt.Errorf("marlib: %w", err)
+	}
+	return []string{name}, nil
+}
+
+// Twin pairs a native scenario with its compiled MAR twin; the
+// differential matrix pins each pair's outcome distributions
+// byte-identical.
+type Twin struct {
+	// Native and Compiled are the paired scenario names.
+	Native, Compiled string
+}
+
+// Twins returns the native↔compiled pairs the embedded specs pin.
+func Twins() []Twin {
+	return []Twin{
+		{Native: "ring/basic-lead/fifo", Compiled: "ring/mar-basic-lead/fifo"},
+		{Native: "ring/basic-lead/lifo", Compiled: "ring/mar-basic-lead/lifo"},
+		{Native: "ring/basic-lead/random", Compiled: "ring/mar-basic-lead/random"},
+		{Native: "ring/basic-lead/attack=basic-single", Compiled: "ring/mar-basic-lead/attack=mar-basic-single"},
+	}
+}

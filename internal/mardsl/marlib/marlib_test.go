@@ -1,0 +1,135 @@
+package marlib_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mardsl"
+	"repro/internal/mardsl/marlib"
+	"repro/internal/scenario"
+)
+
+func TestEmbeddedSources(t *testing.T) {
+	srcs := marlib.EmbeddedSources()
+	if len(srcs) != 2 {
+		t.Fatalf("want 2 embedded specs, got %d", len(srcs))
+	}
+	names := []string{"mar-basic-lead", "mar-basic-single"}
+	for i, src := range srcs {
+		spec, err := mardsl.Parse(src)
+		if err != nil {
+			t.Fatalf("embedded spec %d: %v", i, err)
+		}
+		if spec.Name != names[i] {
+			t.Errorf("embedded spec %d: name %q, want %q", i, spec.Name, names[i])
+		}
+	}
+}
+
+func TestEmbeddedRegistration(t *testing.T) {
+	for _, name := range []string{
+		"ring/mar-basic-lead/fifo",
+		"ring/mar-basic-lead/lifo",
+		"ring/mar-basic-lead/random",
+		"ring/mar-basic-lead/attack=mar-basic-single",
+	} {
+		if _, ok := scenario.Find(name); !ok {
+			t.Errorf("scenario %s not registered", name)
+		}
+	}
+	if _, ok := scenario.FindFamily("mar-basic-single"); !ok {
+		t.Errorf("deviation family mar-basic-single not registered")
+	}
+	if _, ok := scenario.FindRingProtocol("mar-basic-lead"); !ok {
+		t.Errorf("compiled protocol mar-basic-lead not resolvable")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	if _, err := marlib.Register("not a spec"); err == nil {
+		t.Errorf("malformed source should not register")
+	}
+	// The embedded specs are already in the catalog: registering them
+	// again must fail on the name collision, for protocols and
+	// adversaries alike.
+	for _, src := range marlib.EmbeddedSources() {
+		if _, err := marlib.Register(src); err == nil {
+			t.Errorf("duplicate registration should fail")
+		}
+	}
+	// An adversary deviating from a protocol nobody registered.
+	orphan := `spec orphan-adv
+kind adversary
+use no-such-protocol
+place 2
+state s:
+  on recv:
+    abort
+`
+	if _, err := marlib.Register(orphan); err == nil {
+		t.Errorf("adversary against an unregistered protocol should fail")
+	} else if !strings.Contains(err.Error(), "no-such-protocol") {
+		t.Errorf("error should name the missing protocol, got: %v", err)
+	}
+}
+
+func TestRegisterGeneratedProtocolEndToEnd(t *testing.T) {
+	src := mardsl.GenerateProtocol(9001)
+	names, err := marlib.Register(src)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("want 3 scenarios (one per scheduler), got %v", names)
+	}
+	s, ok := scenario.Find(names[0])
+	if !ok {
+		t.Fatalf("scenario %s not found after registration", names[0])
+	}
+	o := scenario.Opts{N: 6, Trials: 50, Workers: 1}
+	a, err := s.RunOpts(context.Background(), 3, o)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	o.Workers = 4
+	b, err := s.RunOpts(context.Background(), 3, o)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a.Dist.String() != b.Dist.String() {
+		t.Errorf("worker counts diverge on a generated protocol")
+	}
+}
+
+func TestRegisterGeneratedAdversaryEndToEnd(t *testing.T) {
+	src := mardsl.GenerateAdversary(9002)
+	names, err := marlib.Register(src)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if len(names) != 1 || !strings.HasPrefix(names[0], "ring/basic-lead/attack=gen-adv-") {
+		t.Fatalf("unexpected scenario names %v", names)
+	}
+	s, ok := scenario.Find(names[0])
+	if !ok {
+		t.Fatalf("scenario %s not found after registration", names[0])
+	}
+	o := scenario.Opts{N: 10, Trials: 50, Workers: 1}
+	a, err := s.RunOpts(context.Background(), 3, o)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	o.Workers = 4
+	b, err := s.RunOpts(context.Background(), 3, o)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a.Dist.String() != b.Dist.String() {
+		t.Errorf("worker counts diverge on a generated adversary")
+	}
+	// Registering the same generated spec twice must fail cleanly.
+	if _, err := marlib.Register(src); err == nil {
+		t.Errorf("duplicate generated registration should fail")
+	}
+}

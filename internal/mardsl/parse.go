@@ -1,0 +1,568 @@
+package mardsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse turns MAR source text into a Spec. It enforces the package's shape
+// limits and the line grammar; semantic rules (identifier resolution,
+// reachability, exhaustiveness) are Validate's job.
+func Parse(src string) (*Spec, error) {
+	if len(src) > MaxSpecBytes {
+		return nil, fmt.Errorf("mar: spec exceeds %d bytes", MaxSpecBytes)
+	}
+	p := &specParser{
+		spec:   &Spec{Topology: "ring"},
+		states: map[string]bool{},
+		regs:   map[string]bool{},
+		seen:   map[string]bool{},
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		if err := p.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	return p.spec, nil
+}
+
+// specParser carries the line-by-line parsing state.
+type specParser struct {
+	spec   *Spec
+	state  *State          // current state block
+	clause *Clause         // current clause block
+	states map[string]bool // declared state names
+	regs   map[string]bool // declared register names
+	seen   map[string]bool // header directives already consumed
+}
+
+// line consumes one source line.
+func (p *specParser) line(ln int, raw string) error {
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	toks, err := lexLine(ln, raw)
+	if err != nil || len(toks) == 0 {
+		return err
+	}
+	switch toks[0] {
+	case "spec", "kind", "topology", "use", "place", "defaults", "uniform", "reg":
+		if len(p.spec.States) > 0 {
+			return fmt.Errorf("mar: line %d: %s must appear before the first state", ln, toks[0])
+		}
+		if p.seen[toks[0]] && toks[0] != "reg" {
+			return fmt.Errorf("mar: line %d: duplicate %s directive", ln, toks[0])
+		}
+		p.seen[toks[0]] = true
+		return p.header(ln, toks)
+	case "state":
+		return p.stateHeader(ln, toks)
+	case "init":
+		return p.initHeader(ln, toks)
+	case "on":
+		return p.recvHeader(ln, toks)
+	case "set", "send", "push", "replay", "goto", "terminate", "abort", "drop":
+		return p.action(ln, toks)
+	default:
+		return fmt.Errorf("mar: line %d: unknown directive %q", ln, toks[0])
+	}
+}
+
+// header consumes one pre-state header line.
+func (p *specParser) header(ln int, toks []string) error {
+	switch toks[0] {
+	case "spec":
+		if len(toks) != 2 || !userName(toks[1]) {
+			return fmt.Errorf("mar: line %d: expected 'spec <name>'", ln)
+		}
+		p.spec.Name = toks[1]
+	case "kind":
+		if len(toks) != 2 || (toks[1] != string(KindProtocol) && toks[1] != string(KindAdversary)) {
+			return fmt.Errorf("mar: line %d: expected 'kind protocol' or 'kind adversary'", ln)
+		}
+		p.spec.Kind = Kind(toks[1])
+	case "topology":
+		if len(toks) != 2 || toks[1] != "ring" {
+			return fmt.Errorf("mar: line %d: the only supported topology is ring", ln)
+		}
+	case "use":
+		if len(toks) != 2 || !userName(toks[1]) {
+			return fmt.Errorf("mar: line %d: expected 'use <protocol-slug>'", ln)
+		}
+		p.spec.Use = toks[1]
+	case "place":
+		if len(toks) < 2 {
+			return fmt.Errorf("mar: line %d: expected 'place <pos> ...'", ln)
+		}
+		if len(toks)-1 > MaxPlace {
+			return fmt.Errorf("mar: line %d: more than %d coalition positions", ln, MaxPlace)
+		}
+		for _, t := range toks[1:] {
+			v, err := paramValue(ln, t)
+			if err != nil {
+				return err
+			}
+			p.spec.Place = append(p.spec.Place, v)
+		}
+	case "defaults":
+		for i := 1; i < len(toks); i += 3 {
+			if i+2 >= len(toks) || toks[i+1] != "=" {
+				return fmt.Errorf("mar: line %d: expected 'defaults key=value ...'", ln)
+			}
+			v, err := paramValue(ln, toks[i+2])
+			if err != nil {
+				return err
+			}
+			switch toks[i] {
+			case "n":
+				p.spec.Defaults.N = v
+			case "trials":
+				p.spec.Defaults.Trials = v
+			case "minn":
+				p.spec.Defaults.MinN = v
+			case "k":
+				p.spec.Defaults.K = v
+			case "target":
+				p.spec.Defaults.Target = int64(v)
+			default:
+				return fmt.Errorf("mar: line %d: unknown default %q", ln, toks[i])
+			}
+		}
+	case "uniform":
+		if len(toks) != 1 {
+			return fmt.Errorf("mar: line %d: uniform takes no arguments", ln)
+		}
+		p.spec.Uniform = true
+	case "reg":
+		if len(toks) < 2 {
+			return fmt.Errorf("mar: line %d: expected 'reg <name> ...'", ln)
+		}
+		for _, t := range toks[1:] {
+			if !userName(t) {
+				return fmt.Errorf("mar: line %d: bad register name %q", ln, t)
+			}
+			if p.regs[t] {
+				return fmt.Errorf("mar: line %d: duplicate register %q", ln, t)
+			}
+			if len(p.spec.Regs) >= MaxRegs {
+				return fmt.Errorf("mar: line %d: more than %d registers", ln, MaxRegs)
+			}
+			p.regs[t] = true
+			p.spec.Regs = append(p.spec.Regs, t)
+		}
+	}
+	return nil
+}
+
+// stateHeader opens a state block.
+func (p *specParser) stateHeader(ln int, toks []string) error {
+	if len(toks) != 3 || toks[2] != ":" || !userName(toks[1]) {
+		return fmt.Errorf("mar: line %d: expected 'state <name>:'", ln)
+	}
+	if p.states[toks[1]] {
+		return fmt.Errorf("mar: line %d: duplicate state %q", ln, toks[1])
+	}
+	if len(p.spec.States) >= MaxStates {
+		return fmt.Errorf("mar: line %d: more than %d states", ln, MaxStates)
+	}
+	p.states[toks[1]] = true
+	p.state = &State{Name: toks[1], Line: ln}
+	p.clause = nil
+	p.spec.States = append(p.spec.States, p.state)
+	return nil
+}
+
+// initHeader opens a state's wake-up clause.
+func (p *specParser) initHeader(ln int, toks []string) error {
+	if len(toks) != 2 || toks[1] != ":" {
+		return fmt.Errorf("mar: line %d: expected 'init:'", ln)
+	}
+	if p.state == nil {
+		return fmt.Errorf("mar: line %d: init outside a state", ln)
+	}
+	if p.state.Init != nil {
+		return fmt.Errorf("mar: line %d: duplicate init clause in state %q", ln, p.state.Name)
+	}
+	if len(p.state.Recv) > 0 {
+		return fmt.Errorf("mar: line %d: init must precede the receive clauses", ln)
+	}
+	p.clause = &Clause{Line: ln}
+	p.state.Init = p.clause
+	return nil
+}
+
+// recvHeader opens a receive clause, parsing its optional guard.
+func (p *specParser) recvHeader(ln int, toks []string) error {
+	if p.state == nil {
+		return fmt.Errorf("mar: line %d: receive clause outside a state", ln)
+	}
+	if len(p.state.Recv) >= MaxClauses {
+		return fmt.Errorf("mar: line %d: more than %d receive clauses in state %q", ln, MaxClauses, p.state.Name)
+	}
+	if len(toks) < 3 || toks[1] != "recv" {
+		return fmt.Errorf("mar: line %d: expected 'on recv [when <guard>]:'", ln)
+	}
+	cl := &Clause{Line: ln}
+	c := &tokCursor{toks: toks, pos: 2, ln: ln}
+	if c.peek() == "when" {
+		c.pos++
+		guard, err := c.parseGuard()
+		if err != nil {
+			return err
+		}
+		cl.Guard = guard
+	}
+	if c.next() != ":" || c.pos != len(toks) {
+		return fmt.Errorf("mar: line %d: expected ':' ending the clause header", ln)
+	}
+	p.clause = cl
+	p.state.Recv = append(p.state.Recv, cl)
+	return nil
+}
+
+// action consumes one action line into the current clause.
+func (p *specParser) action(ln int, toks []string) error {
+	if p.clause == nil {
+		return fmt.Errorf("mar: line %d: action outside an init or receive clause", ln)
+	}
+	if len(p.clause.Actions) >= MaxActions {
+		return fmt.Errorf("mar: line %d: more than %d actions in one clause", ln, MaxActions)
+	}
+	act := Action{Line: ln}
+	c := &tokCursor{toks: toks, pos: 1, ln: ln}
+	var err error
+	switch toks[0] {
+	case "set":
+		act.Kind = ActSet
+		if len(toks) < 4 || !userName(toks[1]) || toks[2] != "=" {
+			return fmt.Errorf("mar: line %d: expected 'set <reg> = <expr>'", ln)
+		}
+		act.Reg = toks[1]
+		c.pos = 3
+		act.A, err = c.parseExpr(0)
+	case "send":
+		act.Kind = ActSend
+		act.A, err = c.parseExpr(0)
+	case "push":
+		act.Kind = ActPush
+		act.A, err = c.parseExpr(0)
+	case "replay":
+		act.Kind = ActReplay
+		if act.A, err = c.parseExpr(0); err == nil {
+			act.B, err = c.parseExpr(0)
+		}
+	case "goto":
+		act.Kind = ActGoto
+		if len(toks) != 2 || !userName(toks[1]) {
+			return fmt.Errorf("mar: line %d: expected 'goto <state>'", ln)
+		}
+		act.State = toks[1]
+		c.pos = 2
+	case "terminate":
+		act.Kind = ActTerminate
+		act.A, err = c.parseExpr(0)
+	case "abort":
+		act.Kind = ActAbort
+	case "drop":
+		act.Kind = ActDrop
+	}
+	if err != nil {
+		return err
+	}
+	if c.pos != len(toks) {
+		return fmt.Errorf("mar: line %d: trailing tokens after action", ln)
+	}
+	p.clause.Actions = append(p.clause.Actions, act)
+	return nil
+}
+
+// paramValue parses a bounded positive integer parameter.
+func paramValue(ln int, tok string) (int, error) {
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil || v < 1 || v > maxParamValue {
+		return 0, fmt.Errorf("mar: line %d: expected an integer in [1, %d], got %q", ln, maxParamValue, tok)
+	}
+	return int(v), nil
+}
+
+// userName reports whether the token can name a spec, state, or register:
+// an identifier that is not a keyword or builtin.
+func userName(tok string) bool {
+	return identLike(tok) && !reserved(tok)
+}
+
+// identLike reports whether the token has identifier shape.
+func identLike(tok string) bool {
+	if tok == "" || !isLetter(tok[0]) {
+		return false
+	}
+	for i := 1; i < len(tok); i++ {
+		if !isIdentChar(tok[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isLetter(c) || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// lexLine splits one source line into tokens. Identifiers may contain
+// hyphens (slugs like basic-lead), so the '-' operator needs surrounding
+// whitespace when adjacent to an identifier.
+func lexLine(ln int, line string) ([]string, error) {
+	var toks []string
+	emit := func(t string) error {
+		if len(toks) >= maxLineTokens {
+			return fmt.Errorf("mar: line %d: more than %d tokens", ln, maxLineTokens)
+		}
+		toks = append(toks, t)
+		return nil
+	}
+	for i := 0; i < len(line); {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			continue
+		case isLetter(c):
+			j := i + 1
+			for j < len(line) && isIdentChar(line[j]) {
+				j++
+			}
+			if j-i > maxTokenLen {
+				return nil, fmt.Errorf("mar: line %d: token longer than %d bytes", ln, maxTokenLen)
+			}
+			if err := emit(line[i:j]); err != nil {
+				return nil, err
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(line) && line[j] >= '0' && line[j] <= '9' {
+				j++
+			}
+			if j < len(line) && (isLetter(line[j]) || line[j] == '_') {
+				return nil, fmt.Errorf("mar: line %d: malformed number", ln)
+			}
+			if j-i > maxTokenLen {
+				return nil, fmt.Errorf("mar: line %d: token longer than %d bytes", ln, maxTokenLen)
+			}
+			if err := emit(line[i:j]); err != nil {
+				return nil, err
+			}
+			i = j
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			if i+1 < len(line) && line[i+1] == '=' {
+				if err := emit(line[i : i+2]); err != nil {
+					return nil, err
+				}
+				i += 2
+				continue
+			}
+			if c == '!' {
+				return nil, fmt.Errorf("mar: line %d: unexpected character '!'", ln)
+			}
+			if err := emit(string(c)); err != nil {
+				return nil, err
+			}
+			i++
+		case c == '(' || c == ')' || c == ':' || c == '+' || c == '-' || c == '*' || c == '%':
+			if err := emit(string(c)); err != nil {
+				return nil, err
+			}
+			i++
+		default:
+			return nil, fmt.Errorf("mar: line %d: unexpected character %q", ln, c)
+		}
+	}
+	return toks, nil
+}
+
+// tokCursor walks one line's tokens during expression parsing.
+type tokCursor struct {
+	toks []string
+	pos  int
+	ln   int
+}
+
+func (c *tokCursor) peek() string {
+	if c.pos < len(c.toks) {
+		return c.toks[c.pos]
+	}
+	return ""
+}
+
+func (c *tokCursor) next() string {
+	t := c.peek()
+	if t != "" {
+		c.pos++
+	}
+	return t
+}
+
+func (c *tokCursor) errf(format string, args ...any) error {
+	return fmt.Errorf("mar: line %d: %s", c.ln, fmt.Sprintf(format, args...))
+}
+
+// cmpOps maps comparison tokens to operators.
+var cmpOps = map[string]CmpOp{
+	"==": CmpEq, "!=": CmpNe, "<": CmpLt, "<=": CmpLe, ">": CmpGt, ">=": CmpGe,
+}
+
+// parseGuard parses "<cond> {and <cond>}".
+func (c *tokCursor) parseGuard() ([]Cond, error) {
+	var conds []Cond
+	for {
+		if len(conds) >= MaxConds {
+			return nil, c.errf("more than %d guard conditions", MaxConds)
+		}
+		left, err := c.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := cmpOps[c.peek()]
+		if !ok {
+			return nil, c.errf("expected a comparison operator, got %q", c.peek())
+		}
+		c.pos++
+		right, err := c.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, Cond{Left: left, Right: right, Op: op})
+		if c.peek() != "and" {
+			return conds, nil
+		}
+		c.pos++
+	}
+}
+
+// parseExpr parses the additive level.
+func (c *tokCursor) parseExpr(depth int) (*Expr, error) {
+	if depth > maxExprDepth {
+		return nil, c.errf("expression nested deeper than %d", maxExprDepth)
+	}
+	left, err := c.parseTerm(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ExprOp
+		switch c.peek() {
+		case "+":
+			op = EAdd
+		case "-":
+			op = ESub
+		default:
+			return left, nil
+		}
+		c.pos++
+		right, err := c.parseTerm(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Expr{Op: op, L: left, R: right}
+	}
+}
+
+// parseTerm parses the multiplicative level.
+func (c *tokCursor) parseTerm(depth int) (*Expr, error) {
+	if depth > maxExprDepth {
+		return nil, c.errf("expression nested deeper than %d", maxExprDepth)
+	}
+	left, err := c.parseUnary(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ExprOp
+		switch c.peek() {
+		case "*":
+			op = EMul
+		case "%":
+			op = EMod
+		default:
+			return left, nil
+		}
+		c.pos++
+		right, err := c.parseUnary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Expr{Op: op, L: left, R: right}
+	}
+}
+
+// parseUnary parses unary minus.
+func (c *tokCursor) parseUnary(depth int) (*Expr, error) {
+	if depth > maxExprDepth {
+		return nil, c.errf("expression nested deeper than %d", maxExprDepth)
+	}
+	if c.peek() == "-" {
+		c.pos++
+		operand, err := c.parseUnary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Op: ENeg, L: operand}, nil
+	}
+	return c.parsePrimary(depth + 1)
+}
+
+// exprFuncs maps function names to node kinds.
+var exprFuncs = map[string]ExprOp{
+	"rand": ERand, "leader": ELeader, "sumfor": ESumfor,
+}
+
+// parsePrimary parses literals, identifiers, calls, and parentheses.
+func (c *tokCursor) parsePrimary(depth int) (*Expr, error) {
+	if depth > maxExprDepth {
+		return nil, c.errf("expression nested deeper than %d", maxExprDepth)
+	}
+	tok := c.next()
+	switch {
+	case tok == "":
+		return nil, c.errf("unexpected end of expression")
+	case tok == "(":
+		e, err := c.parseExpr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if c.next() != ")" {
+			return nil, c.errf("missing ')'")
+		}
+		return e, nil
+	case tok[0] >= '0' && tok[0] <= '9':
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return nil, c.errf("bad integer literal %q", tok)
+		}
+		return &Expr{Op: EConst, Val: v}, nil
+	case exprFuncs[tok] != 0:
+		if c.next() != "(" {
+			return nil, c.errf("%s needs a parenthesized argument", tok)
+		}
+		arg, err := c.parseExpr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if c.next() != ")" {
+			return nil, c.errf("missing ')' after %s argument", tok)
+		}
+		return &Expr{Op: exprFuncs[tok], L: arg}, nil
+	case identLike(tok):
+		if keywords[tok] {
+			return nil, c.errf("keyword %q cannot appear in an expression", tok)
+		}
+		return &Expr{Op: EIdent, Ident: tok}, nil
+	default:
+		return nil, c.errf("unexpected token %q in expression", tok)
+	}
+}

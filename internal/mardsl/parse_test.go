@@ -1,0 +1,177 @@
+package mardsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// basicLeadSrc is the Basic-LEAD twin spec, duplicated from
+// marlib/specs/basic_lead.mar so the package tests stay self-contained.
+const basicLeadSrc = `
+spec mar-basic-lead
+kind protocol
+topology ring
+uniform
+defaults n=16 trials=400
+
+reg secret sum
+
+state run:
+  init:
+    set secret = rand(n)
+    send secret
+  on recv when received < n:
+    set sum = (sum + msg % n) % n
+    send msg % n
+  on recv when msg % n != secret:
+    abort
+  on recv:
+    set sum = (sum + msg % n) % n
+    terminate leader(sum)
+`
+
+// basicSingleSrc is the Claim B.1 adversary twin spec.
+const basicSingleSrc = `
+spec mar-basic-single
+kind adversary
+topology ring
+use mar-basic-lead
+place 2
+defaults n=16 trials=200 minn=4 target=2
+
+reg sum
+
+state absorb:
+  on recv when received < n - 1:
+    set sum = (sum + msg % n) % n
+    push msg % n
+  on recv:
+    set sum = (sum + msg % n) % n
+    push msg % n
+    send (sumfor(target) - sum) % n
+    replay 0 received
+    terminate target
+`
+
+func TestParseBasicLead(t *testing.T) {
+	spec, err := Parse(basicLeadSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if spec.Name != "mar-basic-lead" || spec.Kind != KindProtocol || !spec.Uniform {
+		t.Errorf("bad header: %+v", spec)
+	}
+	if spec.Defaults.N != 16 || spec.Defaults.Trials != 400 {
+		t.Errorf("bad defaults: %+v", spec.Defaults)
+	}
+	if len(spec.Regs) != 2 || spec.Regs[0] != "secret" || spec.Regs[1] != "sum" {
+		t.Errorf("bad regs: %v", spec.Regs)
+	}
+	if len(spec.States) != 1 {
+		t.Fatalf("want 1 state, got %d", len(spec.States))
+	}
+	st := spec.States[0]
+	if st.Init == nil || len(st.Init.Actions) != 2 {
+		t.Fatalf("bad init clause: %+v", st.Init)
+	}
+	if len(st.Recv) != 3 {
+		t.Fatalf("want 3 receive clauses, got %d", len(st.Recv))
+	}
+	if len(st.Recv[0].Guard) != 1 || st.Recv[0].Guard[0].Op != CmpLt {
+		t.Errorf("bad first guard: %+v", st.Recv[0].Guard)
+	}
+	if len(st.Recv[2].Guard) != 0 {
+		t.Errorf("last clause should be a catch-all")
+	}
+	if err := Validate(spec); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParseBasicSingle(t *testing.T) {
+	spec, err := Parse(basicSingleSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if spec.Kind != KindAdversary || spec.Use != "mar-basic-lead" {
+		t.Errorf("bad header: %+v", spec)
+	}
+	if len(spec.Place) != 1 || spec.Place[0] != 2 {
+		t.Errorf("bad place: %v", spec.Place)
+	}
+	if spec.Defaults.Target != 2 || spec.Defaults.MinN != 4 {
+		t.Errorf("bad defaults: %+v", spec.Defaults)
+	}
+	if err := Validate(spec); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"oversized spec":         "# " + strings.Repeat("x", MaxSpecBytes),
+		"unknown directive":      "spec a\nkind protocol\nfrobnicate 3\n",
+		"duplicate spec":         "spec a\nspec b\n",
+		"bad kind":               "spec a\nkind nonsense\n",
+		"bad topology":           "spec a\nkind protocol\ntopology torus\n",
+		"header after state":     "spec a\nkind protocol\nstate s:\n  on recv:\n    drop\nreg x\n",
+		"reserved reg":           "spec a\nkind protocol\nreg msg\n",
+		"duplicate reg":          "spec a\nkind protocol\nreg x x\n",
+		"duplicate state":        "spec a\nkind protocol\nstate s:\n  on recv:\n    drop\nstate s:\n  on recv:\n    drop\n",
+		"init after recv":        "spec a\nkind protocol\nstate s:\n  on recv:\n    drop\n  init:\n    drop\n",
+		"action outside clause":  "spec a\nkind protocol\nstate s:\n  drop\n",
+		"bad guard":              "spec a\nkind protocol\nstate s:\n  on recv when msg:\n    drop\n",
+		"missing colon":          "spec a\nkind protocol\nstate s:\n  on recv when msg == 1\n    drop\n",
+		"trailing tokens":        "spec a\nkind protocol\nstate s:\n  on recv:\n    send 1 2\n",
+		"unbalanced parens":      "spec a\nkind protocol\nstate s:\n  on recv:\n    send (1 + 2\n",
+		"keyword in expression":  "spec a\nkind protocol\nstate s:\n  on recv:\n    send goto\n",
+		"bad character":          "spec a\nkind protocol\nstate s:\n  on recv:\n    send 1 & 2\n",
+		"malformed number":       "spec a\nkind protocol\nstate s:\n  on recv:\n    send 12x\n",
+		"bad defaults value":     "spec a\nkind protocol\ndefaults n=0\n",
+		"unknown default":        "spec a\nkind protocol\ndefaults frobs=2\n",
+		"deeply nested expr":     "spec a\nkind protocol\nstate s:\n  on recv:\n    send " + strings.Repeat("(", 40) + "1" + strings.Repeat(")", 40) + "\n",
+		"rand without parens":    "spec a\nkind protocol\nstate s:\n  on recv:\n    send rand 3\n",
+		"set without equals":     "spec a\nkind protocol\nreg x\nstate s:\n  on recv:\n    set x 3\n",
+		"goto with expression":   "spec a\nkind protocol\nstate s:\n  on recv:\n    goto 1 + 2\n",
+		"too many place entries": "spec a\nkind adversary\nplace 1 2 3 4 5 6 7 8 9\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse unexpectedly succeeded", name)
+		}
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("spec a\nkind protocol\n")
+	for i := 0; i <= MaxStates; i++ {
+		b.WriteString("state s")
+		b.WriteString(strings.Repeat("x", i%3))
+		b.WriteByte('a' + byte(i%26))
+		b.WriteByte('0' + byte(i/26%10))
+		b.WriteByte('0' + byte(i/260))
+		b.WriteString(":\n  on recv:\n    drop\n")
+	}
+	if _, err := Parse(b.String()); err == nil {
+		t.Errorf("state limit not enforced")
+	}
+
+	var c strings.Builder
+	c.WriteString("spec a\nkind protocol\nstate s:\n")
+	for i := 0; i <= MaxClauses; i++ {
+		c.WriteString("  on recv when msg == 0:\n    drop\n")
+	}
+	if _, err := Parse(c.String()); err == nil {
+		t.Errorf("clause limit not enforced")
+	}
+
+	var d strings.Builder
+	d.WriteString("spec a\nkind protocol\nstate s:\n  on recv:\n")
+	for i := 0; i <= MaxActions; i++ {
+		d.WriteString("    drop\n")
+	}
+	if _, err := Parse(d.String()); err == nil {
+		t.Errorf("action limit not enforced")
+	}
+}

@@ -1,0 +1,261 @@
+package mardsl
+
+import "fmt"
+
+// Validate checks a parsed spec's semantic rules: identifier resolution,
+// kind-specific directives, control-action placement, goto targets,
+// reachability, receive-handler coverage, and guard exhaustiveness. A spec
+// that validates always compiles, and its machine can never read an
+// undefined name or jump to a missing state.
+func Validate(s *Spec) error {
+	if err := validateHead(s); err != nil {
+		return err
+	}
+	regs := map[string]bool{}
+	for _, r := range s.Regs {
+		if !userName(r) {
+			return fmt.Errorf("mar: bad register name %q", r)
+		}
+		if regs[r] {
+			return fmt.Errorf("mar: duplicate register %q", r)
+		}
+		regs[r] = true
+	}
+	if len(s.Regs) > MaxRegs {
+		return fmt.Errorf("mar: more than %d registers", MaxRegs)
+	}
+	stateIdx := map[string]int{}
+	for i, st := range s.States {
+		if !userName(st.Name) {
+			return fmt.Errorf("mar: bad state name %q", st.Name)
+		}
+		if _, dup := stateIdx[st.Name]; dup {
+			return fmt.Errorf("mar: duplicate state %q", st.Name)
+		}
+		stateIdx[st.Name] = i
+	}
+	for i, st := range s.States {
+		if st.Init != nil && i > 0 {
+			return fmt.Errorf("mar: line %d: init is only allowed in the start state", st.Init.Line)
+		}
+		if st.Init != nil {
+			if err := validateClause(s, st.Init, regs, stateIdx, false); err != nil {
+				return err
+			}
+		}
+		for _, cl := range st.Recv {
+			if err := validateClause(s, cl, regs, stateIdx, true); err != nil {
+				return err
+			}
+		}
+		if err := validateExhaustive(st); err != nil {
+			return err
+		}
+	}
+	return validateFlow(s, stateIdx)
+}
+
+// validateHead checks the header directives against the spec kind.
+func validateHead(s *Spec) error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("mar: missing 'spec <name>' directive")
+	case !userName(s.Name):
+		return fmt.Errorf("mar: bad spec name %q", s.Name)
+	case s.Kind != KindProtocol && s.Kind != KindAdversary:
+		return fmt.Errorf("mar: missing 'kind protocol' or 'kind adversary' directive")
+	case s.Topology != "" && s.Topology != "ring":
+		return fmt.Errorf("mar: the only supported topology is ring")
+	case len(s.States) == 0:
+		return fmt.Errorf("mar: spec has no states")
+	case len(s.States) > MaxStates:
+		return fmt.Errorf("mar: more than %d states", MaxStates)
+	}
+	if s.Kind == KindProtocol {
+		switch {
+		case s.Use != "":
+			return fmt.Errorf("mar: use is only valid in adversary specs")
+		case len(s.Place) > 0:
+			return fmt.Errorf("mar: place is only valid in adversary specs")
+		case s.Defaults.Target != 0:
+			return fmt.Errorf("mar: a target default is only valid in adversary specs")
+		case s.Defaults.K != 0:
+			return fmt.Errorf("mar: a k default is only valid in adversary specs")
+		}
+		return nil
+	}
+	// Adversary.
+	if s.Use == "" {
+		return fmt.Errorf("mar: adversary specs need 'use <protocol-slug>'")
+	}
+	if !userName(s.Use) {
+		return fmt.Errorf("mar: bad use slug %q", s.Use)
+	}
+	if s.Uniform {
+		return fmt.Errorf("mar: uniform is only valid in protocol specs")
+	}
+	if len(s.Place) > MaxPlace {
+		return fmt.Errorf("mar: more than %d coalition positions", MaxPlace)
+	}
+	prev := 0
+	for _, pos := range s.Place {
+		if pos <= prev {
+			return fmt.Errorf("mar: coalition positions must be strictly increasing, got %v", s.Place)
+		}
+		prev = pos
+	}
+	return nil
+}
+
+// validateClause checks one clause's guard and actions.
+func validateClause(s *Spec, cl *Clause, regs map[string]bool, stateIdx map[string]int, recv bool) error {
+	if len(cl.Guard) > MaxConds {
+		return fmt.Errorf("mar: line %d: more than %d guard conditions", cl.Line, MaxConds)
+	}
+	if len(cl.Actions) > MaxActions {
+		return fmt.Errorf("mar: line %d: more than %d actions", cl.Line, MaxActions)
+	}
+	for _, cond := range cl.Guard {
+		if err := validateExpr(s, cond.Left, regs, recv, cl.Line); err != nil {
+			return err
+		}
+		if err := validateExpr(s, cond.Right, regs, recv, cl.Line); err != nil {
+			return err
+		}
+	}
+	for i, act := range cl.Actions {
+		control := act.Kind == ActGoto || act.Kind == ActTerminate || act.Kind == ActAbort
+		if control && i != len(cl.Actions)-1 {
+			return fmt.Errorf("mar: line %d: goto/terminate/abort must be a clause's last action", act.Line)
+		}
+		switch act.Kind {
+		case ActSet:
+			if !regs[act.Reg] {
+				return fmt.Errorf("mar: line %d: set to undeclared register %q", act.Line, act.Reg)
+			}
+		case ActGoto:
+			if _, ok := stateIdx[act.State]; !ok {
+				return fmt.Errorf("mar: line %d: goto to unknown state %q", act.Line, act.State)
+			}
+		}
+		for _, e := range []*Expr{act.A, act.B} {
+			if e == nil {
+				continue
+			}
+			if err := validateExpr(s, e, regs, recv, act.Line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateExpr resolves every identifier of one expression.
+func validateExpr(s *Spec, e *Expr, regs map[string]bool, recv bool, line int) error {
+	if e == nil {
+		return fmt.Errorf("mar: line %d: missing expression", line)
+	}
+	if e.Op == EIdent {
+		switch e.Ident {
+		case "n", "self", "received":
+		case "msg":
+			if !recv {
+				return fmt.Errorf("mar: line %d: msg is only available in receive clauses", line)
+			}
+		case "target":
+			if s.Kind != KindAdversary {
+				return fmt.Errorf("mar: line %d: target is only available in adversary specs", line)
+			}
+		default:
+			if !regs[e.Ident] {
+				return fmt.Errorf("mar: line %d: unknown identifier %q", line, e.Ident)
+			}
+		}
+	}
+	for _, sub := range []*Expr{e.L, e.R} {
+		if sub == nil {
+			continue
+		}
+		if err := validateExpr(s, sub, regs, recv, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateExhaustive checks one state's clause ordering: every receive
+// clause except the last must carry a guard (a mid-list catch-all makes
+// the rest dead), and the last must not (a guarded tail leaves messages
+// with no matching transition).
+func validateExhaustive(st *State) error {
+	for i, cl := range st.Recv {
+		last := i == len(st.Recv)-1
+		if !last && len(cl.Guard) == 0 {
+			return fmt.Errorf("mar: line %d: catch-all clause makes later clauses of state %q dead", cl.Line, st.Name)
+		}
+		if last && len(cl.Guard) != 0 {
+			return fmt.Errorf("mar: non-exhaustive transitions in state %q: the last receive clause still carries a guard (line %d)", st.Name, cl.Line)
+		}
+	}
+	return nil
+}
+
+// validateFlow checks the spec's state graph: every state must be
+// reachable from the start state, and every state that can process a
+// message must have a receive clause.
+func validateFlow(s *Spec, stateIdx map[string]int) error {
+	gotoTargets := func(st *State) []int {
+		var out []int
+		clauses := st.Recv
+		if st.Init != nil {
+			clauses = append([]*Clause{st.Init}, clauses...)
+		}
+		for _, cl := range clauses {
+			for _, act := range cl.Actions {
+				if act.Kind == ActGoto {
+					out = append(out, stateIdx[act.State])
+				}
+			}
+		}
+		return out
+	}
+	reachable := make([]bool, len(s.States))
+	gotoTarget := make([]bool, len(s.States))
+	queue := []int{0}
+	reachable[0] = true
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, j := range gotoTargets(s.States[i]) {
+			gotoTarget[j] = true
+			if !reachable[j] {
+				reachable[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for i, st := range s.States {
+		if !reachable[i] {
+			return fmt.Errorf("mar: unreachable state %q (line %d)", st.Name, st.Line)
+		}
+	}
+	// The start state handles receives unless its init unconditionally
+	// leaves (goto) or halts (terminate/abort) — and is never jumped back
+	// to.
+	start := s.States[0]
+	startLeaves := false
+	if start.Init != nil && len(start.Init.Actions) > 0 {
+		last := start.Init.Actions[len(start.Init.Actions)-1]
+		startLeaves = last.Kind == ActGoto || last.Kind == ActTerminate || last.Kind == ActAbort
+	}
+	for i, st := range s.States {
+		live := gotoTarget[i] || (i == 0 && !startLeaves)
+		if live && len(st.Recv) == 0 {
+			return fmt.Errorf("mar: state %q has unguarded receives: messages can arrive but no receive clause handles them (line %d)", st.Name, st.Line)
+		}
+		if !live && len(st.Recv) > 0 {
+			return fmt.Errorf("mar: receive clauses of state %q are dead: control never rests there (line %d)", st.Name, st.Line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package mardsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]string{
+		"adversary without use": "spec a\nkind adversary\nstate s:\n  on recv:\n    drop\n",
+		"uniform adversary":     "spec a\nkind adversary\nuse p\nuniform\nstate s:\n  on recv:\n    drop\n",
+		"protocol with use":     "spec a\nkind protocol\nuse p\nstate s:\n  on recv:\n    drop\n",
+		"protocol with place":   "spec a\nkind protocol\nplace 2\nstate s:\n  on recv:\n    drop\n",
+		"protocol with target":  "spec a\nkind protocol\ndefaults target=2\nstate s:\n  on recv:\n    drop\n",
+		"place not increasing":  "spec a\nkind adversary\nuse p\nplace 3 2\nstate s:\n  on recv:\n    drop\n",
+		"missing kind":          "spec a\nstate s:\n  on recv:\n    drop\n",
+		"no states":             "spec a\nkind protocol\n",
+		"unknown identifier":    "spec a\nkind protocol\nstate s:\n  on recv:\n    send bogus\n",
+		"set undeclared reg":    "spec a\nkind protocol\nstate s:\n  on recv:\n    set x = 3\n",
+		"goto unknown state":    "spec a\nkind protocol\nstate s:\n  on recv:\n    goto elsewhere\n",
+		"msg in init":           "spec a\nkind protocol\nstate s:\n  init:\n    send msg\n  on recv:\n    drop\n",
+		"target in protocol":    "spec a\nkind protocol\nstate s:\n  on recv:\n    send target\n",
+		"control not last":      "spec a\nkind protocol\nstate s:\n  on recv:\n    abort\n    send 1\n",
+		"init in later state":   "spec a\nkind protocol\nstate s:\n  on recv:\n    goto u\nstate u:\n  init:\n    drop\n  on recv:\n    drop\n",
+		"unreachable state":     "spec a\nkind protocol\nstate s:\n  on recv:\n    drop\nstate island:\n  on recv:\n    drop\n",
+		"unguarded receives":    "spec a\nkind protocol\nstate s:\n  init:\n    send 1\n",
+		"dead clauses":          "spec a\nkind protocol\nstate s:\n  init:\n    goto u\n  on recv:\n    drop\nstate u:\n  on recv:\n    drop\n",
+		"non-exhaustive":        "spec a\nkind protocol\nstate s:\n  on recv when msg == 0:\n    drop\n",
+		"mid catch-all":         "spec a\nkind protocol\nstate s:\n  on recv:\n    drop\n  on recv when msg == 0:\n    drop\n",
+	}
+	for name, src := range cases {
+		spec, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: should parse, got %v", name, err)
+			continue
+		}
+		if err := Validate(spec); err == nil {
+			t.Errorf("%s: validate unexpectedly succeeded", name)
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := map[string]string{
+		"basic lead":             basicLeadSrc,
+		"basic single":           basicSingleSrc,
+		"terminating start init": "spec a\nkind protocol\nstate s:\n  init:\n    terminate 1\n",
+		"goto chain":             "spec a\nkind protocol\nstate s:\n  on recv:\n    goto u\nstate u:\n  on recv:\n    terminate 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Load(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// exhaustiveOracle re-derives the guard-exhaustiveness property straight
+// from the parsed AST, independently of the validator's own walk: in every
+// state, exactly the last receive clause is a catch-all.
+func exhaustiveOracle(s *Spec) bool {
+	for _, st := range s.States {
+		for i, cl := range st.Recv {
+			if (len(cl.Guard) == 0) != (i == len(st.Recv)-1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// specTokens lexes a spec into per-line token lists, the substrate the
+// mutation test perturbs.
+func specTokens(t *testing.T, src string) [][]string {
+	t.Helper()
+	var lines [][]string
+	for i, raw := range strings.Split(src, "\n") {
+		if j := strings.IndexByte(raw, '#'); j >= 0 {
+			raw = raw[:j]
+		}
+		toks, err := lexLine(i+1, raw)
+		if err != nil {
+			t.Fatalf("lex line %d: %v", i+1, err)
+		}
+		if len(toks) > 0 {
+			lines = append(lines, toks)
+		}
+	}
+	return lines
+}
+
+// assemble joins token lines back into source text. Tokens are
+// whitespace-separated, which the lexer treats identically to the original
+// spacing.
+func assemble(lines [][]string) string {
+	parts := make([]string, len(lines))
+	for i, toks := range lines {
+		parts[i] = strings.Join(toks, " ")
+	}
+	return strings.Join(parts, "\n")
+}
+
+// mutate applies f to a deep copy of lines and returns the reassembled
+// source.
+func mutate(lines [][]string, f func([][]string) [][]string) string {
+	cp := make([][]string, len(lines))
+	for i, toks := range lines {
+		cp[i] = append([]string(nil), toks...)
+	}
+	return assemble(f(cp))
+}
+
+// TestValidatorRejectsExhaustivenessMutants is the mutation property: every
+// single-token mutation of a valid spec that still parses but breaks guard
+// exhaustiveness (per the independent oracle) must be rejected by Validate.
+// Mutation classes: replace one token with another from the spec's own
+// vocabulary, delete one token, and delete one whole line (deleting a
+// catch-all clause header folds its actions into the preceding guarded
+// clause — the classic way to lose exhaustiveness without losing
+// parseability).
+func TestValidatorRejectsExhaustivenessMutants(t *testing.T) {
+	for _, src := range []string{basicLeadSrc, basicSingleSrc} {
+		lines := specTokens(t, src)
+
+		// The reassembled original must still be a valid spec, or the
+		// harness itself is broken.
+		base, err := Parse(assemble(lines))
+		if err != nil {
+			t.Fatalf("reassembled original does not parse: %v", err)
+		}
+		if !exhaustiveOracle(base) {
+			t.Fatalf("oracle rejects the original spec")
+		}
+		if err := Validate(base); err != nil {
+			t.Fatalf("reassembled original does not validate: %v", err)
+		}
+
+		vocabSet := map[string]bool{"when": true, "and": true, "==": true, "<": true, "0": true}
+		for _, toks := range lines {
+			for _, tok := range toks {
+				vocabSet[tok] = true
+			}
+		}
+		var vocab []string
+		for tok := range vocabSet {
+			vocab = append(vocab, tok)
+		}
+
+		var mutants []string
+		for i := range lines {
+			i := i
+			mutants = append(mutants, mutate(lines, func(cp [][]string) [][]string {
+				return append(cp[:i], cp[i+1:]...)
+			}))
+			for j := range lines[i] {
+				j := j
+				mutants = append(mutants, mutate(lines, func(cp [][]string) [][]string {
+					cp[i] = append(cp[i][:j], cp[i][j+1:]...)
+					return cp
+				}))
+				for _, tok := range vocab {
+					if tok == lines[i][j] {
+						continue
+					}
+					tok := tok
+					mutants = append(mutants, mutate(lines, func(cp [][]string) [][]string {
+						cp[i][j] = tok
+						return cp
+					}))
+				}
+			}
+		}
+
+		breaking, escaped := 0, 0
+		for _, m := range mutants {
+			spec, err := Parse(m)
+			if err != nil {
+				continue // rejected at parse time
+			}
+			if exhaustiveOracle(spec) {
+				continue // property intact; not this test's concern
+			}
+			breaking++
+			if Validate(spec) == nil {
+				escaped++
+				t.Errorf("mutant breaks exhaustiveness but validates:\n%s", m)
+			}
+		}
+		if breaking == 0 {
+			t.Errorf("no parseable exhaustiveness-breaking mutants generated (%d mutants total) — the property test is vacuous", len(mutants))
+		}
+		t.Logf("%s: %d mutants, %d broke exhaustiveness, %d escaped", base.Name, len(mutants), breaking, escaped)
+	}
+}

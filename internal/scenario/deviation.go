@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/attacks"
 	"repro/internal/engine"
@@ -139,10 +140,12 @@ func (f DeviationFamily) applies(topology, protocol string) bool {
 	return false
 }
 
-// Family registry. Registration is init-time only, exactly like the
-// scenario registry; afterwards every accessor is read-only and safe for
-// concurrent use.
+// Family registry. The paper's families are registered at init time;
+// runtime registration (compiled MAR adversaries, see
+// RegisterDeviationFamily) can extend the catalog afterwards, so famMu
+// guards both maps against concurrent reads.
 var (
+	famMu          sync.RWMutex
 	familyRegistry = map[string]DeviationFamily{}
 	familyNames    []string
 )
@@ -150,24 +153,37 @@ var (
 // registerFamily adds a deviation family to the catalog, panicking on
 // malformed or duplicate entries (init-time failure should be loud).
 func registerFamily(f DeviationFamily) {
+	if err := tryRegisterFamily(f); err != nil {
+		panic(err.Error())
+	}
+}
+
+// tryRegisterFamily validates and inserts one family, the error-returning
+// core shared by init-time registration and the runtime hook.
+func tryRegisterFamily(f DeviationFamily) error {
 	switch {
 	case f.Name == "":
-		panic("scenario: registering unnamed deviation family")
+		return fmt.Errorf("scenario: registering unnamed deviation family")
 	case f.Plan == nil:
-		panic(fmt.Sprintf("scenario: family %s has no plan function", f.Name))
+		return fmt.Errorf("scenario: family %s has no plan function", f.Name)
 	case f.Name == FamilyIdentity || f.Name == FamilySelf:
-		panic(fmt.Sprintf("scenario: family name %s is reserved", f.Name))
+		return fmt.Errorf("scenario: family name %s is reserved", f.Name)
 	}
+	famMu.Lock()
+	defer famMu.Unlock()
 	if _, dup := familyRegistry[f.Name]; dup {
-		panic(fmt.Sprintf("scenario: duplicate registration of family %s", f.Name))
+		return fmt.Errorf("scenario: duplicate registration of family %s", f.Name)
 	}
 	familyRegistry[f.Name] = f
 	familyNames = append(familyNames, f.Name)
 	sort.Strings(familyNames)
+	return nil
 }
 
 // Families returns every registered deviation family, sorted by name.
 func Families() []DeviationFamily {
+	famMu.RLock()
+	defer famMu.RUnlock()
 	out := make([]DeviationFamily, len(familyNames))
 	for i, name := range familyNames {
 		out[i] = familyRegistry[name]
@@ -177,6 +193,8 @@ func Families() []DeviationFamily {
 
 // FindFamily returns the named deviation family.
 func FindFamily(name string) (DeviationFamily, bool) {
+	famMu.RLock()
+	defer famMu.RUnlock()
 	f, ok := familyRegistry[name]
 	return f, ok
 }

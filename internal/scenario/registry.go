@@ -4,43 +4,59 @@ import (
 	"fmt"
 	"regexp"
 	"sort"
+	"sync"
 )
 
-// registry holds every registered scenario, keyed by name. Registration is
-// init-time only; names is kept sorted by register, so every accessor is
-// read-only afterwards and safe for concurrent use.
+// registry holds every registered scenario, keyed by name. The catalog is
+// built at init time, but runtime registration (compiled MAR specs, see
+// RegisterRingScenario) can extend it afterwards; regMu guards both maps
+// so late registrations stay safe against concurrent catalog reads.
 var (
+	regMu    sync.RWMutex
 	registry = map[string]Scenario{}
 	names    []string
 )
 
-// register adds a scenario to the catalog. It panics on duplicate or
-// malformed entries: registration happens at init time and a broken catalog
-// should fail loudly.
+// register adds a scenario to the catalog, panicking on duplicate or
+// malformed entries: init-time registration of a broken catalog should
+// fail loudly.
 func register(s Scenario) {
+	if err := tryRegister(s); err != nil {
+		panic(err.Error())
+	}
+}
+
+// tryRegister validates and inserts one scenario, the error-returning
+// core shared by init-time registration and the runtime hooks.
+func tryRegister(s Scenario) error {
 	switch {
 	case s.Name == "":
-		panic("scenario: registering unnamed scenario")
+		return fmt.Errorf("scenario: registering unnamed scenario")
 	case s.Topology == "" || s.Protocol == "" || s.Scheduler == "":
-		panic(fmt.Sprintf("scenario: %s missing topology/protocol/scheduler", s.Name))
+		return fmt.Errorf("scenario: %s missing topology/protocol/scheduler", s.Name)
 	case s.N < 2 || s.Trials < 1:
-		panic(fmt.Sprintf("scenario: %s has bad defaults n=%d trials=%d", s.Name, s.N, s.Trials))
+		return fmt.Errorf("scenario: %s has bad defaults n=%d trials=%d", s.Name, s.N, s.Trials)
 	case s.run == nil:
-		panic(fmt.Sprintf("scenario: %s has no run function", s.Name))
+		return fmt.Errorf("scenario: %s has no run function", s.Name)
 	}
 	if s.MinN == 0 {
 		s.MinN = 2
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[s.Name]; dup {
-		panic(fmt.Sprintf("scenario: duplicate registration of %s", s.Name))
+		return fmt.Errorf("scenario: duplicate registration of %s", s.Name)
 	}
 	registry[s.Name] = s
 	names = append(names, s.Name)
 	sort.Strings(names)
+	return nil
 }
 
 // All returns every registered scenario, sorted by name.
 func All() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	out := make([]Scenario, len(names))
 	for i, name := range names {
 		out[i] = registry[name]
@@ -50,6 +66,8 @@ func All() []Scenario {
 
 // Find returns the named scenario.
 func Find(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	s, ok := registry[name]
 	return s, ok
 }
@@ -57,7 +75,7 @@ func Find(name string) (Scenario, bool) {
 // MustFind is Find for callers with a static name (the harness experiments);
 // it panics on a missing entry.
 func MustFind(name string) Scenario {
-	s, ok := registry[name]
+	s, ok := Find(name)
 	if !ok {
 		panic(fmt.Sprintf("scenario: no registered scenario %q", name))
 	}

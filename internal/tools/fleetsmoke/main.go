@@ -28,6 +28,9 @@ import (
 	"regexp"
 	"time"
 
+	// Imported for its registrations: the in-process registry must
+	// match the daemon's catalog, which embeds the MAR spec twins.
+	_ "repro/internal/mardsl/marlib"
 	"repro/internal/scenario"
 	"repro/internal/service"
 )

@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"repro/internal/mardsl"
+	"repro/internal/mardsl/marlib"
+)
+
+// The MAR protocol/adversary DSL: compact text specs for per-processor
+// state machines that compile onto the same arena hot path as the native
+// implementations. Importing this package registers the embedded spec'd
+// twins (mar-basic-lead, mar-basic-single) in the scenario catalog; see
+// ARCHITECTURE.md for the spec grammar.
+
+// RegisterSpec compiles one MAR spec — protocol or adversary — and
+// registers it in the scenario catalog, returning the names of the
+// scenarios it created: "ring/<name>/{fifo,lifo,random}" for a protocol,
+// "ring/<use>/attack=<name>" (plus the deviation family "<name>") for an
+// adversary. Registered specs ride the normal catalog plumbing: Scenarios,
+// RunScenario, Certify, and the service daemon serve them unchanged. Name
+// collisions are rejected before anything is registered.
+func RegisterSpec(src string) ([]string, error) {
+	return marlib.Register(src)
+}
+
+// GenerateAdversarySpec emits a grammar-random MAR adversary spec against
+// the native Basic-LEAD protocol, fully determined by the seed. Every
+// generated spec registers cleanly through RegisterSpec; distinct seeds
+// yield distinct spec names, so fleets of generated adversaries can share
+// one catalog.
+func GenerateAdversarySpec(seed int64) string {
+	return mardsl.GenerateAdversary(seed)
+}
+
+// GenerateProtocolSpec emits a grammar-random MAR protocol spec —
+// Basic-LEAD-shaped with drawn arithmetic variations — fully determined by
+// the seed. Every generated spec registers cleanly through RegisterSpec.
+func GenerateProtocolSpec(seed int64) string {
+	return mardsl.GenerateProtocol(seed)
+}
+
+// EmbeddedSpecSources returns the bundled MAR spec texts (the compiled
+// twins of Basic-LEAD and the Claim B.1 attack) in registration order.
+// They register automatically on import; the sources are exported as
+// reference specs and fuzz corpus.
+func EmbeddedSpecSources() []string {
+	return marlib.EmbeddedSources()
+}
