@@ -17,11 +17,14 @@ race:
 
 # docs-check is the documentation floor: vet must be clean, every package
 # (internal/, cmd/, examples/ and the root) must carry a package doc
-# comment, and every exported identifier of the public root API must carry
-# a doc comment. CI runs this on every push.
+# comment, every exported identifier of the public root API must carry a
+# doc comment, and new exported root functions must take at most three
+# positional parameters (spec/options structs beyond that; deprecated
+# wrappers and //doccheck:allow-positional waivers exempt). CI runs this on
+# every push.
 docs-check:
 	$(GO) vet ./...
-	$(GO) run ./internal/tools/doccheck -pkgdoc . .
+	$(GO) run ./internal/tools/doccheck -pkgdoc . -apicheck . .
 
 check: build docs-check test race
 
@@ -78,8 +81,9 @@ bench-tagged:
 	BENCH_TAG=$(TAG) ./bench.sh
 
 # bench-gate guards against performance regressions: it re-times the gate
-# benchmarks (E1, E9, E11) and fails if their ns/op geomean regressed more
-# than 15% against the committed BENCH baseline (BENCH_BASELINE overrides
+# benchmarks (E1, E9, E11, Committee10k) and fails if their ns/op geomean
+# regressed more than 15% against the committed BENCH baseline
+# (BENCH_BASELINE overrides
 # the default, the newest committed BENCH_*.txt). CI runs it on every push.
 bench-gate:
 	$(GO) run ./internal/tools/benchgate -baseline "$(BENCH_BASELINE)"

@@ -104,14 +104,31 @@ func TestConstructorAPISurface(t *testing.T) {
 		}
 	}
 
-	// The attack path stays runnable through the Opts variant.
-	dist, err := AttackTrialsOpts(context.Background(), 8, NewBasicLead(),
-		NewBasicSingleAttack(), 1, 3, 16, TrialOptions{Workers: 2})
+	// The spec-struct entry point is the attack path.
+	spec := AttackSpec{N: 8, Protocol: NewBasicLead(), Attack: NewBasicSingleAttack(), Target: 1, Seed: 3}
+	dist, err := RunAttackTrials(context.Background(), spec, 16, TrialOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dist.Trials != 16 {
 		t.Fatalf("attack batch ran %d trials, want 16", dist.Trials)
+	}
+
+	// The deprecated positional wrappers stay thin: bit-identical to the
+	// spec-struct entry point.
+	legacy, err := AttackTrialsOpts(context.Background(), 8, NewBasicLead(),
+		NewBasicSingleAttack(), 1, 3, 16, TrialOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Trials != dist.Trials || legacy.Failures() != dist.Failures() {
+		t.Fatalf("deprecated wrapper diverged: %d/%d trials, %d/%d failures",
+			legacy.Trials, dist.Trials, legacy.Failures(), dist.Failures())
+	}
+	for i := range dist.Counts {
+		if legacy.Counts[i] != dist.Counts[i] {
+			t.Fatalf("deprecated wrapper count[%d] = %d, want %d", i, legacy.Counts[i], dist.Counts[i])
+		}
 	}
 }
 

@@ -20,7 +20,7 @@ stem="BENCH_${date}${BENCH_TAG:+_${BENCH_TAG}}"
 json_out="${stem}.json"
 txt_out="${stem}.txt"
 
-go test -run '^$' -bench 'E[0-9]+|BenchmarkTrials(Sequential|Parallel)|BenchmarkArenaTrial' -benchmem -json "$@" . >"$json_out"
+go test -run '^$' -bench 'E[0-9]+|BenchmarkTrials(Sequential|Parallel)|BenchmarkArenaTrial|BenchmarkCommittee(10|50)k' -benchmem -json "$@" . >"$json_out"
 
 # The JSON stream is the artifact; derive the human-readable summary from it
 # rather than running the suite twice.

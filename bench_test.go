@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/attacks"
 	"repro/internal/classic"
+	"repro/internal/committee"
 	"repro/internal/conc"
 	"repro/internal/fullnet"
 	"repro/internal/harness"
@@ -177,6 +178,54 @@ func benchProtocol(b *testing.B, proto ring.Protocol, sizes []int) {
 			b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
 		})
 	}
+}
+
+// BenchmarkCommittee10k is the hierarchical-election gate benchmark: one
+// full committee-sharded trial at n=10,000 (≈ 100 groups of ≈ 100 running
+// A-LEADuni, composed through the delegate ring) per iteration, on a
+// recycled runner. It tracks the Θ(n√n) message bill that makes 10⁴–10⁵
+// rings tractable where a flat election's Θ(n²) is not.
+func BenchmarkCommittee10k(b *testing.B) {
+	e, err := committee.New(10000, committee.InnerALead)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := e.Runner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed {
+			b.Fatalf("trial %d failed: %v", i, res.Reason)
+		}
+	}
+	b.ReportMetric(float64(e.MessagesPerTrial()), "msgs/op")
+}
+
+// BenchmarkCommittee50k is the same trial at the roadmap's upper target
+// n=50,000 (≈ 223 groups of ≈ 224): per-trial time here × 1000 / workers
+// bounds the 1k-trial batch the nightly smoke runs in wall-clock minutes.
+func BenchmarkCommittee50k(b *testing.B) {
+	e, err := committee.New(50000, committee.InnerALead)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := e.Runner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed {
+			b.Fatalf("trial %d failed: %v", i, res.Reason)
+		}
+	}
+	b.ReportMetric(float64(e.MessagesPerTrial()), "msgs/op")
 }
 
 func BenchmarkBasicLeadHonest(b *testing.B) {

@@ -91,6 +91,42 @@ func TestGoldenBasicLeadTable(t *testing.T) {
 	checkGolden(t, "certify_basiclead.table.golden", out.Bytes())
 }
 
+// TestGoldenCommitteeTable pins the committee-sharded family's
+// certification surface: honest composition certifies fair for both inner
+// disciplines, the delegate-rush coalition certifies exploitable against
+// the Basic-LEAD inner ring (gain ≈ 1) and fair against A-LEADuni (the
+// buffered circulation stalls the rush instead of electing its target).
+func TestGoldenCommitteeTable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-match", "^committee/", "-seed", "20180516", "-format", "table", "-v"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	verdicts := map[string]string{
+		"committee/basic-lead/fifo":                 "fair",
+		"committee/a-lead/fifo":                     "fair",
+		"committee/basic-lead/attack=delegate-rush": "exploitable",
+		"committee/a-lead/attack=delegate-rush":     "fair",
+	}
+	for name, want := range verdicts {
+		line := ""
+		for _, l := range strings.Split(got, "\n") {
+			if strings.Contains(l, name+" ") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no row for %s in:\n%s", name, got)
+		}
+		if !strings.Contains(line, want) {
+			t.Errorf("%s verdict is not %q: %s", name, want, line)
+		}
+	}
+	checkGolden(t, "certify_committee.table.golden", out.Bytes())
+}
+
 // TestWorkersDoNotMoveOutput is the CLI-level determinism check: the same
 // sweep at -workers 1 and -workers 3 renders byte-identical output.
 func TestWorkersDoNotMoveOutput(t *testing.T) {

@@ -1,18 +1,23 @@
 // Command fleload is a load generator for a fleserve daemon or fleet. It
-// drives a configurable mix of cached replays, fresh simulation jobs, and
-// certification sweeps at a target request rate, then reports throughput,
-// cache hit rate, and latency quantiles as JSON.
+// drives a configurable mix of cached replays, fresh simulation jobs,
+// certification sweeps, and committee-class elections at a target request
+// rate, then reports throughput, cache hit rate, and latency quantiles as
+// JSON.
 //
 // Usage:
 //
-//	fleload -target URL [-requests N] [-rate R] [-mix C:F:Z]
+//	fleload -target URL [-requests N] [-rate R] [-mix C:F:Z:M]
 //	        [-scenario S] [-n N] [-trials T] [-seed S] [-out FILE]
 //
-// The mix is weights, not a schedule: "8:1:1" means out of every ten
+// The mix is weights, not a schedule: "8:1:1:2" means out of every twelve
 // requests eight replay one pre-warmed identity (cached), one submits a
-// never-seen seed (fresh engine work), and one runs a small certification
-// sweep. The interleave is deterministic in the request index, so two runs
-// against equal daemons issue the identical request sequence.
+// never-seen seed (fresh engine work), one runs a small certification
+// sweep, and two run a committee-sharded election batch (the fleet's
+// heavyweight class: a fresh seed each, against -committee-scenario at
+// -committee-n). Missing trailing components are zero, so the pre-existing
+// three-part mixes keep their meaning. The interleave is deterministic in
+// the request index, so two runs against equal daemons issue the identical
+// request sequence.
 //
 // Latency is time to a terminal job state: for cached requests that is the
 // submit round trip (the daemon replays from cache inline); for fresh and
@@ -49,10 +54,11 @@ const (
 	classCached = iota
 	classFresh
 	classCertify
+	classCommittee
 	numClasses
 )
 
-var classNames = [numClasses]string{"cached", "fresh", "certify"}
+var classNames = [numClasses]string{"cached", "fresh", "certify", "committee"}
 
 // Report is the JSON artifact fleload emits.
 type Report struct {
@@ -92,9 +98,11 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		target   = fs.String("target", "", "daemon URL to load (required), e.g. http://127.0.0.1:8080")
 		requests = fs.Int("requests", 100, "total requests to issue")
 		rate     = fs.Float64("rate", 25, "target request rate per second")
-		mix      = fs.String("mix", "8:1:1", "cached:fresh:certify request weights")
+		mix      = fs.String("mix", "8:1:1", "cached:fresh:certify:committee request weights")
 		scen     = fs.String("scenario", "ring/basic-lead/fifo", "scenario for cached and fresh jobs")
 		n        = fs.Int("n", 8, "network size")
+		commScen = fs.String("committee-scenario", "committee/basic-lead/fifo", "scenario for committee-class jobs")
+		commN    = fs.Int("committee-n", 1024, "network size for committee-class jobs")
 		trials   = fs.Int("trials", 2000, "trials per job")
 		seed     = fs.Int64("seed", 1, "base seed; fresh jobs use seed+1, seed+2, ...")
 		outPath  = fs.String("out", "", "write the JSON report here instead of stdout")
@@ -123,6 +131,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 
 	cachedReq := service.JobRequest{Scenario: *scen, N: *n, Trials: *trials, Seed: *seed}
 	certReq := service.CertRequest{Scenario: *scen, N: *n, Trials: *trials, MaxK: 1, Seed: *seed}
+	committeeReq := service.JobRequest{Scenario: *commScen, N: *commN, Trials: *trials, Seed: *seed}
 
 	// Pre-warm the cached identity so classCached requests measure replay,
 	// not the first computation. Untimed by design.
@@ -167,6 +176,12 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 			if err == nil {
 				_, err = client.WaitCert(ctx, states[0].ID)
 			}
+		case classCommittee:
+			// Fresh seeds so every committee request is real hierarchical
+			// simulation work, never a cache replay.
+			committee := committeeReq
+			committee.Seed = *seed + 1 + int64(i)
+			err = submitAndWait(ctx, client, committee)
 		}
 		record(class, time.Since(start), err)
 	}
@@ -261,12 +276,12 @@ func submitAndWait(ctx context.Context, client *service.Client, req service.JobR
 	return nil
 }
 
-// parseMix parses "C:F:Z" weights; missing trailing components are zero.
+// parseMix parses "C:F:Z:M" weights; missing trailing components are zero.
 func parseMix(s string) ([numClasses]int, error) {
 	var w [numClasses]int
 	parts := strings.Split(s, ":")
 	if len(parts) == 0 || len(parts) > numClasses {
-		return w, fmt.Errorf("mix %q: want cached:fresh:certify", s)
+		return w, fmt.Errorf("mix %q: want cached:fresh:certify:committee", s)
 	}
 	total := 0
 	for i, p := range parts {

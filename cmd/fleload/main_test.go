@@ -35,8 +35,9 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 		"-target", ts.URL,
 		"-requests", "20",
 		"-rate", "200",
-		"-mix", "6:3:1",
+		"-mix", "5:2:1:2",
 		"-trials", "500",
+		"-committee-n", "256",
 		"-out", outFile,
 	}, &stdout, &stderr)
 	if err != nil {
@@ -61,11 +62,12 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 	if total != 20 {
 		t.Fatalf("per-class counts sum to %d, want 20", total)
 	}
-	// Mix 6:3:1 over 20 requests tiles exactly twice: 12/6/2.
-	if rep.PerClassCounts["cached"] != 12 || rep.PerClassCounts["fresh"] != 6 || rep.PerClassCounts["certify"] != 2 {
-		t.Fatalf("mix split %v, want 12/6/2", rep.PerClassCounts)
+	// Mix 5:2:1:2 over 20 requests tiles exactly twice: 10/4/2/4.
+	if rep.PerClassCounts["cached"] != 10 || rep.PerClassCounts["fresh"] != 4 ||
+		rep.PerClassCounts["certify"] != 2 || rep.PerClassCounts["committee"] != 4 {
+		t.Fatalf("mix split %v, want 10/4/2/4", rep.PerClassCounts)
 	}
-	for _, class := range []string{"cached", "fresh", "certify", "overall"} {
+	for _, class := range []string{"cached", "fresh", "certify", "committee", "overall"} {
 		q, ok := rep.Latency[class]
 		if !ok {
 			t.Fatalf("no quantiles for %s", class)
@@ -77,10 +79,10 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 	if rep.ThroughputRPS <= 0 {
 		t.Fatalf("throughput %f", rep.ThroughputRPS)
 	}
-	// 12 cached replays of one pre-warmed identity: the daemon must report
+	// 10 cached replays of one pre-warmed identity: the daemon must report
 	// cache hits, and the embedded stats must be the coordinator's.
-	if rep.Stats.Cache.Hits < 12 {
-		t.Fatalf("stats show %d cache hits, want >= 12", rep.Stats.Cache.Hits)
+	if rep.Stats.Cache.Hits < 10 {
+		t.Fatalf("stats show %d cache hits, want >= 10", rep.Stats.Cache.Hits)
 	}
 	if rep.Stats.Fleet.Role != service.RoleCoordinator {
 		t.Fatalf("embedded stats role %q", rep.Stats.Fleet.Role)
@@ -96,7 +98,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{}, // missing -target
 		{"-target", "x", "-mix", "0:0:0"},
 		{"-target", "x", "-mix", "a:b"},
-		{"-target", "x", "-mix", "1:1:1:1"},
+		{"-target", "x", "-mix", "1:1:1:1:1"},
 		{"-target", "x", "-requests", "0"},
 		{"-no-such-flag"},
 	}
@@ -108,12 +110,15 @@ func TestRunFlagValidation(t *testing.T) {
 }
 
 func TestPickClassTilesTheMix(t *testing.T) {
-	w := [numClasses]int{2, 1, 1}
+	w := [numClasses]int{2, 1, 1, 1}
 	var got []int
-	for i := 0; i < 8; i++ {
+	for i := 0; i < 10; i++ {
 		got = append(got, pickClass(i, w))
 	}
-	want := []int{classCached, classCached, classFresh, classCertify, classCached, classCached, classFresh, classCertify}
+	want := []int{
+		classCached, classCached, classFresh, classCertify, classCommittee,
+		classCached, classCached, classFresh, classCertify, classCommittee,
+	}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("pickClass sequence %v, want %v", got, want)

@@ -67,7 +67,8 @@ func run(args []string, out io.Writer) error {
 	if attack == nil {
 		dist, err = ring.TrialsOpts(context.Background(), ring.Spec{N: *n, Protocol: protocol, Seed: *seed}, *trials, opts)
 	} else {
-		dist, err = ring.AttackTrialsOpts(context.Background(), *n, protocol, attack, *target, *seed, *trials, opts)
+		spec := ring.AttackSpec{N: *n, Protocol: protocol, Attack: attack, Target: *target, Seed: *seed}
+		dist, err = ring.RunAttackTrials(context.Background(), spec, *trials, opts)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,159 @@
+package committee
+
+import (
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// The level-2 strategies: a ring of g delegates circulating secrets drawn
+// uniformly from [0, valRange) and terminating with the common residue
+// X = Σ secrets mod valRange — the winning-group selector, not a leader
+// index, so the output range is the full participant count rather than the
+// delegate ring's size. Flow control mirrors the inner discipline:
+// sumForward is Basic-LEAD's immediate forwarding, sumOrigin/sumBuffered are
+// A-LEADuni's pipe-and-buffer pair. All three are fully re-initialized by
+// Init, so one vector serves every trial of an engine chunk.
+
+// sumForward is one delegate of the immediate-forward circulation: send the
+// secret on wake-up, forward the first ring−1 receives, consume the last for
+// validation.
+type sumForward struct {
+	ring     int
+	valRange int
+	secret   int64
+	sum      int64
+	received int
+}
+
+var _ sim.Strategy = (*sumForward)(nil)
+
+func (p *sumForward) Init(ctx *sim.Context) {
+	p.sum, p.received = 0, 0
+	p.secret = ctx.Rand().Int63n(int64(p.valRange))
+	ctx.Send(p.secret)
+}
+
+func (p *sumForward) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, p.valRange)
+	p.received++
+	p.sum = ring.Mod(p.sum+value, p.valRange)
+	if p.received < p.ring {
+		ctx.Send(value)
+		return
+	}
+	if value != p.secret {
+		ctx.Abort()
+		return
+	}
+	ctx.Terminate(p.sum)
+}
+
+// sumOrigin is delegate 1 of the buffered circulation: a pipe that sends its
+// secret spontaneously and forwards without delay, exactly A-LEADuni's
+// origin role.
+type sumOrigin struct {
+	ring     int
+	valRange int
+	secret   int64
+	sum      int64
+	received int
+}
+
+var _ sim.Strategy = (*sumOrigin)(nil)
+
+func (o *sumOrigin) Init(ctx *sim.Context) {
+	o.sum, o.received = 0, 0
+	o.secret = ctx.Rand().Int63n(int64(o.valRange))
+	ctx.Send(o.secret)
+}
+
+func (o *sumOrigin) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, o.valRange)
+	o.received++
+	// value is reduced, so the raw sum stays ≤ g·n and one reduction at
+	// termination replaces one per message.
+	o.sum += value
+	if o.received < o.ring {
+		ctx.Send(value)
+		return
+	}
+	if value != o.secret {
+		ctx.Abort()
+		return
+	}
+	ctx.Terminate(ring.Mod(o.sum, o.valRange))
+}
+
+// sumBuffered is a non-origin delegate of the buffered circulation: a buffer
+// of size one initially holding its own secret, so its first outgoing
+// message commits it before it has learned anything — the property that
+// makes the buffered composition rush-resistant.
+type sumBuffered struct {
+	ring     int
+	valRange int
+	secret   int64
+	buffer   int64
+	sum      int64
+	received int
+}
+
+var _ sim.Strategy = (*sumBuffered)(nil)
+
+func (p *sumBuffered) Init(ctx *sim.Context) {
+	p.sum, p.received = 0, 0
+	p.secret = ctx.Rand().Int63n(int64(p.valRange))
+	p.buffer = p.secret
+}
+
+func (p *sumBuffered) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, p.valRange)
+	ctx.Send(p.buffer)
+	p.received++
+	p.buffer = value
+	p.sum += value // reduced once at termination; see sumOrigin
+	if p.received < p.ring {
+		return
+	}
+	if value != p.secret {
+		ctx.Abort()
+		return
+	}
+	ctx.Terminate(ring.Mod(p.sum, p.valRange))
+}
+
+// sumRush is the adversarial delegate: the Claim B.1 withhold-and-cancel
+// move lifted to the delegate circulation. It stays silent until it has
+// absorbed the other ring−1 secrets, then injects the value steering the
+// residue onto target and replays what it saw, so every honest delegate
+// completes its receives with its own secret last and validates. Against the
+// immediate-forward circulation this forces X = target with probability 1;
+// against the buffered circulation the withheld messages never release and
+// the ring stalls. Init truncates the receive log, so the strategy is safe
+// to reuse across batched trials.
+type sumRush struct {
+	ring     int
+	valRange int
+	target   int64 // the residue to force, in [0, valRange)
+	received []int64
+}
+
+var _ sim.Strategy = (*sumRush)(nil)
+
+func (a *sumRush) Init(*sim.Context) { a.received = a.received[:0] }
+
+func (a *sumRush) Receive(ctx *sim.Context, _ sim.ProcID, value int64) {
+	value = ring.Mod(value, a.valRange)
+	a.received = append(a.received, value)
+	if len(a.received) < a.ring-1 {
+		return
+	}
+	var sum int64
+	for _, v := range a.received {
+		sum = ring.Mod(sum+v, a.valRange)
+	}
+	ctx.Send(ring.Mod(a.target-sum, a.valRange))
+	for _, v := range a.received {
+		ctx.Send(v)
+	}
+	ctx.Terminate(a.target)
+}

@@ -124,10 +124,12 @@ type TrialOptions struct {
 	// Stop, if non-nil, halts the batch early once the rule returns true
 	// on a deterministic prefix of the distribution (see engine.Options).
 	Stop func(prefix *Distribution) bool
-	// Observe, if non-nil, receives each deterministic chunk-ordered
+	// Progress, if non-nil, receives each deterministic chunk-ordered
 	// prefix of the accumulating distribution as the batch runs (see
-	// engine.Options.Observe). The callback must not retain prefix.
-	Observe func(prefix *Distribution, trials int)
+	// engine.Options.Observe). The callback must not retain prefix. The
+	// field name matches scenario.Opts.Progress — every options struct on
+	// the batch path spells this hook the same way.
+	Progress func(prefix *Distribution, trials int)
 	// Arenas, if non-nil, draws worker arenas from a shared pool so
 	// simulation workspaces persist across batches (see engine.ArenaPool).
 	Arenas *engine.ArenaPool
@@ -138,7 +140,7 @@ func (o TrialOptions) engineOptions() engine.Options[*Distribution] {
 	opts := engine.Options[*Distribution]{
 		Workers: o.Workers,
 		Chunk:   o.Chunk,
-		Observe: o.Observe,
+		Observe: o.Progress,
 		Arenas:  o.Arenas,
 	}
 	if o.Stop != nil {
@@ -317,22 +319,57 @@ func (e *PlanError) Error() string { return fmt.Sprintf("plan %s (n=%d): %v", e.
 // Unwrap exposes the planner's error.
 func (e *PlanError) Unwrap() error { return e.Err }
 
-// AttackTrials plans the attack once per trial (attacks may randomize
-// placement from the trial seed) and aggregates outcomes. Trials run in
-// parallel on every CPU; use AttackTrialsOpts to tune workers,
-// cancellation, or early stopping.
-func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int) (*Distribution, error) {
-	return AttackTrialsOpts(context.Background(), n, protocol, attack, target, baseSeed, trials, TrialOptions{})
+// AttackSpec describes one attack-trial configuration: the batched
+// counterpart of Spec, naming the pieces AttackTrials used to take
+// positionally. The zero value is not runnable — N, Protocol and Attack are
+// required; Target and Seed default to 0 like their Spec counterparts.
+type AttackSpec struct {
+	// N is the ring size.
+	N int
+	// Protocol provides the honest strategies the coalition deviates from.
+	Protocol Protocol
+	// Attack plans the per-trial deviation.
+	Attack Attack
+	// Target is the leader the coalition tries to force.
+	Target int64
+	// Seed is the batch's base seed; trial t plans and runs with an
+	// independently mixed per-trial seed.
+	Seed int64
 }
 
-// AttackTrialsOpts is AttackTrials with a context and engine options. The
-// batch runs chunked (AttackChunkJob): when the protocol is Batchable, the
-// honest strategy vector is built once per chunk and each trial's freshly
-// planned deviation is overlaid on a per-worker copy, so only the
-// coalition's own strategy objects are constructed per trial.
+// RunAttackTrials plans the attack once per trial (attacks may randomize
+// placement from the trial seed) and aggregates outcomes over the batch.
+// The batch runs chunked on the parallel engine (AttackChunkJob): when the
+// protocol is Batchable, the honest strategy vector is built once per chunk
+// and each trial's freshly planned deviation is overlaid on a per-worker
+// copy, so only the coalition's own strategy objects are constructed per
+// trial. The zero TrialOptions uses every CPU with no early stopping; any
+// options yield the same distribution for a fixed spec.
+func RunAttackTrials(ctx context.Context, spec AttackSpec, trials int, opts TrialOptions) (*Distribution, error) {
+	job := AttackChunkJob(spec.N, spec.Protocol, spec.Attack, spec.Target, spec.Seed)
+	return engine.RunBatch(ctx, trials, job, distSink(spec.N), opts.engineOptions())
+}
+
+// AttackTrials runs an attack batch with default options.
+//
+// Deprecated: use RunAttackTrials with an AttackSpec; this positional form
+// is retained only so recorded experiment goldens keep their call sites. It
+// is a thin wrapper with bit-identical results.
+func AttackTrials(n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int) (*Distribution, error) {
+	return RunAttackTrials(context.Background(),
+		AttackSpec{N: n, Protocol: protocol, Attack: attack, Target: target, Seed: baseSeed},
+		trials, TrialOptions{})
+}
+
+// AttackTrialsOpts is AttackTrials with a context and engine options.
+//
+// Deprecated: use RunAttackTrials with an AttackSpec; this positional form
+// is retained only so recorded experiment goldens keep their call sites. It
+// is a thin wrapper with bit-identical results.
 func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, baseSeed int64, trials int, opts TrialOptions) (*Distribution, error) {
-	job := AttackChunkJob(n, protocol, attack, target, baseSeed)
-	return engine.RunBatch(ctx, trials, job, distSink(n), opts.engineOptions())
+	return RunAttackTrials(ctx,
+		AttackSpec{N: n, Protocol: protocol, Attack: attack, Target: target, Seed: baseSeed},
+		trials, opts)
 }
 
 // AttackChunkJob returns the batched engine job behind AttackTrialsOpts:

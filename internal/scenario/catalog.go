@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/classic"
+	"repro/internal/committee"
 	"repro/internal/engine"
 	"repro/internal/fullnet"
 	"repro/internal/protocols/alead"
@@ -114,6 +115,42 @@ func completeChunks(attack bool) chunksFunc {
 				}
 				for t := start; t < end; t++ {
 					res, err := runner.Run(trialSeed(seed, t), nil, arena)
+					if err != nil {
+						return t, err
+					}
+					add(res)
+				}
+				return 0, nil
+			}), nil
+	}
+}
+
+// committeeChunks runs the hierarchical committee-sharded election with the
+// given inner discipline, honestly or under the single delegate-rush
+// coalition steering the target's group and the winning-group residue.
+func committeeChunks(inner string, attack bool) chunksFunc {
+	return func(seed int64, p params) (engine.ChunkJob, error) {
+		e, err := committee.New(p.N, inner)
+		if err != nil {
+			return nil, err
+		}
+		// Chunked batch: one committee.Runner per chunk holds the private
+		// per-group-size arenas and reuses the inner strategy vectors across
+		// trials; the engine worker's own arena is unused (sub-networks are
+		// √n-sized, the worker arena is sized for flat n-rings).
+		return engine.ChunkFunc(
+			func(start, end int, _ *sim.Arena, add func(sim.Result)) (int, error) {
+				var runner *committee.Runner
+				if attack {
+					var err error
+					if runner, err = e.AttackRunner(p.Target); err != nil {
+						return start, err
+					}
+				} else {
+					runner = e.Runner()
+				}
+				for t := start; t < end; t++ {
+					res, err := runner.Run(trialSeed(seed, t))
 					if err != nil {
 						return t, err
 					}
@@ -367,6 +404,47 @@ func init() {
 			proto:     wk,
 			family:    "wakeup-rushing",
 		}, run, single)
+	}
+
+	// --- Hierarchical committee composition: √n-sized groups running a
+	// certified-fair inner protocol, composed through a delegate
+	// circulation. Uniform by construction (the level-2 residue selects
+	// group j with probability sizeⱼ/n), so the honest scenarios join the
+	// differential matrix; the delegate-rush attack inherits Claim B.1
+	// against Basic-LEAD groups and stalls against A-LEADuni groups.
+	for _, inner := range []string{committee.InnerBasic, committee.InnerALead} {
+		slug := "basic-lead"
+		honestNote := "committee-sharded Basic-LEAD: ⌊√n⌋ groups + delegate circulation, uniform but rushable"
+		attackNote := "the target group's delegate rushes both levels: Claim B.1 composes, forced w.p. 1"
+		if inner == committee.InnerALead {
+			slug = "a-lead"
+			honestNote = "committee-sharded A-LEADuni: ⌊√n⌋ buffered groups + buffered delegate circulation"
+			attackNote = "control: the same delegate-rush only stalls the buffered circulations (no bias)"
+		}
+		registerChunked(Scenario{
+			Name:      "committee/" + slug + "/fifo",
+			Topology:  "committee",
+			Protocol:  slug,
+			Scheduler: SchedFIFO,
+			N:         256,
+			MinN:      4,
+			Trials:    400,
+			Uniform:   true,
+			Note:      honestNote,
+		}, committeeChunks(inner, false))
+		registerChunked(Scenario{
+			Name:      "committee/" + slug + "/attack=delegate-rush",
+			Topology:  "committee",
+			Protocol:  slug,
+			Scheduler: SchedFIFO,
+			Attack:    "delegate-rush",
+			N:         256,
+			MinN:      4,
+			Trials:    40,
+			K:         1,
+			Target:    2,
+			Note:      attackNote,
+		}, committeeChunks(inner, true))
 	}
 
 	// --- Asynchronous complete graph with Shamir sharing (Section 1.1).

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// denseDistribution reruns a ring-simulator scenario's exact trial batch on
+// the dense reference interpreter (sim.DenseRun): same per-trial seed
+// derivation, same per-trial attack planning, an independently written event
+// loop. Schedule independence on the ring means the outcome distribution
+// must match the production sparse kernel's.
+func denseDistribution(t *testing.T, s Scenario, seed int64, n, trials int) *ring.Distribution {
+	t.Helper()
+	dist := ring.NewDistribution(n)
+	var proto ring.Protocol = s.proto
+	var atk ring.Attack
+	if s.Attack != "" {
+		fam, ok := FindFamily(s.family)
+		if !ok {
+			t.Fatalf("%s: no registered deviation family %q", s.Name, s.family)
+		}
+		if fam.Proto != nil {
+			proto = fam.Proto(n, proto)
+		}
+		var err error
+		if atk, err = fam.Plan(proto, s.K, s.mode); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		ts := ring.TrialSeed(seed, trial)
+		var dev *ring.Deviation
+		if atk != nil {
+			// Attack batches derive their per-trial seeds with the
+			// AttackChunkJob mix, not TrialSeed.
+			ts = int64(sim.Mix64(uint64(seed), uint64(trial)+0x9e37))
+			var err error
+			if dev, err = atk.Plan(n, s.Target, ts); err != nil {
+				t.Fatalf("%s trial %d: %v", s.Name, trial, err)
+			}
+		}
+		strategies, err := proto.Strategies(n)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if dev != nil {
+			if err := dev.Validate(n); err != nil {
+				t.Fatalf("%s trial %d: %v", s.Name, trial, err)
+			}
+			for p, strat := range dev.Strategies {
+				strategies[p-1] = strat
+			}
+		}
+		res, err := sim.DenseRun(sim.Config{
+			Strategies: strategies,
+			Edges:      sim.RingEdges(n),
+			Seed:       ts,
+		})
+		if err != nil {
+			t.Fatalf("%s trial %d: %v", s.Name, trial, err)
+		}
+		dist.Add(res)
+	}
+	return dist
+}
+
+// equalCells reports whether two contingency rows are identical.
+func equalCells(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDenseDifferentialRingScenarios is the sparse-vs-dense differential: for
+// every ring-simulator scenario (honest and attacked, ring and wake-up
+// topologies) that fits the test sizes, the production kernel's distribution
+// and the dense reference interpreter's must be statistically
+// indistinguishable under a chi-squared homogeneity test on leader counts
+// plus a FAIL cell. Fixed seeds make a flagged divergence a real kernel
+// behaviour difference, not noise.
+func TestDenseDifferentialRingScenarios(t *testing.T) {
+	sizes := []int{8, 32}
+	trials := 800
+	if testing.Short() {
+		sizes, trials = sizes[:1], 300
+	}
+	const seed = 20180516
+	const alpha = 1e-6
+	ctx := context.Background()
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			tested := 0
+			for _, s := range All() {
+				if s.proto == nil || s.Scheduler != SchedFIFO || n < s.MinN {
+					continue
+				}
+				out, err := s.RunOpts(ctx, seed, Opts{N: n, Trials: trials})
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name, err)
+				}
+				dense := denseDistribution(t, s, seed, n, trials)
+				cells := func(counts []int, failures int) []int {
+					c := make([]int, n+1)
+					copy(c, counts[1:])
+					c[n] = failures
+					return c
+				}
+				sparseCells := cells(out.Counts, out.Failures)
+				denseCells := cells(dense.Counts, dense.Failures())
+				// Fully forced attacks concentrate both columns on a single
+				// cell, which a chi-squared test cannot occupy; exact
+				// equality is the stronger agreement and settles those.
+				if !equalCells(sparseCells, denseCells) {
+					statistic, p, err := stats.ChiSquareHomogeneity(sparseCells, denseCells)
+					if err != nil {
+						t.Fatalf("%s: %v", s.Name, err)
+					}
+					if p < alpha {
+						t.Errorf("%s at n=%d: sparse and dense kernels disagree: χ²=%.2f p=%.3g",
+							s.Name, n, statistic, p)
+					}
+				}
+				tested++
+			}
+			if tested < 8 {
+				t.Fatalf("only %d ring scenarios fit n=%d, want ≥ 8", tested, n)
+			}
+			t.Logf("n=%d: %d scenarios agree over %d trials each", n, tested, trials)
+		})
+	}
+}

@@ -438,7 +438,8 @@ func (s Scenario) RunDeviation(ctx context.Context, seed int64, cand DeviationCa
 		if err != nil {
 			return nil, err
 		}
-		return ring.AttackTrialsOpts(ctx, p.N, proto, atk, cand.Target, seed, p.Trials, p.trialOptions())
+		spec := ring.AttackSpec{N: p.N, Protocol: proto, Attack: atk, Target: cand.Target, Seed: seed}
+		return ring.RunAttackTrials(ctx, spec, p.Trials, p.trialOptions())
 	}
 }
 

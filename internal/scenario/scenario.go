@@ -374,10 +374,10 @@ func engineBatch(ctx context.Context, p params, job engine.ChunkJob) (*ring.Dist
 }
 
 // trialOptions lowers the resolved params onto ring.TrialOptions, for the
-// run builders that route through ring.AttackTrialsOpts instead of
+// run builders that route through ring.RunAttackTrials instead of
 // engineTrials.
 func (p params) trialOptions() ring.TrialOptions {
-	opts := ring.TrialOptions{Workers: p.Workers, Observe: p.observe, Arenas: p.arenas}
+	opts := ring.TrialOptions{Workers: p.Workers, Progress: p.observe, Arenas: p.arenas}
 	if p.stop != nil {
 		stop := p.stop
 		opts.Stop = func(prefix *ring.Distribution) bool { return stop(prefix, prefix.Trials) }

@@ -1,0 +1,105 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/protocols/alead"
+	"repro/internal/protocols/basiclead"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// TestDenseMatchesNetworkOnRing pins the dense reference interpreter against
+// the production sparse kernel execution by execution: on the unidirectional
+// ring, per-link FIFO pins every local computation, so outcome AND message
+// accounting must agree exactly — not just in distribution.
+func TestDenseMatchesNetworkOnRing(t *testing.T) {
+	protos := []ring.Protocol{basiclead.New(), alead.New()}
+	for _, proto := range protos {
+		for _, n := range []int{2, 5, 8, 16} {
+			for seed := int64(0); seed < 20; seed++ {
+				want, err := ring.Run(ring.Spec{N: n, Protocol: proto, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				strategies, err := proto.Strategies(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.DenseRun(sim.Config{
+					Strategies: strategies,
+					Edges:      sim.RingEdges(n),
+					Seed:       seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Failed != want.Failed || got.Reason != want.Reason ||
+					got.Output != want.Output || got.Delivered != want.Delivered ||
+					got.Dropped != want.Dropped {
+					t.Fatalf("%s n=%d seed=%d: dense %+v vs network %+v",
+						proto.Name(), n, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDenseValidation(t *testing.T) {
+	ok := func(n int) []sim.Strategy {
+		s, err := basiclead.New().Strategies(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []sim.Config{
+		{},
+		{Strategies: []sim.Strategy{nil, nil}, Edges: sim.RingEdges(2)},
+		{Strategies: ok(2), Edges: []sim.Edge{{From: 1, To: 3}}},
+		{Strategies: ok(2), Edges: []sim.Edge{{From: 1, To: 1}}},
+		{Strategies: ok(2), Edges: []sim.Edge{{From: 1, To: 2}, {From: 1, To: 2}}},
+	}
+	for i, cfg := range cases {
+		if _, err := sim.DenseRun(cfg); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+// pingPong forwards forever: the execution that models running out of the
+// delivery budget.
+type pingPong struct{}
+
+func (pingPong) Init(ctx *sim.Context)                           { ctx.Send(1) }
+func (pingPong) Receive(ctx *sim.Context, _ sim.ProcID, v int64) { ctx.Send(v) }
+
+// silent never sends and never terminates: instant quiescence, a stall.
+type silent struct{}
+
+func (silent) Init(*sim.Context)                       {}
+func (silent) Receive(*sim.Context, sim.ProcID, int64) {}
+
+func TestDenseFailureClassification(t *testing.T) {
+	res, err := sim.DenseRun(sim.Config{
+		Strategies: []sim.Strategy{pingPong{}, pingPong{}},
+		Edges:      sim.RingEdges(2),
+		StepLimit:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != sim.FailStepLimit {
+		t.Fatalf("ping-pong: %+v, want step-limit", res)
+	}
+	res, err = sim.DenseRun(sim.Config{
+		Strategies: []sim.Strategy{silent{}, silent{}},
+		Edges:      sim.RingEdges(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != sim.FailStall {
+		t.Fatalf("silent: %+v, want stall", res)
+	}
+}

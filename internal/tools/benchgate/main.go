@@ -30,11 +30,13 @@ import (
 )
 
 // gateBenchmarks are the tracked benchmarks: experiment E1 (Basic-LEAD
-// single adversary), E9 (sum-phase attack), E11 (tree impossibility).
+// single adversary), E9 (sum-phase attack), E11 (tree impossibility), and
+// the committee-sharded election at n=10,000.
 var gateBenchmarks = []string{
 	"BenchmarkE1BasicLeadSingleAdversary",
 	"BenchmarkE9SumPhaseAttack",
 	"BenchmarkE11TreeImpossibility",
+	"BenchmarkCommittee10k",
 }
 
 func main() {

@@ -1,15 +1,23 @@
 // Command doccheck enforces the repository's documentation floor. It has
-// two checks, both pure go/ast analysis with no dependencies:
+// three checks, all pure go/ast analysis with no dependencies:
 //
 //   - every package reachable under the roots passed via -pkgdoc must carry
 //     a package doc comment (the ARCHITECTURE.md acceptance bar: all of
 //     internal/ plus the root package);
 //   - every exported top-level identifier in the directories passed as
-//     positional arguments (the public API) must carry a doc comment.
+//     positional arguments (the public API) must carry a doc comment;
+//   - every exported top-level function in the directories passed via
+//     -apicheck must take at most three positional parameters (a leading
+//     context.Context is free), so new root entry points grow spec/options
+//     structs instead of positional tails. Functions whose doc comment
+//     carries a "Deprecated:" paragraph are exempt (the legacy wrappers
+//     being migrated away from are the rule's reason to exist), and a
+//     //doccheck:allow-positional directive in the doc comment grants an
+//     explicit waiver.
 //
 // Usage:
 //
-//	go run ./internal/tools/doccheck [-pkgdoc root]... [dir]...
+//	go run ./internal/tools/doccheck [-pkgdoc root]... [-apicheck dir]... [dir]...
 //
 // Exit status is non-zero if any check fails; each failure is reported as
 // file:line so editors can jump to it. The make docs-check target wires
@@ -29,8 +37,9 @@ import (
 )
 
 func main() {
-	var pkgdocRoots multiFlag
+	var pkgdocRoots, apiRoots multiFlag
 	flag.Var(&pkgdocRoots, "pkgdoc", "root directory whose packages must all have package doc comments (repeatable)")
+	flag.Var(&apiRoots, "apicheck", "directory whose exported functions must take ≤ 3 positional parameters (repeatable)")
 	flag.Parse()
 
 	failures := 0
@@ -53,8 +62,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	for _, dir := range apiRoots {
+		if err := checkPositionalParams(dir, report); err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d missing doc comment(s)\n", failures)
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", failures)
 		os.Exit(1)
 	}
 }
@@ -187,6 +202,92 @@ func declKind(d *ast.FuncDecl) string {
 		return "method"
 	}
 	return "function"
+}
+
+// maxPositional is the parameter budget for exported functions under
+// -apicheck; anything wider must take a spec or options struct.
+const maxPositional = 3
+
+// checkPositionalParams reports every exported free-standing function with
+// more than maxPositional parameters, not counting a leading
+// context.Context. "Deprecated:" doc comments are exempt — the rule exists
+// to stop the next positional API, not to force-break the wrappers being
+// migrated away from — and //doccheck:allow-positional in the doc comment
+// is an explicit reviewed waiver.
+func checkPositionalParams(dir string, report func(token.Position, string, ...any)) error {
+	fset, files, err := parseDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Recv != nil || !d.Name.IsExported() {
+				continue
+			}
+			if isDeprecated(d.Doc) || hasDirective(d.Doc, "doccheck:allow-positional") {
+				continue
+			}
+			if n := positionalParams(d.Type); n > maxPositional {
+				report(fset.Position(d.Pos()),
+					"exported function %s takes %d positional parameters (max %d): use a spec/options struct, mark it Deprecated:, or add //doccheck:allow-positional",
+					d.Name.Name, n, maxPositional)
+			}
+		}
+	}
+	return nil
+}
+
+// positionalParams counts a signature's parameters, with a leading
+// context.Context free of charge.
+func positionalParams(ft *ast.FuncType) int {
+	if ft.Params == nil {
+		return 0
+	}
+	n := 0
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			n++
+			continue
+		}
+		n += len(field.Names)
+	}
+	if len(ft.Params.List) > 0 && isContextContext(ft.Params.List[0].Type) &&
+		len(ft.Params.List[0].Names) <= 1 {
+		n--
+	}
+	return n
+}
+
+// isContextContext reports whether an expression is the type context.Context.
+func isContextContext(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// isDeprecated reports whether a doc comment carries a standard
+// "Deprecated:" paragraph.
+func isDeprecated(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(doc.Text(), "Deprecated:")
+}
+
+// hasDirective reports whether a doc comment contains the given //-directive
+// line. Directives are stripped from CommentGroup.Text, so scan the raw
+// comment list.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
 }
 
 // checkGenDecl enforces doc comments on exported types, consts and vars.

@@ -19,7 +19,8 @@
 // Attacks follow the same shape:
 //
 //	attack := repro.NewPhaseRushingAttack(proto, 0) // k = √n+3
-//	dist, err := repro.AttackTrials(400, proto, attack, 7, seed, 100)
+//	spec := repro.AttackSpec{N: 400, Protocol: proto, Attack: attack, Target: 7, Seed: seed}
+//	dist, err := repro.RunAttackTrials(ctx, spec, 100, repro.TrialOptions{})
 //	fmt.Println(repro.Bias(dist)) // forced rate ≈ 1 for the target
 package repro
 
@@ -55,6 +56,9 @@ type (
 	Deviation = ring.Deviation
 	// Spec describes one execution.
 	Spec = ring.Spec
+	// AttackSpec describes one attack-trial configuration (the batched
+	// counterpart of Spec).
+	AttackSpec = ring.AttackSpec
 	// Distribution aggregates outcomes over trials.
 	Distribution = ring.Distribution
 	// BiasReport is the empirical ε of Definition 2.3.
@@ -75,6 +79,34 @@ type (
 	// adaptive early stopping) on the internal/engine runner.
 	TrialOptions = ring.TrialOptions
 )
+
+// Options structs.
+//
+// Every entry point that runs a trial batch takes exactly one options
+// struct, and the four of them share a vocabulary — a field with the same
+// name means the same thing everywhere:
+//
+//   - Workers: engine worker count, 0 = runtime.NumCPU(). Never changes
+//     results.
+//   - Progress: deterministic chunk-ordered observation hook. Never changes
+//     results.
+//   - Stop: adaptive early-stopping rule over the same deterministic
+//     prefixes. Changes the trial count, never the per-trial outcomes.
+//
+// The structs, by entry point:
+//
+//   - TrialOptions — Trials/TrialsOpts and RunAttackTrials (plus the
+//     deprecated AttackTrials wrappers). Adds Chunk and Arenas.
+//   - ScenarioOpts — RunScenario. Adds per-scenario overrides (N, Trials,
+//     K, Target) on top of the shared trio.
+//   - CertifyOptions — Certify/CertifyAll/CertifyMatch. Shares Workers and
+//     Progress; its stopping knob is the inverted NoStop, because the
+//     certifier early-stops by default and folds the rule into its cache
+//     key.
+//   - ConcurrentOptions — RunConcurrent only. The odd one out: it tunes a
+//     single goroutine-per-processor execution (LinkCapacity,
+//     StallTimeout), not a batch, so it shares no fields with the other
+//     three.
 
 // Protocol constructors.
 
@@ -165,14 +197,32 @@ func TrialsOpts(ctx context.Context, spec Spec, trials int, opts TrialOptions) (
 	return ring.TrialsOpts(ctx, spec, trials, opts)
 }
 
-// AttackTrials plans and runs an attack repeatedly, aggregating outcomes.
-// Batches run on the parallel trial engine across every CPU; for a fixed
-// seed the distribution is identical at any worker count.
+// RunAttackTrials plans and runs an attack repeatedly, aggregating
+// outcomes. Batches run on the parallel trial engine across every CPU; for
+// a fixed spec the distribution is identical at any worker count. The zero
+// TrialOptions is the sensible default.
+func RunAttackTrials(ctx context.Context, spec AttackSpec, trials int, opts TrialOptions) (*Distribution, error) {
+	return ring.RunAttackTrials(ctx, spec, trials, opts)
+}
+
+// AttackTrials runs an attack batch with default options.
+//
+// Deprecated: use RunAttackTrials with an AttackSpec. This positional form
+// is a thin wrapper with bit-identical results, retained so recorded
+// experiment call sites keep compiling.
+//
+//doccheck:allow-positional
 func AttackTrials(n int, protocol Protocol, attack Attack, target int64, seed int64, trials int) (*Distribution, error) {
 	return ring.AttackTrials(n, protocol, attack, target, seed, trials)
 }
 
 // AttackTrialsOpts is AttackTrials with a context and engine options.
+//
+// Deprecated: use RunAttackTrials with an AttackSpec. This positional form
+// is a thin wrapper with bit-identical results, retained so recorded
+// experiment call sites keep compiling.
+//
+//doccheck:allow-positional
 func AttackTrialsOpts(ctx context.Context, n int, protocol Protocol, attack Attack, target int64, seed int64, trials int, opts TrialOptions) (*Distribution, error) {
 	return ring.AttackTrialsOpts(ctx, n, protocol, attack, target, seed, trials, opts)
 }

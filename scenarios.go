@@ -61,7 +61,11 @@ func NewSynchronousCompleteElection(n, k int, seed int64) ([]SyncProcessor, erro
 	return syncnet.NewCompleteElection(n, k, seed)
 }
 
-// ShamirSplit shares a secret over GF(2³¹−1) with the given threshold.
+// ShamirSplit shares a secret over GF(2³¹−1) with the given threshold. Its
+// four scalars mirror the textbook (secret, t, n) statement of the scheme,
+// which reads better positionally than through a spec struct.
+//
+//doccheck:allow-positional
 func ShamirSplit(secret int64, threshold, n int, rng *rand.Rand) ([]ShamirShare, error) {
 	return shamir.Split(secret, threshold, n, rng)
 }
