@@ -127,6 +127,40 @@ func TestGoldenCommitteeTable(t *testing.T) {
 	checkGolden(t, "certify_committee.table.golden", out.Bytes())
 }
 
+// TestGoldenPopprotoTable pins the population-protocol family's
+// certification surface: the honest self-stabilizing election certifies
+// fair (it is exactly uniform by rotation symmetry), the coalition-bias
+// deviation certifies exploitable (the pinned frame forces its target with
+// probability 1, gain 1 − 1/n).
+func TestGoldenPopprotoTable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-match", "^popproto/", "-seed", "20180516", "-format", "table", "-v"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	verdicts := map[string]string{
+		"popproto/ss-ring-le/pairwise":              "fair",
+		"popproto/ss-ring-le/attack=coalition-bias": "exploitable",
+	}
+	for name, want := range verdicts {
+		line := ""
+		for _, l := range strings.Split(got, "\n") {
+			if strings.Contains(l, name+" ") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no row for %s in:\n%s", name, got)
+		}
+		if !strings.Contains(line, want) {
+			t.Errorf("%s verdict is not %q: %s", name, want, line)
+		}
+	}
+	checkGolden(t, "certify_popproto.table.golden", out.Bytes())
+}
+
 // TestWorkersDoNotMoveOutput is the CLI-level determinism check: the same
 // sweep at -workers 1 and -workers 3 renders byte-identical output.
 func TestWorkersDoNotMoveOutput(t *testing.T) {

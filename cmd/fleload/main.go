@@ -9,6 +9,11 @@
 //	fleload -target URL [-requests N] [-rate R] [-mix C:F:Z:M]
 //	        [-scenario S] [-n N] [-trials T] [-seed S] [-out FILE]
 //
+// The report's throughput_rps counts successful requests only: requests
+// that errored (tracked separately in errors) contribute neither latency
+// samples nor throughput, so a degrading daemon shows up as throughput
+// falling away from the request rate rather than being papered over.
+//
 // The mix is weights, not a schedule: "8:1:1:2" means out of every twelve
 // requests eight replay one pre-warmed identity (cached), one submits a
 // never-seen seed (fresh engine work), one runs a small certification
@@ -70,7 +75,11 @@ type Report struct {
 	N          int     `json:"n"`
 	Trials     int     `json:"trials"`
 
-	ElapsedMillis  float64        `json:"elapsed_ms"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	// ThroughputRPS is successful requests per second of wall time.
+	// Errored requests are excluded — they are counted in Errors instead —
+	// so Requests/elapsed and ThroughputRPS diverge exactly when the
+	// target misbehaves.
 	ThroughputRPS  float64        `json:"throughput_rps"`
 	Errors         int            `json:"errors"`
 	PerClassCounts map[string]int `json:"per_class_counts"`
@@ -229,23 +238,22 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		N:              *n,
 		Trials:         *trials,
 		ElapsedMillis:  float64(elapsed.Nanoseconds()) / 1e6,
-		ThroughputRPS:  float64(*requests) / elapsed.Seconds(),
+		ThroughputRPS:  float64(*requests-errCount) / elapsed.Seconds(),
 		Errors:         errCount,
 		PerClassCounts: map[string]int{},
 		Latency:        map[string]Quantiles{},
 		Stats:          stats,
 	}
+	// quantiles handles empty populations itself, so unexercised classes
+	// (and an all-error run's overall row) report Count 0 instead of being
+	// silently absent.
 	var overall []float64
 	for c := 0; c < numClasses; c++ {
 		rep.PerClassCounts[classNames[c]] = len(latencies[c])
-		if len(latencies[c]) > 0 {
-			rep.Latency[classNames[c]] = quantiles(latencies[c])
-		}
+		rep.Latency[classNames[c]] = quantiles(latencies[c])
 		overall = append(overall, latencies[c]...)
 	}
-	if len(overall) > 0 {
-		rep.Latency["overall"] = quantiles(overall)
-	}
+	rep.Latency["overall"] = quantiles(overall)
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -313,12 +321,20 @@ func pickClass(i int, w [numClasses]int) int {
 		}
 		pos -= v
 	}
-	return classCached // unreachable: pos < total by construction
+	// pos < total by construction: reaching here means the tiling invariant
+	// broke, and returning any class would silently misattribute latency
+	// samples.
+	panic(fmt.Sprintf("fleload: request %d fell through the mix tiling (weights %v)", i, w))
 }
 
 // quantiles computes latency quantiles by sorted rank (nearest-rank
-// method): pNN is the smallest sample ≥ NN% of the population.
+// method): pNN is the smallest sample ≥ NN% of the population. An empty
+// population yields the zero Quantiles (Count 0), so callers need no
+// emptiness guard of their own.
 func quantiles(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{Count: 0}
+	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
 	rank := func(q float64) float64 {

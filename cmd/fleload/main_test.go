@@ -92,6 +92,78 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 	}
 }
 
+// TestQuantilesDegenerate pins the emptiness guard inside quantiles: the
+// empty population must yield the zero Quantiles instead of indexing
+// s[len(s)-1] (the latent panic this guards), and a single sample must be
+// every quantile at once.
+func TestQuantilesDegenerate(t *testing.T) {
+	if q := quantiles(nil); q != (Quantiles{Count: 0}) {
+		t.Fatalf("quantiles(nil) = %+v, want zero Quantiles", q)
+	}
+	if q := quantiles([]float64{}); q != (Quantiles{Count: 0}) {
+		t.Fatalf("quantiles(empty) = %+v, want zero Quantiles", q)
+	}
+	q := quantiles([]float64{7.5})
+	want := Quantiles{Count: 1, P50: 7.5, P95: 7.5, P99: 7.5, Max: 7.5}
+	if q != want {
+		t.Fatalf("quantiles(single) = %+v, want %+v", q, want)
+	}
+}
+
+// TestPickClassUnevenMixes tables pickClass over mixes with zero-weight
+// components: every index must land in a positive-weight class and any
+// request prefix must carry the configured proportions.
+func TestPickClassUnevenMixes(t *testing.T) {
+	cases := []struct {
+		mix  string
+		want [numClasses]int // class counts over one full tiling period
+	}{
+		{"0:1:0:3", [numClasses]int{0, 1, 0, 3}},
+		{"1:0:0:0", [numClasses]int{1, 0, 0, 0}},
+		{"0:0:0:2", [numClasses]int{0, 0, 0, 2}},
+		{"2:1:3", [numClasses]int{2, 1, 3, 0}},
+		{"8:1:1:2", [numClasses]int{8, 1, 1, 2}},
+	}
+	for _, c := range cases {
+		w, err := parseMix(c.mix)
+		if err != nil {
+			t.Fatalf("parseMix(%q): %v", c.mix, err)
+		}
+		period := 0
+		for _, v := range w {
+			period += v
+		}
+		var got [numClasses]int
+		for i := 0; i < 3*period; i++ {
+			class := pickClass(i, w)
+			if w[class] == 0 {
+				t.Fatalf("mix %q: request %d landed in zero-weight class %s", c.mix, i, classNames[class])
+			}
+			got[class]++
+		}
+		for class, n := range c.want {
+			if got[class] != 3*n {
+				t.Fatalf("mix %q: class counts %v over three periods, want 3×%v", c.mix, got, c.want)
+			}
+		}
+	}
+}
+
+// TestPickClassPanicsOffTiling pins the hardened fallthrough: an index
+// that escapes the tiling (only reachable if the weight invariant breaks,
+// forced here with a corrupted negative weight) must panic instead of
+// silently misattributing samples to classCached.
+func TestPickClassPanicsOffTiling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pickClass returned instead of panicking")
+		}
+	}()
+	// No parseMix output can escape the tiling, so corrupt the vector
+	// directly: a negative weight drives the scan past every class.
+	pickClass(5, [numClasses]int{-1, 0, 0, 0})
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	cases := [][]string{

@@ -1,0 +1,73 @@
+// Package popproto implements a population-protocol computation model: a
+// uniform random-pair interaction scheduler over the agents of a directed
+// ring, finite per-agent state, and a convergence detector that declares an
+// election decided once every agent agrees on the leader and the agreement
+// has held through a configurable stabilization window.
+//
+// The model differs from the message-passing sim.Network path in every
+// axis that matters to the paper's fairness question. There are no
+// messages, buffers, or schedulers: one step is one interaction — the
+// scheduler draws a directed ring edge (u, v) uniformly from a single
+// sim.Stream and the responder v updates its state from the initiator u's
+// state by a fixed transition rule. Agents are anonymous and never
+// terminate; an election is "decided" only in the eventual-stabilization
+// sense, which is why the harness needs an explicit convergence detector
+// rather than the terminate-and-compare outcome rule of Section 2.
+//
+// # The self-stabilizing ring leader election protocol
+//
+// Runner executes a modular-labeling election in the style of the
+// self-stabilizing ring protocols from the population-protocol literature
+// (agents know the exact ring size n, which is provably necessary for
+// self-stabilizing leader election in this model). Every agent holds a
+// label x ∈ [0, n); on an interaction across edge (u, v) the responder
+// adopts v.x ← u.x + 1 (mod n). Call an edge broken when it violates
+// v.x = u.x + 1. The labeling "i-th agent after the leader holds label i"
+// has no broken edges, and is a fixed point of the rule: once reached,
+// no interaction changes any state, and exactly one agent — the leader —
+// holds label 0. Conversely, telescoping the label increments around the
+// ring shows a configuration with exactly one broken edge cannot exist, so
+// every non-perfect configuration keeps at least two broken edges, each of
+// which moves forward under the update rule and annihilates on collision:
+// from any initial labeling the protocol reaches some perfect labeling
+// with probability 1. That is self-stabilization by construction — no
+// initial-state assumption, no timers, no reset.
+//
+// Fairness of the honest election is exact, not asymptotic: the honest
+// start (all labels zero) is rotation-invariant and the dynamics commute
+// with rotation, so the elected agent is uniform over the n positions.
+// The price is time. A flat ring election decides in Θ(n²) messages
+// (Θ(n) time); here the broken-edge walks must coalesce diffusively, which
+// costs Θ(n³) expected interactions — the fairness-versus-cost trade-off
+// the scenario catalog quantifies against the message-passing protocols.
+//
+// # Deviations
+//
+// The coalition-bias family (Config.K, Config.Target) models k colluding
+// agents who bias their interaction responses: each coalition agent pins
+// its label to the value the target's perfect labeling assigns it and, as
+// a responder, refuses the update rule. Pinning makes the target's frame
+// the only reachable fixed point — the honest majority's own repair
+// dynamics then elect the target with probability 1, for a fairness gain
+// of 1 − 1/n at any coalition size k ≥ 1.
+//
+// # Detection and determinism
+//
+// Run declares convergence when exactly one agent holds label 0 for
+// Config.Window consecutive interactions and a full closure scan confirms
+// the labeling is perfect (the scan is exact because perfect labelings are
+// absorbing). Trials that exhaust Config.MaxSteps report
+// sim.FailStepLimit, modelling an execution that runs forever.
+//
+// All randomness of a trial — the interaction sequence — comes from one
+// counter-based sim.Stream keyed by the trial seed, so the sim-v2
+// determinism contract holds unchanged: a trial is a pure function of
+// (config, trial seed), batches shard over workers and fleet nodes
+// byte-identically, and the content-addressed job cache keys need no new
+// fields.
+//
+// Table provides the same scheduler and detector for arbitrary finite
+// interaction tables over a bounded state space. It is the fuzzing
+// surface: FuzzTableRun drives randomly generated tables through the
+// engine loop and checks determinism and output sanity for all of them.
+package popproto

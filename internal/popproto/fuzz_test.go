@@ -1,0 +1,46 @@
+package popproto
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTableRun drives arbitrary interaction tables through the population
+// scheduler: every byte string decodes to a valid table (TableFromBytes),
+// and every decoded table must run without panicking, deterministically,
+// and either elect a position on the ring or fail with a classified
+// reason. This is the native fuzz target CI runs in the 10-second smoke.
+func FuzzTableRun(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{1, 0, 0, 1, 0, 1, 1, 0, 1, 1}, int64(20180516))
+	f.Add([]byte{7, 3, 200, 100, 50, 25, 12, 6, 3, 1}, int64(-9))
+	f.Add(make([]byte, 520), int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		tab, n := TableFromBytes(data)
+		// A tight budget keeps each input cheap; the scheduler and
+		// detector code paths are identical at any budget.
+		res, err := tab.Run(n, seed, 0, 4096)
+		if err != nil {
+			t.Fatalf("decoded table failed to run: %v", err)
+		}
+		again, err := tab.Run(n, seed, 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatalf("table run not deterministic: %+v vs %+v", res, again)
+		}
+		if res.Failed {
+			if res.Reason == 0 {
+				t.Fatalf("failed without a reason: %+v", res)
+			}
+			return
+		}
+		if res.Output < 1 || res.Output > int64(n) {
+			t.Fatalf("elected position %d outside [1,%d]", res.Output, n)
+		}
+		if res.Steps <= 0 || res.Delivered != res.Steps {
+			t.Fatalf("interaction accounting broken: %+v", res)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package popproto
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Default budget multipliers. The broken-edge walks coalesce diffusively —
+// Θ(n³) expected interactions — so the step budget scales with n³ and the
+// stabilization window with the ring size. The generous constant keeps the
+// step-limit tail negligible (empirically < 10⁻⁴ of trials at the default
+// budget would exceed even a quarter of it; see TestConvergenceBudget).
+const (
+	// DefaultWindowFactor scales the default stabilization window: a trial
+	// must hold exactly one label-0 agent for 2n consecutive interactions
+	// before the closure scan runs.
+	DefaultWindowFactor = 2
+	// DefaultStepFactor scales the default interaction budget: 64·n³.
+	DefaultStepFactor = 64
+)
+
+// Config describes one population-protocol election.
+type Config struct {
+	// N is the number of agents on the directed ring. N ≥ 2.
+	N int
+	// K is the coalition size of the coalition-bias deviation; 0 runs the
+	// honest protocol. The coalition is Target and the K−1 agents after it.
+	K int
+	// Target is the 1-based position the coalition steers the election to.
+	// Required (in [1, N]) when K > 0, ignored when K = 0.
+	Target int
+	// Window is the stabilization window: the number of consecutive
+	// interactions with exactly one label-0 agent required before the
+	// convergence detector runs its closure scan. 0 means 2·N.
+	Window int
+	// MaxSteps is the interaction budget; a trial that exhausts it fails
+	// with sim.FailStepLimit. 0 means 64·N³.
+	MaxSteps int
+	// Start is an optional initial labeling (len N, values in [0, N)) for
+	// self-stabilization experiments. Nil means the honest symmetric start,
+	// all labels zero. Coalition agents pin their labels regardless.
+	Start []int
+}
+
+// Runner executes trials of the self-stabilizing ring election. A Runner
+// belongs to one goroutine — the trial engine builds one per work-claim
+// chunk — and recycles its label buffer across trials, so a chunk of
+// trials allocates nothing.
+type Runner struct {
+	cfg      Config
+	window   int
+	maxSteps int
+	labels   []int
+	pinned   []int // pinned[i] ≥ 0: agent i is coalition, label fixed; nil when honest
+}
+
+// NewRunner validates the configuration and builds a trial runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("popproto: need n ≥ 2 agents, got %d", cfg.N)
+	}
+	if cfg.K < 0 || cfg.K > cfg.N {
+		return nil, fmt.Errorf("popproto: coalition size %d outside [0, %d]", cfg.K, cfg.N)
+	}
+	if cfg.K > 0 && (cfg.Target < 1 || cfg.Target > cfg.N) {
+		return nil, fmt.Errorf("popproto: target %d outside [1, %d]", cfg.Target, cfg.N)
+	}
+	if cfg.Window < 0 || cfg.MaxSteps < 0 {
+		return nil, fmt.Errorf("popproto: negative window or step budget")
+	}
+	if cfg.Start != nil {
+		if len(cfg.Start) != cfg.N {
+			return nil, fmt.Errorf("popproto: start labeling has %d entries, want %d", len(cfg.Start), cfg.N)
+		}
+		for i, x := range cfg.Start {
+			if x < 0 || x >= cfg.N {
+				return nil, fmt.Errorf("popproto: start label %d at position %d outside [0, %d)", x, i+1, cfg.N)
+			}
+		}
+	}
+	r := &Runner{
+		cfg:      cfg,
+		window:   cfg.Window,
+		maxSteps: cfg.MaxSteps,
+		labels:   make([]int, cfg.N),
+	}
+	if r.window == 0 {
+		r.window = DefaultWindowFactor * cfg.N
+	}
+	if r.maxSteps == 0 {
+		r.maxSteps = DefaultStepFactor * cfg.N * cfg.N * cfg.N
+	}
+	if cfg.K > 0 {
+		// The coalition pins the target's frame: in the perfect labeling
+		// electing Target, the agent j positions after it holds label j.
+		r.pinned = make([]int, cfg.N)
+		for i := range r.pinned {
+			r.pinned[i] = -1
+		}
+		for j := 0; j < cfg.K; j++ {
+			r.pinned[(cfg.Target-1+j)%cfg.N] = j
+		}
+	}
+	return r, nil
+}
+
+// Window returns the resolved stabilization window.
+func (r *Runner) Window() int { return r.window }
+
+// MaxSteps returns the resolved interaction budget.
+func (r *Runner) MaxSteps() int { return r.maxSteps }
+
+// Run executes one trial: interactions are drawn from the trial's
+// sim.Stream until the convergence detector fires or the budget runs out.
+// On success Output is the elected agent's 1-based ring position;
+// Delivered and Steps both count interactions (every interaction delivers
+// exactly one state report). The result has nil Outputs/Statuses — agents
+// never terminate, per-agent state is the labeling itself.
+func (r *Runner) Run(trialSeed int64) sim.Result {
+	n := r.cfg.N
+	labels := r.labels
+	leaders := 0 // agents currently holding label 0
+	for i := range labels {
+		x := 0
+		if r.cfg.Start != nil {
+			x = r.cfg.Start[i]
+		}
+		if r.pinned != nil && r.pinned[i] >= 0 {
+			x = r.pinned[i]
+		}
+		labels[i] = x
+		if x == 0 {
+			leaders++
+		}
+	}
+
+	rng := sim.NewStream(trialSeed, 0)
+	streak := 0
+	checkAt := r.window // streak length at which the next closure scan runs
+	for step := 1; step <= r.maxSteps; step++ {
+		u := rng.Intn(n)
+		v := u + 1
+		if v == n {
+			v = 0
+		}
+		// The responder adopts the initiator's successor label — unless it
+		// is a coalition agent biasing its response by refusing the rule.
+		if r.pinned == nil || r.pinned[v] < 0 {
+			next := labels[u] + 1
+			if next == n {
+				next = 0
+			}
+			if old := labels[v]; old != next {
+				if old == 0 {
+					leaders--
+				}
+				if next == 0 {
+					leaders++
+				}
+				labels[v] = next
+			}
+		}
+		if leaders != 1 {
+			streak = 0
+			checkAt = r.window
+			continue
+		}
+		streak++
+		if streak < checkAt {
+			continue
+		}
+		if pos, ok := r.perfect(); ok {
+			return sim.Result{Output: int64(pos), Delivered: step, Steps: step}
+		}
+		checkAt = streak + n // amortize the O(n) closure scan
+	}
+	return sim.Result{
+		Failed:    true,
+		Reason:    sim.FailStepLimit,
+		Delivered: r.maxSteps,
+		Steps:     r.maxSteps,
+	}
+}
+
+// perfect is the closure scan: it reports whether the current labeling is
+// a fixed point (every edge satisfies v.x = u.x + 1 mod n) and, if so, the
+// 1-based position of the unique label-0 agent. Perfect labelings are
+// absorbing, so a true answer is terminal, not transient.
+func (r *Runner) perfect() (leaderPos int, ok bool) {
+	n := r.cfg.N
+	leaderPos = 0
+	for u := 0; u < n; u++ {
+		v := u + 1
+		if v == n {
+			v = 0
+		}
+		next := r.labels[u] + 1
+		if next == n {
+			next = 0
+		}
+		if r.labels[v] != next {
+			return 0, false
+		}
+		if r.labels[u] == 0 {
+			leaderPos = u + 1
+		}
+	}
+	return leaderPos, true
+}

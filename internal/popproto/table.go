@@ -1,0 +1,151 @@
+package popproto
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MaxTableStates bounds a Table's state space. Interaction tables model
+// compact O(1)-state protocols (and feed the fuzzer); the n-state labeling
+// election has its own dedicated Runner.
+const MaxTableStates = 16
+
+// Pair is the post-interaction state pair of one transition: the initiator
+// moves to A, the responder to B.
+type Pair struct {
+	A, B uint8
+}
+
+// Table is an arbitrary finite population-protocol transition table over
+// states [0, Q). Delta is row-major: Delta[a*Q+b] is the transition fired
+// when an initiator in state a meets a responder in state b. Leader is a
+// bitmask marking which states count as leader states for the convergence
+// detector.
+type Table struct {
+	Q      int
+	Delta  []Pair
+	Leader uint64
+}
+
+// Validate checks the table is well-formed: 1 ≤ Q ≤ MaxTableStates, the
+// transition matrix is exactly Q×Q, and every post-state is in range.
+func (t *Table) Validate() error {
+	if t.Q < 1 || t.Q > MaxTableStates {
+		return fmt.Errorf("popproto: table has %d states, want 1..%d", t.Q, MaxTableStates)
+	}
+	if len(t.Delta) != t.Q*t.Q {
+		return fmt.Errorf("popproto: table has %d transitions, want %d", len(t.Delta), t.Q*t.Q)
+	}
+	for i, p := range t.Delta {
+		if int(p.A) >= t.Q || int(p.B) >= t.Q {
+			return fmt.Errorf("popproto: transition %d targets state (%d,%d) outside [0,%d)", i, p.A, p.B, t.Q)
+		}
+	}
+	return nil
+}
+
+// leaderState reports whether s is a leader state under the mask.
+func (t *Table) leaderState(s uint8) bool { return t.Leader>>s&1 == 1 }
+
+// Run executes the table protocol on a directed ring of n agents, all
+// starting in state 0, under the same uniform random-edge scheduler and
+// windowed convergence detector as Runner: once exactly one agent sits in
+// a leader state for window consecutive interactions (0 means 2n), that
+// agent is elected. Unlike the labeling election there is no closure scan
+// — arbitrary tables have no absorbing certificate — so the window is the
+// whole detector, and the elected position of a table that keeps churning
+// is whatever the window first pins down. Trials that exhaust maxSteps
+// (0 means 64·n³) fail with sim.FailStepLimit.
+func (t *Table) Run(n int, seed int64, window, maxSteps int) (sim.Result, error) {
+	if err := t.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	if n < 2 {
+		return sim.Result{}, fmt.Errorf("popproto: need n ≥ 2 agents, got %d", n)
+	}
+	if window < 0 || maxSteps < 0 {
+		return sim.Result{}, fmt.Errorf("popproto: negative window or step budget")
+	}
+	if window == 0 {
+		window = DefaultWindowFactor * n
+	}
+	if maxSteps == 0 {
+		maxSteps = DefaultStepFactor * n * n * n
+	}
+	states := make([]uint8, n)
+	leaders := 0
+	if t.leaderState(0) {
+		leaders = n
+	}
+	rng := sim.NewStream(seed, 0)
+	streak := 0
+	for step := 1; step <= maxSteps; step++ {
+		u := rng.Intn(n)
+		v := u + 1
+		if v == n {
+			v = 0
+		}
+		p := t.Delta[int(states[u])*t.Q+int(states[v])]
+		for _, ch := range [2]struct {
+			idx  int
+			next uint8
+		}{{u, p.A}, {v, p.B}} {
+			old := states[ch.idx]
+			if old == ch.next {
+				continue
+			}
+			if t.leaderState(old) {
+				leaders--
+			}
+			if t.leaderState(ch.next) {
+				leaders++
+			}
+			states[ch.idx] = ch.next
+		}
+		if leaders != 1 {
+			streak = 0
+			continue
+		}
+		streak++
+		if streak < window {
+			continue
+		}
+		for i, s := range states {
+			if t.leaderState(s) {
+				return sim.Result{Output: int64(i + 1), Delivered: step, Steps: step}, nil
+			}
+		}
+	}
+	return sim.Result{
+		Failed:    true,
+		Reason:    sim.FailStepLimit,
+		Delivered: maxSteps,
+		Steps:     maxSteps,
+	}, nil
+}
+
+// TableFromBytes decodes a Table and ring size from an arbitrary byte
+// string — the fuzzing frontend. The first byte picks Q in [1, MaxTableStates]
+// and the second the ring size in [2, 9]; subsequent bytes fill the
+// transition matrix (missing bytes read as zero, so every input decodes)
+// and the final byte of the matrix region seeds the leader mask. The
+// decoded table always passes Validate.
+func TableFromBytes(data []byte) (*Table, int) {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	q := int(at(0))%MaxTableStates + 1
+	n := int(at(1))%8 + 2
+	t := &Table{Q: q, Delta: make([]Pair, q*q)}
+	for i := range t.Delta {
+		b := at(2 + 2*i)
+		t.Delta[i] = Pair{A: uint8(int(b) % q), B: uint8(int(at(3+2*i)) % q)}
+	}
+	t.Leader = uint64(at(2+2*len(t.Delta))) | 1 // state 0 always a leader state
+	t.Leader &= 1<<q - 1
+	return t, n
+}

@@ -1,0 +1,120 @@
+package popproto
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// demoteTable is the minimal duel protocol: state 0 is a leader, state 1 a
+// follower, and a leader initiator demotes a leader responder. On a ring
+// of 2 it elects whichever agent initiates first; on larger rings it can
+// deadlock with non-adjacent survivors, which is exactly the step-limit
+// behaviour TestTableStepLimit pins.
+func demoteTable() *Table {
+	return &Table{
+		Q: 2,
+		Delta: []Pair{
+			{A: 0, B: 1}, // leader meets leader: responder demoted
+			{A: 0, B: 1}, // leader meets follower: no change
+			{A: 1, B: 0}, // follower meets leader: no change
+			{A: 1, B: 1}, // follower meets follower: no change
+		},
+		Leader: 1,
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	bad := []*Table{
+		{Q: 0},
+		{Q: MaxTableStates + 1},
+		{Q: 2, Delta: make([]Pair, 3)},
+		{Q: 2, Delta: []Pair{{A: 2}, {}, {}, {}}},
+		{Q: 2, Delta: []Pair{{B: 7}, {}, {}, {}}},
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("table %d passed validation", i)
+		}
+	}
+	if err := demoteTable().Validate(); err != nil {
+		t.Errorf("demote table rejected: %v", err)
+	}
+	if _, err := demoteTable().Run(1, 1, 0, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := demoteTable().Run(4, 1, -1, 0); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestTableElectsOnPair(t *testing.T) {
+	tab := demoteTable()
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		res, err := tab.Run(2, seed, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Fatalf("seed %d failed: %v", seed, res.Reason)
+		}
+		if res.Output != 1 && res.Output != 2 {
+			t.Fatalf("seed %d elected %d", seed, res.Output)
+		}
+		seen[res.Output] = true
+		again, err := tab.Run(2, seed, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed, res, again)
+		}
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("first-mover election never elected both positions: %v", seen)
+	}
+}
+
+func TestTableStepLimit(t *testing.T) {
+	// The identity table never changes state, so all n agents stay leaders
+	// and the detector never fires.
+	tab := &Table{Q: 2, Delta: []Pair{{0, 0}, {0, 1}, {1, 0}, {1, 1}}, Leader: 1}
+	res, err := tab.Run(4, 3, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != sim.FailStepLimit || res.Steps != 500 {
+		t.Fatalf("identity table should exhaust the budget, got %+v", res)
+	}
+}
+
+func TestTableFromBytesAlwaysValid(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{255, 255},
+		{7, 3, 200, 100, 50},
+		make([]byte, 600),
+	}
+	rng := sim.NewStream(5, 0)
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = byte(rng.Uint64())
+	}
+	inputs = append(inputs, long)
+	for i, data := range inputs {
+		tab, n := TableFromBytes(data)
+		if err := tab.Validate(); err != nil {
+			t.Errorf("input %d decoded an invalid table: %v", i, err)
+		}
+		if n < 2 || n > 9 {
+			t.Errorf("input %d decoded ring size %d", i, n)
+		}
+		if tab.Leader&1 == 0 {
+			t.Errorf("input %d: state 0 must be a leader state", i)
+		}
+	}
+}

@@ -15,7 +15,7 @@ import (
 func differentialFamily() []Scenario {
 	var family []Scenario
 	for _, s := range All() {
-		if s.Uniform && (s.Scheduler == SchedFIFO || s.Scheduler == SchedLockstep) {
+		if s.Uniform && (s.Scheduler == SchedFIFO || s.Scheduler == SchedLockstep || s.Scheduler == SchedPairwise) {
 			family = append(family, s)
 		}
 	}

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/stats"
+)
+
+// TestPopprotoWorkersByteIdentical pins the sim-v2 determinism contract
+// for the population-protocol rows: the outcome table of a popproto batch
+// is byte-identical across 1, 4 and 8 engine workers.
+func TestPopprotoWorkersByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range []string{
+		"popproto/ss-ring-le/pairwise",
+		"popproto/ss-ring-le/attack=coalition-bias",
+	} {
+		s, ok := Find(name)
+		if !ok {
+			t.Fatalf("scenario %s not registered", name)
+		}
+		var want []byte
+		for _, workers := range []int{1, 4, 8} {
+			out, err := s.RunOpts(ctx, 20180516, Opts{N: 12, Trials: 300, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			got, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s: outcome table moved between worker counts\n got: %s\nwant: %s", name, got, want)
+			}
+		}
+	}
+}
+
+// TestPopprotoShardPartitionMatchesDirect re-proves the fleet-sharding
+// contract specifically for popproto: uneven RunShard partitions, merged
+// out of order, reproduce the direct single-node outcome bytes.
+func TestPopprotoShardPartitionMatchesDirect(t *testing.T) {
+	ctx := context.Background()
+	s, ok := Find("popproto/ss-ring-le/pairwise")
+	if !ok {
+		t.Fatal("scenario not registered")
+	}
+	o := Opts{N: 10, Trials: 130, Workers: 3}
+	want, err := s.RunOpts(ctx, 7, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, total := s.Resolve(o)
+	merged := ring.NewDistribution(n)
+	// Uneven cuts, merged back to front, so both partition arithmetic and
+	// merge commutativity are on the hook.
+	cuts := []int{0, 23, 24, 89, 130}
+	var shards []*ring.Distribution
+	for i := 0; i+1 < len(cuts); i++ {
+		shard, err := s.RunShard(ctx, 7, o, cuts[i], cuts[i+1])
+		if err != nil {
+			t.Fatalf("RunShard(%d, %d): %v", cuts[i], cuts[i+1], err)
+		}
+		shards = append(shards, shard)
+	}
+	if total != 130 {
+		t.Fatalf("Resolve trials = %d", total)
+	}
+	for i := len(shards) - 1; i >= 0; i-- {
+		if err := merged.Merge(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotJSON, err := json.Marshal(s.OutcomeFromDist(merged, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("sharded popproto outcome differs from direct run\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+}
+
+// TestPopprotoMatchesAnalyticUniform is the χ² homogeneity row against the
+// analytic leader distribution: the honest election is uniform by rotation
+// symmetry, so the engine counts must be indistinguishable from the exact
+// trials/n-per-position table, with zero failed trials.
+func TestPopprotoMatchesAnalyticUniform(t *testing.T) {
+	ctx := context.Background()
+	s, ok := Find("popproto/ss-ring-le/pairwise")
+	if !ok {
+		t.Fatal("scenario not registered")
+	}
+	const n, trials = 8, 2000
+	out, err := s.RunOpts(ctx, 20180516, Opts{N: n, Trials: trials})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failures != 0 {
+		t.Fatalf("%d trials failed to stabilize", out.Failures)
+	}
+	analytic := make([]int, n)
+	for i := range analytic {
+		analytic[i] = trials / n
+	}
+	chi2, p, err := stats.ChiSquareHomogeneity(out.Counts[1:], analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-6 {
+		t.Errorf("popproto leader counts diverge from the analytic uniform: χ²=%.2f p=%g counts=%v",
+			chi2, p, out.Counts)
+	}
+}

@@ -19,6 +19,7 @@ const (
 	SchedLIFO     = "lifo"
 	SchedRandom   = "random"
 	SchedLockstep = "lockstep" // synchronous topologies: rounds, no scheduler
+	SchedPairwise = "pairwise" // population topologies: random-pair interactions, no messages
 )
 
 // newScheduler builds the scheduler for one execution. FIFO is the

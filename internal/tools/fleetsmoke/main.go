@@ -146,7 +146,8 @@ func run(args []string) error {
 		return fmt.Errorf("fleload: %w", err)
 	}
 	var rep struct {
-		Errors int `json:"errors"`
+		Errors        int     `json:"errors"`
+		ThroughputRPS float64 `json:"throughput_rps"`
 	}
 	raw, err := os.ReadFile(report)
 	if err != nil {
@@ -158,7 +159,12 @@ func run(args []string) error {
 	if rep.Errors != 0 {
 		return fmt.Errorf("fleload recorded %d errors", rep.Errors)
 	}
-	fmt.Println("fleetsmoke: fleload mixed batch clean")
+	// throughput_rps counts successful requests only; a clean 40-request
+	// batch must therefore report positive successful throughput.
+	if rep.ThroughputRPS <= 0 {
+		return fmt.Errorf("fleload reported non-positive successful throughput %f", rep.ThroughputRPS)
+	}
+	fmt.Printf("fleetsmoke: fleload mixed batch clean (%.1f successful rps)\n", rep.ThroughputRPS)
 
 	// Phase 3: coordinator restart. Same cache directory, fresh process —
 	// every already-computed identity must replay from disk with zero
